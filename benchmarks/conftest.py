@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every benchmark prints the rows/series the corresponding paper figure
+shows (via ``repro.harness.reporting``) and uses pytest-benchmark to time
+the underlying measurement once — the printed tables are the scientific
+output, the timings document simulator cost.
+"""

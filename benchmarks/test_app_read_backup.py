@@ -1,0 +1,55 @@
+"""E-APP — application-read operations and backup order (section 6.2).
+
+With only application-read operations, applications are the only
+write-graph predecessors.  Placing application state pages *last* in the
+backup order makes the † property always hold: zero Iw/oF logging.
+Placing them first destroys the property and logging returns.
+"""
+
+import pytest
+
+from repro.harness.experiments import app_read_experiment
+from repro.harness.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "apps last": app_read_experiment(at_end=True),
+        "apps first": app_read_experiment(at_end=False),
+    }
+
+
+class TestAppReadBackup:
+    def test_print_table(self, results):
+        print()
+        print("E-APP — Iw/oF during backup vs application placement (§6.2)")
+        print(
+            format_table(
+                ["placement", "iwof", "flush decisions", "recovered"],
+                [
+                    (name, r.iwof, r.decisions, r.recovered)
+                    for name, r in results.items()
+                ],
+            )
+        )
+
+    def test_apps_last_incur_zero_iwof(self, results):
+        assert results["apps last"].iwof == 0
+        assert results["apps last"].decisions > 50
+
+    def test_apps_first_incur_logging(self, results):
+        assert results["apps first"].iwof > 0
+
+    def test_both_placements_recover(self, results):
+        assert all(r.recovered for r in results.values())
+
+
+class TestAppTiming:
+    def test_benchmark_experiment(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: app_read_experiment(at_end=True, pages=64),
+            rounds=3,
+            iterations=1,
+        )
+        assert result.recovered

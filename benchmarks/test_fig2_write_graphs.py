@@ -1,0 +1,89 @@
+"""FIG2 — write graphs W and rW when an object becomes unexposed.
+
+The paper's Figure 2: operation A writes {X, Y}; a blind write C of X
+makes X unexposed.  W keeps one node requiring the atomic flush of
+{X, Y}; rW splits into separate nodes and removes X from vars(1).
+"""
+
+import pytest
+
+from repro.ids import PageId
+from repro.ops.logical import GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.recovery.refined_write_graph import build_refined_graph
+from repro.recovery.write_graph import build_intersecting_writes_graph
+from repro.harness.reporting import format_table
+from repro.wal.log_manager import LogManager
+
+X, Y, SRC = PageId(0, 0), PageId(0, 1), PageId(0, 5)
+
+
+@pytest.fixture(scope="module")
+def figure2_log():
+    log = LogManager()
+    return [
+        log.append(GeneralLogicalOp([SRC], [X, Y], "copy_value")),  # A
+        log.append(PhysicalWrite(X, 42)),                           # C
+    ]
+
+
+class TestFigure2:
+    def test_print_figure2(self, figure2_log):
+        w_nodes = build_intersecting_writes_graph(figure2_log)
+        rw = build_refined_graph(figure2_log)
+        print()
+        print("FIG2 — W vs rW after a blind write of X")
+        rows = [
+            (
+                "W",
+                len(w_nodes),
+                max(len(n.vars) for n in w_nodes),
+                "; ".join(sorted(str(sorted(map(str, n.vars)))
+                                  for n in w_nodes)),
+            ),
+            (
+                "rW",
+                len(rw),
+                max(len(n.vars) for n in rw.nodes()),
+                "; ".join(sorted(str(sorted(map(str, n.vars)))
+                                  for n in rw.nodes())),
+            ),
+        ]
+        print(
+            format_table(
+                ["graph", "nodes", "max |vars|", "vars sets"], rows
+            )
+        )
+
+    def test_w_forces_atomic_multi_page_flush(self, figure2_log):
+        nodes = build_intersecting_writes_graph(figure2_log)
+        assert len(nodes) == 1
+        assert nodes[0].vars == {X, Y}
+
+    def test_rw_removes_unexposed_object(self, figure2_log):
+        graph = build_refined_graph(figure2_log)
+        node_a = next(n for n in graph.nodes() if n.op_lsns == [1])
+        node_c = next(n for n in graph.nodes() if n.op_lsns == [2])
+        assert node_a.vars == {Y}
+        assert node_c.vars == {X}
+
+
+class TestFig2Timing:
+    def test_benchmark_graph_construction(self, benchmark):
+        import random
+
+        from repro.workloads import mixed_logical_workload
+        from repro.storage.layout import Layout
+
+        layout = Layout([64])
+        log = LogManager()
+        records = [
+            log.append(op)
+            for op in mixed_logical_workload(layout, seed=1, count=300)
+        ]
+
+        def build():
+            return build_refined_graph(records)
+
+        graph = benchmark(build)
+        assert len(graph) > 0

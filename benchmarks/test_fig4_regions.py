@@ -1,0 +1,88 @@
+"""FIG4 — the regions of (#X, #S(X)) space that require Iw/oF.
+
+Sweeps the full (#X, #S(X)) grid at a fixed mid-backup frontier and
+compares the TreeOpsPolicy decision against the paper's shaded region:
+logging is needed unless Pend(X), Done(S(X)), or both are in doubt and
+the † property holds (#S(X) < #X).
+"""
+
+import pytest
+
+from repro.harness.experiments import fig4_grid
+from repro.harness.reporting import format_table
+
+SIZE, DONE, PENDING = 24, 8, 16
+
+
+@pytest.fixture(scope="module")
+def grids():
+    return fig4_grid(size=SIZE, done=DONE, pending=PENDING)
+
+
+class TestFigure4:
+    def test_print_region_map(self, grids):
+        print()
+        print(
+            f"FIG4 — Iw/oF region over (#X, #S(X)); D={DONE}, P={PENDING} "
+            "('#' = extra logging needed)"
+        )
+        header = "      #S(X): " + "".join(
+            f"{s:>2}" for s in range(0, SIZE, 4)
+        )
+        print(header)
+        for x_pos in range(SIZE):
+            row = "".join(
+                "#" if grids["policy"][x_pos][s] else "."
+                for s in range(SIZE)
+            )
+            print(f"  #X={x_pos:>3}  {row}")
+
+    def test_policy_matches_analytic_region_exactly(self, grids):
+        mismatches = [
+            (x, s)
+            for x in range(SIZE)
+            for s in range(SIZE)
+            if grids["policy"][x][s] != grids["analytic"][x][s]
+        ]
+        assert mismatches == []
+
+    def test_pend_column_never_logs(self, grids):
+        for x_pos in range(PENDING, SIZE):
+            assert not any(grids["policy"][x_pos]), f"#X={x_pos}"
+
+    def test_done_successors_never_log(self, grids):
+        for x_pos in range(SIZE):
+            for succ in range(DONE):
+                assert not grids["policy"][x_pos][succ]
+
+    def test_doubt_doubt_split_by_dagger(self, grids):
+        """Within Doubt×Doubt the diagonal splits log/no-log (≈half)."""
+        cells = [
+            grids["policy"][x][s]
+            for x in range(DONE, PENDING)
+            for s in range(DONE, PENDING)
+            if x != s
+        ]
+        fraction = sum(cells) / len(cells)
+        assert fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_logging_fraction_of_whole_grid(self, grids):
+        """At D=size/3, P=2size/3 (step 2 of 3), the shaded fraction
+        should match Prob_m{log} for tree ops at m=2, N=3."""
+        from repro.core import analysis
+
+        cells = [
+            grids["policy"][x][s]
+            for x in range(SIZE)
+            for s in range(SIZE)
+            if x != s
+        ]
+        measured = sum(cells) / len(cells)
+        analytic = analysis.tree_step_probability(2, 3)
+        assert measured == pytest.approx(analytic, abs=0.05)
+
+
+class TestFig4Timing:
+    def test_benchmark_grid(self, benchmark):
+        grids = benchmark(lambda: fig4_grid(size=48, done=16, pending=32))
+        assert len(grids["policy"]) == 48

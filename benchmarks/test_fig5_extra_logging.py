@@ -1,0 +1,120 @@
+"""FIG5 + A-STEP — extra-logging probability vs number of backup steps.
+
+Regenerates Figure 5: the frequency with which an object flush requires
+Iw/oF logging, for general and tree operations, as a function of the
+number of backup steps N — measured by simulation and compared with the
+paper's closed forms (1/2)(1+1/N) and 1/6 + 1/(2N) − 1/(6N²).
+
+Expected shape (§5.3):
+* N=1 general: every flush logs (measured 1.0);
+* general → ~0.5 asymptote, tree → ~1/6;
+* tree is below general everywhere (a half-to-two-thirds reduction);
+* ~90 % of each curve's total reduction is reached by N=8 (A-STEP).
+"""
+
+import pytest
+
+from repro.core import analysis
+from repro.harness.experiments import fig5_measure, fig5_sweep
+from repro.harness.reporting import format_table
+
+STEP_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig5_sweep(step_counts=STEP_COUNTS, seeds=(1, 2, 3), pages=1024)
+
+
+class TestFigure5:
+    def test_print_figure5(self, sweep):
+        rows = []
+        by_kind = {"general": {}, "tree": {}}
+        for point in sweep:
+            by_kind[point.kind][point.steps] = point
+        for steps in STEP_COUNTS:
+            general = by_kind["general"][steps]
+            tree = by_kind["tree"][steps]
+            rows.append(
+                (
+                    steps,
+                    general.measured,
+                    general.analytic,
+                    tree.measured,
+                    tree.analytic,
+                    general.samples + tree.samples,
+                )
+            )
+        print()
+        print("FIG5 — Prob{extra logging} per object flush vs backup steps")
+        print(
+            format_table(
+                [
+                    "steps N",
+                    "general meas",
+                    "general analytic",
+                    "tree meas",
+                    "tree analytic",
+                    "samples",
+                ],
+                rows,
+            )
+        )
+
+    def test_general_matches_analytic_curve(self, sweep):
+        for point in sweep:
+            if point.kind == "general":
+                assert point.measured == pytest.approx(
+                    point.analytic, abs=0.06
+                ), f"N={point.steps}"
+
+    def test_tree_matches_analytic_curve(self, sweep):
+        for point in sweep:
+            if point.kind == "tree":
+                assert point.measured == pytest.approx(
+                    point.analytic, abs=0.06
+                ), f"N={point.steps}"
+
+    def test_n1_logs_every_flush_for_general_ops(self, sweep):
+        point = next(
+            p for p in sweep if p.kind == "general" and p.steps == 1
+        )
+        assert point.measured == pytest.approx(1.0)
+
+    def test_tree_below_general_everywhere(self, sweep):
+        general = {p.steps: p.measured for p in sweep if p.kind == "general"}
+        tree = {p.steps: p.measured for p in sweep if p.kind == "tree"}
+        for steps in STEP_COUNTS:
+            assert tree[steps] < general[steps]
+
+    def test_reduction_mostly_achieved_by_eight_steps(self, sweep):
+        """A-STEP: the §5.3 'little incentive beyond eight steps' claim,
+        on the measured series."""
+        print()
+        rows = [
+            (
+                n,
+                analysis.reduction_fraction(n, "general"),
+                analysis.reduction_fraction(n, "tree"),
+            )
+            for n in STEP_COUNTS
+        ]
+        print("A-STEP — fraction of total logging reduction achieved by N")
+        print(format_table(["steps N", "general", "tree"], rows))
+        for kind in ("general", "tree"):
+            measured = {
+                p.steps: p.measured for p in sweep if p.kind == kind
+            }
+            total_reduction = measured[1] - measured[32]
+            by_eight = measured[1] - measured[8]
+            assert by_eight / total_reduction > 0.75
+
+
+class TestFig5Timing:
+    def test_benchmark_single_measurement(self, benchmark):
+        point = benchmark.pedantic(
+            lambda: fig5_measure("tree", 8, pages=256, seed=1),
+            rounds=3,
+            iterations=1,
+        )
+        assert point.samples > 0

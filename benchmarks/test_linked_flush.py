@@ -1,0 +1,63 @@
+"""A-LINK — the linked-flush strawman vs the asynchronous engine (§1.3).
+
+The paper dismisses staging all copying through the cache manager with
+synchronous "linked" flushes as "completely unrealistic".  This bench
+quantifies why on the simulator: the strawman forces the entire dirty
+set through the cache manager (stalling update processing), while the
+asynchronous engine copies directly from S and pays only a few Iw/oF
+log records.
+
+Expected shape: linked forced-flushes ≫ engine Iw/oF records; both
+recover.
+"""
+
+import pytest
+
+from repro.harness.experiments import linked_flush_experiment
+from repro.harness.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return linked_flush_experiment(pages=256, ops=400, seed=13)
+
+
+class TestLinkedFlush:
+    def test_print_table(self, result):
+        print()
+        print("A-LINK — linked-flush strawman vs asynchronous engine")
+        print(
+            format_table(
+                ["metric", "linked flush", "engine"],
+                [
+                    (
+                        "forced CM flushes / Iw/oF records",
+                        result.linked_forced_flushes,
+                        result.engine_iwof_records,
+                    ),
+                    (
+                        "pages copied",
+                        result.linked_pages_copied,
+                        result.engine_pages_copied,
+                    ),
+                ],
+            )
+        )
+
+    def test_engine_pays_far_less_cm_work(self, result):
+        assert (
+            result.engine_iwof_records < result.linked_forced_flushes / 2
+        )
+
+    def test_both_recover(self, result):
+        assert result.both_recovered
+
+
+class TestLinkedTiming:
+    def test_benchmark(self, benchmark):
+        outcome = benchmark.pedantic(
+            lambda: linked_flush_experiment(pages=128, ops=200),
+            rounds=3,
+            iterations=1,
+        )
+        assert outcome.both_recovered

@@ -1,0 +1,93 @@
+"""T-ECON — the logging economy of logical operations (section 1.1/4.1).
+
+Inserts the same key sequence into two B-trees, one logging splits as the
+MovRec/RmvRec tree-operation pair, one logging the new node's full image
+physically, and compares the bytes attributable to splits.
+
+Expected shape: tree-operation split records are O(identifiers) while
+page-oriented split records are O(page) — an order of magnitude or more
+at realistic node sizes, growing with the order (page capacity).
+"""
+
+import pytest
+
+from repro.harness.experiments import logging_economy
+from repro.harness.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def economy():
+    return {
+        order: logging_economy(keys=900, order=order, seed=11)
+        for order in (16, 64, 128)
+    }
+
+
+class TestLoggingEconomy:
+    def test_print_table(self, economy):
+        print()
+        print("T-ECON — bytes logged for B-tree splits, tree vs page-oriented")
+        rows = []
+        for order, pair in economy.items():
+            tree_row = next(r for r in pair if r.logging == "tree")
+            page_row = next(r for r in pair if r.logging == "page")
+            rows.append(
+                (
+                    order,
+                    tree_row.split_bytes,
+                    page_row.split_bytes,
+                    page_row.split_bytes / max(tree_row.split_bytes, 1),
+                    tree_row.total_bytes,
+                    page_row.total_bytes,
+                )
+            )
+        print(
+            format_table(
+                [
+                    "order",
+                    "tree split B",
+                    "page split B",
+                    "split ratio",
+                    "tree total B",
+                    "page total B",
+                ],
+                rows,
+            )
+        )
+
+    def test_tree_split_logging_is_much_smaller(self, economy):
+        for order, pair in economy.items():
+            tree_row = next(r for r in pair if r.logging == "tree")
+            page_row = next(r for r in pair if r.logging == "page")
+            ratio = page_row.split_bytes / max(tree_row.split_bytes, 1)
+            assert ratio > 4, f"order={order}: ratio {ratio:.1f}"
+
+    def test_ratio_grows_with_page_capacity(self, economy):
+        ratios = []
+        for order in (16, 64, 128):
+            pair = economy[order]
+            tree_row = next(r for r in pair if r.logging == "tree")
+            page_row = next(r for r in pair if r.logging == "page")
+            ratios.append(page_row.split_bytes / max(tree_row.split_bytes, 1))
+        assert ratios == sorted(ratios)
+
+    def test_total_log_volume_smaller_with_tree_ops(self, economy):
+        for pair in economy.values():
+            tree_row = next(r for r in pair if r.logging == "tree")
+            page_row = next(r for r in pair if r.logging == "page")
+            assert tree_row.total_bytes < page_row.total_bytes
+
+    def test_same_number_of_splits_both_modes(self, economy):
+        for pair in economy.values():
+            tree_row, page_row = pair
+            assert tree_row.splits == page_row.splits > 0
+
+
+class TestEconomyTiming:
+    def test_benchmark_insert_workload(self, benchmark):
+        rows = benchmark.pedantic(
+            lambda: logging_economy(keys=300, order=32),
+            rounds=3,
+            iterations=1,
+        )
+        assert len(rows) == 2

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Application recovery and backup order (sections 1.1 and 6.2).
+
+Applications whose volatile state is itself recoverable log three cheap
+logical operations: Ex(A), R(X, A), W_L(A, X) — none of which puts data
+values on the log.  Section 6.2 observes that if application state pages
+are the *last* objects in the backup order, the † property always holds
+and online backup incurs zero Iw/oF logging for application reads.
+
+This example runs the same workload with applications placed last vs
+first in the backup order and shows the difference, then recovers the
+application states after a media failure.
+
+Run:  python examples/application_recovery.py
+"""
+
+import random
+
+from repro import Database, PhysiologicalWrite
+from repro.appfs import ApplicationManager
+from repro.ids import PageId
+
+
+def run(at_end, seed=5):
+    db = Database(pages_per_partition=[128], policy="tree")
+    manager = ApplicationManager(db, app_slots=4, at_end=at_end)
+    apps = []
+    for i in range(4):
+        name = f"worker-{i}"
+        manager.launch(name, initial_state=("boot", name))
+        apps.append(name)
+
+    rng = random.Random(seed)
+    data_pages = [PageId(0, slot) for slot in range(10, 60)]
+    for page in data_pages:
+        db.execute(PhysiologicalWrite(page, "increment", (1,)))
+
+    db.start_backup(steps=8)
+    while db.backup_in_progress():
+        db.backup_step(2)
+        for _ in range(2):
+            app = rng.choice(apps)
+            source = rng.choice(data_pages)
+            manager.read_into(app, source)       # R(X, A): ids only
+            manager.execute_step(app, "compute")  # Ex(A)
+            db.execute(PhysiologicalWrite(source, "increment", (1,)))
+        db.install_some(3, rng)
+    return db, manager, apps
+
+
+def main():
+    print("=== Iw/oF during backup vs application placement (§6.2) ===")
+    for at_end, label in ((True, "apps LAST in backup order"),
+                          (False, "apps FIRST in backup order")):
+        db, _, _ = run(at_end)
+        print(
+            f"  {label:28s} iwof={db.metrics.iwof_during_backup:3d} "
+            f"of {db.metrics.flush_decisions_during_backup} flush decisions"
+        )
+
+    print("\n=== application state survives media failure ===")
+    db, manager, apps = run(at_end=True)
+    before = {app: manager.state_of(app) for app in apps}
+    db.media_failure()
+    outcome = db.media_recover()
+    print(f"  {outcome.summary()}")
+    for app in apps:
+        assert manager.state_of(app) == before[app]
+    print(f"  all {len(apps)} application states recovered exactly ✓")
+
+    print("\n=== a resumable pipeline application ===")
+    resumable_pipeline()
+
+
+def resumable_pipeline():
+    """A long computation that survives a crash mid-stream and resumes
+    from its exact program counter (the [8] application-recovery story)."""
+    from repro.appfs import RecoverableApplication, register_logic
+    from repro.ops.physical import PhysicalWrite
+
+    def running_max(state, item):
+        best = state if state is not None else float("-inf")
+        best = max(best, item if isinstance(item, (int, float)) else 0)
+        return best, best
+
+    try:
+        register_logic("running-max", running_max)
+    except Exception:
+        pass  # already registered on repeat runs
+
+    db = Database(pages_per_partition=[64], policy="tree")
+    inputs = [PageId(0, slot) for slot in range(10)]
+    values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+    for page, value in zip(inputs, values):
+        db.execute(PhysicalWrite(page, value))
+
+    app_page = PageId(0, 60)
+    app = RecoverableApplication.launch(db, app_page, "running-max")
+    for page in inputs[:5]:
+        app.feed(page)
+        app.advance()
+    print(f"  processed 5/10 inputs; running max = {app.user_state}")
+
+    db.crash()
+    db.recover()
+    resumed = RecoverableApplication.resume(db, app_page)
+    print(f"  after crash: resumed at step {resumed.step_number} "
+          f"with state {resumed.user_state} (no re-reading)")
+    for page in inputs[5:]:
+        resumed.feed(page)
+        resumed.advance()
+    resumed.emit(PageId(0, 61))
+    assert db.read(PageId(0, 61)) == max(values)
+    print(f"  pipeline completed: max = {db.read(PageId(0, 61))} ✓")
+
+
+if __name__ == "__main__":
+    main()

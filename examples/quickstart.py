@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: an online backup that survives logical log operations.
+
+Builds a small database, runs logical operations (copies — only
+identifiers hit the log), takes a high-speed online backup *while
+updates continue*, then destroys the stable medium and recovers from
+the backup plus the media recovery log.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CopyOp, Database, PhysicalWrite, PhysiologicalWrite
+from repro.ids import PageId
+
+
+def main():
+    # One partition of 64 pages; the general-operation flush policy
+    # (section 3.5 of the paper).
+    db = Database(pages_per_partition=[64], policy="general")
+
+    # Seed a few pages (physical writes: the value is on the log).
+    for slot in range(8):
+        db.execute(PhysicalWrite(PageId(0, slot), ("record", slot)))
+
+    # Start an online backup in 4 steps, interleaved with updates.
+    db.start_backup(steps=4)
+    slot = 8
+    while db.backup_in_progress():
+        db.backup_step(pages=4)  # the backup copies a few pages...
+        # ...while transactions keep running, including *logical*
+        # operations whose log records carry no data values:
+        db.execute(CopyOp(PageId(0, slot % 8), PageId(0, 8 + slot % 40)))
+        db.execute(
+            PhysiologicalWrite(PageId(0, slot % 8), "stamp", (slot,))
+        )
+        db.install_some(2)  # background cache flushing
+        slot += 1
+
+    backup = db.latest_backup()
+    print(f"backup complete: {backup}")
+    print(f"pages copied:    {backup.copied_count()}")
+    print(f"Iw/oF records:   {db.metrics.iwof_records} "
+          f"(extra logging that kept the backup recoverable)")
+
+    # Catastrophe: the stable medium fails entirely.
+    db.media_failure()
+    print("\nstable database lost — restoring from backup + media log...")
+
+    outcome = db.media_recover()
+    print(outcome.summary())
+    assert outcome.ok, "media recovery must reproduce the current state"
+    print("state after recovery matches the pre-failure state. ✓")
+
+
+if __name__ == "__main__":
+    main()

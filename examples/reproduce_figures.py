@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Reproduce every figure of the paper in one run.
+
+Prints, in order: FIG1 (naive vs engine), FIG2 (W vs rW), FIG3 (D/P
+progress walk), FIG4 (Iw/oF regions), FIG5 (extra logging vs steps,
+measured vs analytic), plus the T-ECON / E-APP / E-INC / A-LINK tables.
+
+Run:  python examples/reproduce_figures.py          (full, ~1 min)
+      python examples/reproduce_figures.py --quick  (smaller configs)
+"""
+
+import sys
+
+from repro.core import analysis
+from repro.core.progress import BackupRegion
+from repro.db import Database
+from repro.harness import experiments as exp
+from repro.harness.reporting import format_table
+
+QUICK = "--quick" in sys.argv
+
+
+def fig1():
+    print("\n## FIG1 — naive fuzzy dump vs the engine (B-tree split)")
+    rows = []
+    for kind in ("naive", "engine"):
+        outcome = exp.fig1_scenario(kind)
+        rows.append((kind, "OK" if outcome.recovered else "FAILED",
+                     outcome.diffs))
+    print(format_table(["method", "media recovery", "wrong pages"], rows))
+
+
+def fig2():
+    print("\n## FIG2 — W vs rW when a blind write makes X unexposed")
+    from repro.ids import PageId
+    from repro.ops.logical import GeneralLogicalOp
+    from repro.ops.physical import PhysicalWrite
+    from repro.recovery.refined_write_graph import build_refined_graph
+    from repro.recovery.write_graph import build_intersecting_writes_graph
+    from repro.wal.log_manager import LogManager
+
+    X, Y, SRC = PageId(0, 0), PageId(0, 1), PageId(0, 5)
+    log = LogManager()
+    records = [
+        log.append(GeneralLogicalOp([SRC], [X, Y], "copy_value")),
+        log.append(PhysicalWrite(X, 42)),
+    ]
+    w = build_intersecting_writes_graph(records)
+    rw = build_refined_graph(records)
+    print(format_table(
+        ["graph", "nodes", "max atomic flush set"],
+        [("W", len(w), max(len(n.vars) for n in w)),
+         ("rW", len(rw), max(len(n.vars) for n in rw.nodes()))],
+    ))
+
+
+def fig3():
+    print("\n## FIG3 — backup progress (D, P) and region sizes")
+    db = Database(pages_per_partition=[128], policy="general")
+    db.start_backup(steps=4)
+    progress = db.cm.progress[0]
+    rows = []
+
+    def snap(label):
+        counts = {region: 0 for region in BackupRegion}
+        for pos in range(128):
+            counts[progress.classify(pos)] += 1
+        rows.append((label, progress.done, progress.pending,
+                     counts[BackupRegion.DONE], counts[BackupRegion.DOUBT],
+                     counts[BackupRegion.PEND]))
+
+    snap("step 1")
+    while db.backup_in_progress():
+        before = progress.steps_taken
+        db.backup_step(8)
+        if db.backup_in_progress() and progress.steps_taken != before:
+            snap(f"step {progress.steps_taken}")
+    snap("complete")
+    print(format_table(["moment", "D", "P", "done", "doubt", "pend"], rows))
+
+
+def fig4():
+    print("\n## FIG4 — Iw/oF regions over (#X, #S(X)) ('#' = log)")
+    size = 16 if QUICK else 24
+    grids = exp.fig4_grid(size=size, done=size // 3, pending=2 * size // 3)
+    for x_pos in range(size):
+        row = "".join(
+            "#" if grids["policy"][x_pos][s] else "." for s in range(size)
+        )
+        print(f"  #X={x_pos:>3}  {row}")
+
+
+def fig5():
+    print("\n## FIG5 — extra-logging probability vs backup steps")
+    steps = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
+    seeds = (1,) if QUICK else (1, 2, 3)
+    pages = 512 if QUICK else 1024
+    points = exp.fig5_sweep(step_counts=steps, seeds=seeds, pages=pages)
+    by = {(p.kind, p.steps): p for p in points}
+    rows = [
+        (
+            n,
+            by[("general", n)].measured,
+            analysis.general_extra_logging(n),
+            by[("tree", n)].measured,
+            analysis.tree_extra_logging(n),
+        )
+        for n in steps
+    ]
+    print(format_table(
+        ["N", "general meas", "general calc", "tree meas", "tree calc"],
+        rows,
+    ))
+
+
+def tables():
+    print("\n## T-ECON — split logging bytes (tree vs page-oriented)")
+    rows = []
+    for row in exp.logging_economy(keys=600 if QUICK else 1200, order=64):
+        rows.append((row.logging, row.splits, row.split_bytes,
+                     row.total_bytes))
+    print(format_table(
+        ["logging", "splits", "split bytes", "total bytes"], rows))
+
+    print("\n## E-APP — application placement (§6.2)")
+    rows = []
+    for at_end in (True, False):
+        result = exp.app_read_experiment(at_end)
+        rows.append(("last" if at_end else "first", result.iwof,
+                     result.decisions, result.recovered))
+    print(format_table(
+        ["apps placed", "iwof", "decisions", "recovered"], rows))
+
+    print("\n## E-INC — incremental backup (§6.1)")
+    result = exp.incremental_experiment()
+    print(format_table(
+        ["full pages", "incremental pages", "recovered"],
+        [(result.full_pages, result.incremental_pages, result.recovered)],
+    ))
+
+    print("\n## A-LINK — linked-flush strawman cost")
+    result = exp.linked_flush_experiment()
+    print(format_table(
+        ["metric", "linked", "engine"],
+        [("CM forced flushes / Iw/oF", result.linked_forced_flushes,
+          result.engine_iwof_records)],
+    ))
+
+
+def main():
+    fig1()
+    fig2()
+    fig3()
+    fig4()
+    fig5()
+    tables()
+    print("\nAll figures reproduced.")
+
+
+if __name__ == "__main__":
+    main()

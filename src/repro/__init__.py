@@ -1,0 +1,53 @@
+"""repro — reproduction of Lomet, "High Speed On-line Backup When Using
+Logical Log Operations" (SIGMOD 2000).
+
+Public API highlights:
+
+* :class:`~repro.db.Database` — the full system: stable store, WAL, cache
+  manager with write-graph flush ordering, online backup engine, crash
+  and media recovery.
+* Operation constructors in :mod:`repro.ops` — physical, physiological,
+  general logical, tree (``MovRec``/``RmvRec``), and identity writes.
+* Flush policies in :mod:`repro.core.policy` — general (section 3.5),
+  tree (section 4.2), page-oriented (the conventional baseline).
+* :mod:`repro.core.analysis` — the closed-form extra-logging model of
+  section 5 (the curves of Figure 5).
+"""
+
+from repro.db import Database
+from repro.ids import LSN, PageId
+from repro.ops import (
+    CopyOp,
+    GeneralLogicalOp,
+    IdentityWrite,
+    MovRec,
+    PhysicalWrite,
+    PhysiologicalWrite,
+    RmvRec,
+    WriteNew,
+)
+from repro.errors import ReproError, UnrecoverableError
+from repro.kvstore import KVStore
+from repro.txn import Transaction, TransactionManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "PageId",
+    "LSN",
+    "PhysicalWrite",
+    "PhysiologicalWrite",
+    "GeneralLogicalOp",
+    "CopyOp",
+    "WriteNew",
+    "MovRec",
+    "RmvRec",
+    "IdentityWrite",
+    "KVStore",
+    "Transaction",
+    "TransactionManager",
+    "ReproError",
+    "UnrecoverableError",
+    "__version__",
+]

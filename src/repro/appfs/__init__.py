@@ -1,0 +1,29 @@
+"""Application and file-system recovery domains (sections 1.1 and 6.2)."""
+
+from repro.appfs.application import (
+    AppExec,
+    AppRead,
+    AppWrite,
+    ApplicationManager,
+)
+from repro.appfs.filesystem import FileSystem
+from repro.appfs.runtime import (
+    AppEmit,
+    AppFeed,
+    AppStep,
+    RecoverableApplication,
+    register_logic,
+)
+
+__all__ = [
+    "AppExec",
+    "AppRead",
+    "AppWrite",
+    "ApplicationManager",
+    "FileSystem",
+    "AppEmit",
+    "AppFeed",
+    "AppStep",
+    "RecoverableApplication",
+    "register_logic",
+]

@@ -1,0 +1,170 @@
+"""Application recovery operations (sections 1.1 and 6.2; Lomet, ICDE 98).
+
+An application's volatile state is itself a recoverable object, stored on
+a page.  Three logical operations make its recovery cheap to log:
+
+* ``Ex(A)``       — :class:`AppExec`: physiological read+write of A's
+  state (execution between resource-manager calls);
+* ``R(X, A)``     — :class:`AppRead`: A reads page X into its input
+  buffer; neither X's nor A's value is logged.  X becomes a *potential
+  successor* of A: A must be flushed before a later change to X is.
+* ``W_L(A, X)``   — :class:`AppWrite`: A writes its output buffer to X;
+  A's state is unchanged and X's new value is not logged.
+
+Section 6.2's observation: with only application-read operations, every
+write-graph predecessor is an application.  If applications occupy the
+*last* positions of the backup order, the † property always holds and no
+Iw/oF logging is ever incurred — verified by the E-APP benchmark.
+
+:class:`ApplicationManager` places application-state pages in a chosen
+partition/slot range (by default the tail of the last partition, i.e.
+backed up last) and offers a small API over the raw operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Mapping, Optional
+
+from repro.errors import OperationError, ReproError
+from repro.ids import PageId
+from repro.ops.base import (
+    OBJECT_ID_BYTES,
+    RECORD_HEADER_BYTES,
+    Operation,
+    OperationKind,
+)
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.registry import default_registry
+from repro.ops.tree import WriteNew
+
+
+def _app_exec(state: Any, tag: Any) -> Any:
+    return ("exec", tag, state)
+
+
+def _app_read(state: Any, input_value: Any) -> Any:
+    return ("read", input_value, state)
+
+
+if "app_exec" not in default_registry:
+    default_registry.register("app_exec", _app_exec)
+
+
+class AppExec(PhysiologicalWrite):
+    """``Ex(A)``: execution step transforming A's state."""
+
+    def __init__(self, app_page: PageId, tag: Any):
+        super().__init__(app_page, "app_exec", (tag,))
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Ex({self.target!r}, {self.tag!r})"
+
+
+class AppRead(Operation):
+    """``R(X, A)``: read X into A's state.  Logs only identifiers."""
+
+    kind = OperationKind.LOGICAL
+
+    def __init__(self, source: PageId, app_page: PageId):
+        if source == app_page:
+            raise OperationError("application cannot R() its own state page")
+        self.source = source
+        self.app_page = app_page
+        self._readset = frozenset([source, app_page])
+        self._writeset = frozenset([app_page])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._readset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._writeset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {
+            self.app_page: _app_read(reads[self.app_page], reads[self.source])
+        }
+
+    def successor_pairs(self):
+        # X's next update must flush after A: X succeeds A (section 6.2).
+        return ((self.app_page, self.source),)
+
+    def log_record_size(self) -> int:
+        return RECORD_HEADER_BYTES + 2 * OBJECT_ID_BYTES
+
+    def __repr__(self):
+        return f"R({self.source!r}, {self.app_page!r})"
+
+
+class AppWrite(WriteNew):
+    """``W_L(A, X)``: write A's output buffer to X; A unchanged."""
+
+    def __init__(self, app_page: PageId, target: PageId):
+        super().__init__(app_page, target, "transform_tagged", ("output",))
+        self.app_page = app_page
+        self.target = target
+
+    def __repr__(self):
+        return f"W_L({self.app_page!r} -> {self.target!r})"
+
+
+class ApplicationManager:
+    """Allocates application-state pages and runs app operations.
+
+    By default applications live at the *end* of the last partition so
+    they are the last objects included in any backup — the placement
+    section 6.2 shows eliminates Iw/oF logging for application reads.
+    """
+
+    def __init__(
+        self,
+        db,
+        partition: Optional[int] = None,
+        app_slots: int = 8,
+        at_end: bool = True,
+    ):
+        self.db = db
+        layout = db.layout
+        self.partition = (
+            layout.num_partitions - 1 if partition is None else partition
+        )
+        size = layout.partition_size(self.partition)
+        if app_slots > size:
+            raise ReproError("more application slots than partition pages")
+        if at_end:
+            self._slots = list(range(size - app_slots, size))
+        else:
+            self._slots = list(range(app_slots))
+        self._apps: Dict[str, PageId] = {}
+
+    def launch(self, name: str, initial_state: Any = ("init",)) -> PageId:
+        """Create an application with a recoverable state page."""
+        if name in self._apps:
+            raise ReproError(f"application {name!r} already launched")
+        if not self._slots:
+            raise ReproError("no free application slots")
+        page = PageId(self.partition, self._slots.pop())
+        self._apps[name] = page
+        self.db.execute(PhysicalWrite(page, initial_state))
+        return page
+
+    def page_of(self, name: str) -> PageId:
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise ReproError(f"unknown application {name!r}") from None
+
+    def state_of(self, name: str) -> Any:
+        return self.db.read(self.page_of(name))
+
+    def execute_step(self, name: str, tag: Any) -> None:
+        self.db.execute(AppExec(self.page_of(name), tag))
+
+    def read_into(self, name: str, source: PageId) -> None:
+        self.db.execute(AppRead(source, self.page_of(name)))
+
+    def write_out(self, name: str, target: PageId) -> None:
+        self.db.execute(AppWrite(self.page_of(name), target))

@@ -1,0 +1,112 @@
+"""File-system recovery (section 1.1's second example).
+
+Files are recoverable objects (one page each — the paper's point is that
+file *values* can be megabytes while logical log records hold only
+identifiers).  A directory page maps names to slots via physiological
+record operations, so the whole namespace is recoverable too.
+
+* ``copy(X, Y)``  — :meth:`FileSystem.copy`: the canonical logical op;
+* ``sort(X, Y)``  — :meth:`FileSystem.sort`: "this same operation form
+  describes a sort, where X is the unsorted input and Y is the sorted
+  output";
+* writes          — physical (value logged, the page-oriented baseline)
+  so the economy of the logical forms is measurable against them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.ids import PageId
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+
+
+class FileSystem:
+    """A flat, recoverable namespace over one partition."""
+
+    def __init__(self, db, partition: int = 0):
+        self.db = db
+        self.partition = partition
+        size = db.layout.partition_size(partition)
+        if size < 2:
+            raise ReproError("filesystem partition needs >= 2 pages")
+        self.directory_page = PageId(partition, 0)
+        self._free: List[int] = list(range(1, size))
+
+    # ------------------------------------------------------------- namespace
+
+    def _directory(self) -> Tuple:
+        value = self.db.read(self.directory_page)
+        return value if isinstance(value, tuple) else ()
+
+    def lookup(self, name: str) -> Optional[PageId]:
+        for entry_name, slot in self._directory():
+            if entry_name == name:
+                return PageId(self.partition, slot)
+        return None
+
+    def listdir(self) -> List[str]:
+        return sorted(name for name, _ in self._directory())
+
+    def create(self, name: str) -> PageId:
+        if self.lookup(name) is not None:
+            raise ReproError(f"file {name!r} exists")
+        if not self._free:
+            raise ReproError("filesystem full")
+        slot = self._free.pop(0)
+        self.db.execute(
+            PhysiologicalWrite(
+                self.directory_page, "insert_record", (name, slot)
+            )
+        )
+        page = PageId(self.partition, slot)
+        self.db.execute(PhysicalWrite(page, ()))
+        return page
+
+    def remove(self, name: str) -> None:
+        page = self._require(name)
+        self.db.execute(
+            PhysiologicalWrite(self.directory_page, "delete_record", (name,))
+        )
+        self._free.append(page.slot)
+
+    def _require(self, name: str) -> PageId:
+        page = self.lookup(name)
+        if page is None:
+            raise ReproError(f"no such file {name!r}")
+        return page
+
+    # ----------------------------------------------------------------- files
+
+    def write(self, name: str, data: Any) -> None:
+        """Overwrite a file's contents (physically logged)."""
+        self.db.execute(PhysicalWrite(self._require(name), data))
+
+    def append_record(self, name: str, key: Any, payload: Any) -> None:
+        self.db.execute(
+            PhysiologicalWrite(
+                self._require(name), "insert_record", (key, payload)
+            )
+        )
+
+    def read(self, name: str) -> Any:
+        return self.db.read(self._require(name))
+
+    def copy(self, src: str, dst: str) -> None:
+        """``copy(X, Y)`` — only the two identifiers are logged."""
+        src_page = self._require(src)
+        dst_page = self.lookup(dst) or self.create(dst)
+        self.db.execute(CopyOp(src_page, dst_page))
+
+    def sort(self, src: str, dst: str) -> None:
+        """``sort``: Y := sorted records of X; identifiers-only logging."""
+        src_page = self._require(src)
+        dst_page = self.lookup(dst) or self.create(dst)
+        self.db.execute(
+            GeneralLogicalOp(
+                [src_page], [dst_page], "sort_records", per_target=False
+            )
+        )

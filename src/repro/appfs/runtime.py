@@ -1,0 +1,267 @@
+"""A resumable application runtime (the [8] use case behind §1.1/§6.2).
+
+The application-recovery operations exist so that an *application* —
+not just the database — survives failures: its volatile state is a
+recoverable object, its interactions with data are logged logically,
+and after a crash it resumes exactly where it was, without ever
+re-reading its inputs or re-executing completed steps differently.
+
+:class:`RecoverableApplication` wraps a user-supplied pure step
+function::
+
+    def step(state, input_value):
+        return new_state, output_value_or_None
+
+and drives it through the logged operations:
+
+* ``feed(page)``   — ``R(X, A)``: read a data page into the state;
+* ``advance(tag)`` — ``Ex(A)``: one execution step (the transform is
+  the *registered* application step function, so replay re-runs it);
+* ``emit(page)``   — ``W_L(A, X)``: write the pending output.
+
+Because the step function is registered as a transform, every
+``Ex``/``R``/``W_L`` record is replayable: crash recovery rebuilds the
+application state page, and :meth:`RecoverableApplication.resume`
+simply re-attaches — the program counter (step number) is part of the
+recoverable state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Mapping
+
+from repro.errors import OperationError, ReproError
+from repro.ids import PageId
+from repro.ops.base import (
+    OBJECT_ID_BYTES,
+    RECORD_HEADER_BYTES,
+    TRANSFORM_TAG_BYTES,
+    Operation,
+    OperationKind,
+)
+from repro.ops.physical import PhysicalWrite
+from repro.ops.registry import default_registry
+
+# Application state layout: ("app", step_number, logic_name, user_state,
+#                            pending_input, pending_output)
+_TAG = "app"
+
+
+def _unpack(state):
+    if (
+        isinstance(state, tuple)
+        and len(state) == 6
+        and state[0] == _TAG
+    ):
+        return state
+    # Defensive default for replay-time garbage (overwritten later).
+    return (_TAG, 0, "", None, None, None)
+
+
+def _app_feed(reads_pair, app_page, source):
+    app_state = _unpack(reads_pair[app_page])
+    tag, step, logic, user, _, output = app_state
+    return (_TAG, step, logic, user, reads_pair[source], output)
+
+
+def _app_step(state, logic_name):
+    tag, step, logic, user, pending_input, _ = _unpack(state)
+    step_fn = _LOGIC_REGISTRY.get(logic_name)
+    if step_fn is None:
+        raise OperationError(f"unknown application logic {logic_name!r}")
+    new_user, output = step_fn(user, pending_input)
+    return (_TAG, step + 1, logic_name, new_user, None, output)
+
+
+def _app_emit(state):
+    return _unpack(state)[5]
+
+
+if "app_step" not in default_registry:
+    default_registry.register("app_step", _app_step)
+if "app_emit" not in default_registry:
+    default_registry.register("app_emit", _app_emit)
+
+# Application logic functions are registered once, like transforms: the
+# log stores only the logic NAME, and replay resolves it here — exactly
+# the paper's economy (the application code is the "transform").
+_LOGIC_REGISTRY: dict = {}
+
+
+def register_logic(name: str, step_fn: Callable) -> None:
+    """Register an application step function under a stable name."""
+    if name in _LOGIC_REGISTRY and _LOGIC_REGISTRY[name] is not step_fn:
+        raise ReproError(f"application logic {name!r} already registered")
+    _LOGIC_REGISTRY[name] = step_fn
+
+
+class AppFeed(Operation):
+    """``R(X, A)`` carrying the input into the state's input buffer."""
+
+    kind = OperationKind.LOGICAL
+
+    def __init__(self, source: PageId, app_page: PageId):
+        if source == app_page:
+            raise OperationError("application cannot feed from itself")
+        self.source = source
+        self.app_page = app_page
+        self._readset = frozenset([source, app_page])
+        self._writeset = frozenset([app_page])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._readset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._writeset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.app_page: _app_feed(reads, self.app_page, self.source)}
+
+    def successor_pairs(self):
+        return ((self.app_page, self.source),)
+
+    def log_record_size(self) -> int:
+        return RECORD_HEADER_BYTES + 2 * OBJECT_ID_BYTES
+
+    def __repr__(self):
+        return f"R({self.source!r}, {self.app_page!r})"
+
+
+class AppStep(Operation):
+    """``Ex(A)``: run the registered logic one step."""
+
+    kind = OperationKind.PHYSIOLOGICAL
+
+    def __init__(self, app_page: PageId, logic_name: str):
+        self.app_page = app_page
+        self.logic_name = logic_name
+        self._rwset = frozenset([app_page])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._rwset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._rwset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.app_page: _app_step(reads[self.app_page],
+                                         self.logic_name)}
+
+    def log_record_size(self) -> int:
+        return RECORD_HEADER_BYTES + OBJECT_ID_BYTES + TRANSFORM_TAG_BYTES
+
+    def __repr__(self):
+        return f"Ex({self.app_page!r}, {self.logic_name})"
+
+
+class AppEmit(Operation):
+    """``W_L(A, X)``: write the pending output buffer to page X."""
+
+    kind = OperationKind.TREE_WRITE_NEW
+
+    def __init__(self, app_page: PageId, target: PageId):
+        if target == app_page:
+            raise OperationError("application cannot emit onto itself")
+        self.app_page = app_page
+        self.target = target
+        self._readset = frozenset([app_page])
+        self._writeset = frozenset([target])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._readset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._writeset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.target: _app_emit(reads[self.app_page])}
+
+    def successor_pairs(self):
+        return ((self.target, self.app_page),)
+
+    def log_record_size(self) -> int:
+        return RECORD_HEADER_BYTES + 2 * OBJECT_ID_BYTES
+
+    def __repr__(self):
+        return f"W_L({self.app_page!r} -> {self.target!r})"
+
+
+class RecoverableApplication:
+    """A long-running computation whose state survives any failure."""
+
+    def __init__(self, db, app_page: PageId, logic_name: str):
+        self.db = db
+        self.app_page = app_page
+        self.logic_name = logic_name
+
+    @classmethod
+    def launch(
+        cls,
+        db,
+        app_page: PageId,
+        logic_name: str,
+        initial_state: Any = None,
+    ) -> "RecoverableApplication":
+        if logic_name not in _LOGIC_REGISTRY:
+            raise ReproError(
+                f"register_logic({logic_name!r}, ...) before launch"
+            )
+        db.execute(
+            PhysicalWrite(
+                app_page, (_TAG, 0, logic_name, initial_state, None, None)
+            ),
+            source=logic_name,
+        )
+        return cls(db, app_page, logic_name)
+
+    @classmethod
+    def resume(cls, db, app_page: PageId) -> "RecoverableApplication":
+        """Re-attach after recovery; the state page carries everything."""
+        state = _unpack(db.read(app_page))
+        if not state[2]:
+            raise ReproError(f"no application state at {app_page!r}")
+        return cls(db, app_page, state[2])
+
+    # ---------------------------------------------------------------- state
+
+    def _state(self):
+        return _unpack(self.db.read(self.app_page))
+
+    @property
+    def step_number(self) -> int:
+        return self._state()[1]
+
+    @property
+    def user_state(self) -> Any:
+        return self._state()[3]
+
+    @property
+    def pending_output(self) -> Any:
+        return self._state()[5]
+
+    # -------------------------------------------------------------- actions
+
+    def feed(self, source: PageId) -> None:
+        """R(X, A): load a data page into the input buffer."""
+        self.db.execute(
+            AppFeed(source, self.app_page), source=self.logic_name
+        )
+
+    def advance(self) -> None:
+        """Ex(A): run one step of the registered logic."""
+        self.db.execute(
+            AppStep(self.app_page, self.logic_name),
+            source=self.logic_name,
+        )
+
+    def emit(self, target: PageId) -> None:
+        """W_L(A, X): write the pending output to a data page."""
+        self.db.execute(
+            AppEmit(self.app_page, target), source=self.logic_name
+        )

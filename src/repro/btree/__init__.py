@@ -1,0 +1,36 @@
+"""A page-based B+-tree whose node splits are logged logically.
+
+The tree is the paper's motivating database example (section 1.1): a
+logical split ``MovRec(old, key, new)`` avoids logging the initial
+contents of the new page, which is unavoidable with page-oriented
+operations.  :class:`BTree` supports both logging modes so the
+logging-economy benchmark can compare them byte for byte.
+"""
+
+from repro.btree.btree import BTree
+from repro.btree.ops import (
+    BTreeBorrow,
+    BTreeDelete,
+    BTreeDeleteEntry,
+    BTreeInit,
+    BTreeInsert,
+    BTreeMergeInto,
+    BTreeSetSeparator,
+    BTreeSplitMove,
+    BTreeSplitParent,
+    BTreeSplitRemove,
+)
+
+__all__ = [
+    "BTree",
+    "BTreeBorrow",
+    "BTreeDelete",
+    "BTreeDeleteEntry",
+    "BTreeInit",
+    "BTreeInsert",
+    "BTreeMergeInto",
+    "BTreeSetSeparator",
+    "BTreeSplitMove",
+    "BTreeSplitParent",
+    "BTreeSplitRemove",
+]

@@ -1,0 +1,310 @@
+"""B-tree log operations and their transforms.
+
+Node page values are tagged tuples ``(kind, records)`` where ``kind`` is
+``"leaf"`` or ``"int"`` and ``records`` is a sorted tuple of
+``(key, payload)`` pairs — for internal nodes the payload is a child page
+slot and the entry means "child covers keys ≤ key".  The meta page (slot
+managed by :class:`~repro.btree.btree.BTree`) holds
+``("meta", root_slot, next_free_slot)``.
+
+The split pair mirrors section 4.1 exactly:
+
+* :class:`BTreeSplitMove` — the tree operation ``MovRec(old, key, new)``:
+  read ``old``, write ``new`` with the records whose key exceeds the
+  split key.  Only identifiers and the key are logged.
+* :class:`BTreeSplitRemove` — ``RmvRec(old, key)``: physiological removal
+  of the moved records.  MovRec must precede RmvRec in the log.
+
+For the page-oriented baseline the move is logged as a physical write of
+the new page's entire initial image (``PhysicalWrite``), per the paper's
+"Page-oriented operations" description of the split.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import OperationError
+from repro.ids import PageId
+from repro.ops.logical import GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.registry import default_registry
+from repro.ops.tree import WriteNew
+
+LEAF = "leaf"
+INTERNAL = "int"
+
+
+def node_value(kind: str, records: Tuple) -> Tuple:
+    if kind not in (LEAF, INTERNAL):
+        raise OperationError(f"bad node kind {kind!r}")
+    return (kind, tuple(sorted(records)))
+
+
+def node_kind(value: Any) -> str:
+    if not isinstance(value, tuple) or len(value) != 2:
+        raise OperationError(f"not a B-tree node value: {value!r}")
+    return value[0]
+
+
+def node_records(value: Any) -> Tuple:
+    """Records of a node value; defensive for replay-time garbage."""
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and value[0] in (LEAF, INTERNAL)
+        and isinstance(value[1], tuple)
+    ):
+        return value[1]
+    return ()
+
+
+def _take_high(value: Any, split_key: Any) -> Tuple:
+    kind = value[0] if isinstance(value, tuple) and value else LEAF
+    return (
+        kind,
+        tuple(r for r in node_records(value) if r[0] > split_key),
+    )
+
+
+def _remove_high(value: Any, split_key: Any) -> Tuple:
+    kind = value[0] if isinstance(value, tuple) and value else LEAF
+    return (
+        kind,
+        tuple(r for r in node_records(value) if r[0] <= split_key),
+    )
+
+
+def _insert(value: Any, key: Any, payload: Any) -> Tuple:
+    kind = value[0] if isinstance(value, tuple) and value else LEAF
+    records = tuple(r for r in node_records(value) if r[0] != key)
+    return (kind, tuple(sorted(records + ((key, payload),))))
+
+
+def _delete(value: Any, key: Any) -> Tuple:
+    kind = value[0] if isinstance(value, tuple) and value else LEAF
+    return (kind, tuple(r for r in node_records(value) if r[0] != key))
+
+
+def _split_parent(
+    value: Any, routed_key: Any, split_key: Any, old_slot: int, new_slot: int
+) -> Tuple:
+    """Re-route the parent after a child split.
+
+    The entry (routed_key, old_slot) becomes (split_key, old_slot) and a
+    new entry (routed_key, new_slot) is added.
+    """
+    kind = value[0] if isinstance(value, tuple) and value else INTERNAL
+    records = tuple(
+        r for r in node_records(value) if r != (routed_key, old_slot)
+    )
+    records += ((split_key, old_slot), (routed_key, new_slot))
+    return (kind, tuple(sorted(records)))
+
+
+def _register(name, fn, multi=False):
+    if name not in default_registry:
+        default_registry.register(name, fn, multi=multi)
+
+
+_register("btree_take_high", _take_high)
+_register("btree_remove_high", _remove_high)
+_register("btree_insert", _insert)
+_register("btree_delete", _delete)
+_register("btree_split_parent", _split_parent)
+
+
+def _merge_into(reads, src, dst):
+    """dst := dst ∪ src's records (src's separator is the smaller)."""
+    dst_value = reads[dst]
+    kind = dst_value[0] if isinstance(dst_value, tuple) and dst_value else LEAF
+    merged = node_records(dst_value) + node_records(reads[src])
+    return (kind, tuple(sorted(merged)))
+
+
+def _borrow(reads, target, src, dst, count, from_low):
+    """Move ``count`` records from src to dst; computes either target.
+
+    ``from_low`` moves src's lowest records (dst is src's left
+    neighbour), otherwise its highest (dst is the right neighbour).
+    """
+    src_records = node_records(reads[src])
+    count = min(count, len(src_records))
+    moved = src_records[:count] if from_low else src_records[-count:]
+    if target == dst:
+        dst_value = reads[dst]
+        kind = (
+            dst_value[0]
+            if isinstance(dst_value, tuple) and dst_value
+            else LEAF
+        )
+        return (kind, tuple(sorted(node_records(dst_value) + moved)))
+    src_value = reads[src]
+    kind = src_value[0] if isinstance(src_value, tuple) and src_value else LEAF
+    remaining = src_records[count:] if from_low else src_records[:-count]
+    return (kind, tuple(remaining))
+
+
+def _set_separator(value, child_slot, new_key):
+    """Replace the parent entry routing to ``child_slot`` with a new key."""
+    kind = value[0] if isinstance(value, tuple) and value else INTERNAL
+    records = tuple(
+        (new_key, child) if child == child_slot else (key, child)
+        for key, child in node_records(value)
+    )
+    return (kind, tuple(sorted(records)))
+
+
+def _delete_entry(value, key, child_slot):
+    kind = value[0] if isinstance(value, tuple) and value else INTERNAL
+    records = tuple(
+        r for r in node_records(value) if r != (key, child_slot)
+    )
+    return (kind, records)
+
+
+_register("btree_merge_into", _merge_into, multi=True)
+_register("btree_borrow", _borrow, multi=True)
+_register("btree_set_separator", _set_separator)
+_register("btree_delete_entry", _delete_entry)
+
+
+class BTreeInit(PhysicalWrite):
+    """Format a page as an empty node (physical write of a tiny value)."""
+
+    def __init__(self, target: PageId, kind: str = LEAF):
+        super().__init__(target, node_value(kind, ()))
+
+
+class BTreeInsert(PhysiologicalWrite):
+    """Insert (key, payload) into a node page."""
+
+    def __init__(self, target: PageId, key: Any, payload: Any):
+        super().__init__(target, "btree_insert", (key, payload))
+        self.key = key
+        self.payload = payload
+
+    def __repr__(self):
+        return f"BTreeInsert({self.target!r}, {self.key!r})"
+
+
+class BTreeDelete(PhysiologicalWrite):
+    """Delete a key from a node page."""
+
+    def __init__(self, target: PageId, key: Any):
+        super().__init__(target, "btree_delete", (key,))
+        self.key = key
+
+
+class BTreeSplitMove(WriteNew):
+    """``MovRec(old, key, new)`` over tagged node values."""
+
+    def __init__(self, old: PageId, split_key: Any, new: PageId):
+        super().__init__(old, new, "btree_take_high", (split_key,))
+        self.split_key = split_key
+
+    def __repr__(self):
+        return (
+            f"BTreeMovRec({self.old!r}, key={self.split_key!r}, {self.new!r})"
+        )
+
+
+class BTreeSplitRemove(PhysiologicalWrite):
+    """``RmvRec(old, key)`` over tagged node values."""
+
+    def __init__(self, old: PageId, split_key: Any):
+        super().__init__(old, "btree_remove_high", (split_key,))
+        self.split_key = split_key
+
+    def __repr__(self):
+        return f"BTreeRmvRec({self.target!r}, key={self.split_key!r})"
+
+
+class BTreeSplitParent(PhysiologicalWrite):
+    """Re-route a parent entry after a child split (page-oriented)."""
+
+    def __init__(
+        self,
+        target: PageId,
+        routed_key: Any,
+        split_key: Any,
+        old_slot: int,
+        new_slot: int,
+    ):
+        super().__init__(
+            target,
+            "btree_split_parent",
+            (routed_key, split_key, old_slot, new_slot),
+        )
+
+
+class BTreeMergeInto(GeneralLogicalOp):
+    """Merge node ``src`` into its higher-separator neighbour ``dst``.
+
+    A *general* logical operation (reads two existing pages, writes one
+    of them) — deliberately outside the tree-operation class of §4.1,
+    so B-tree deletion exercises the general flush policy.
+    """
+
+    def __init__(self, src: PageId, dst: PageId):
+        if src == dst:
+            raise OperationError("merge source and target must differ")
+        self.src = src
+        self.dst = dst
+        super().__init__(
+            [src, dst], [dst], "btree_merge_into", (src, dst),
+            per_target=False,
+        )
+
+    def compute(self, reads):
+        return {self.dst: _merge_into(reads, self.src, self.dst)}
+
+    def __repr__(self):
+        return f"BTreeMerge({self.src!r} -> {self.dst!r})"
+
+
+class BTreeBorrow(GeneralLogicalOp):
+    """Move ``count`` records between neighbouring nodes.
+
+    Reads and writes BOTH pages — a multi-object write set, so its
+    write-graph node carries |vars| = 2 and the pair is flushed
+    atomically (exercising multi-page atomic installs).
+    """
+
+    def __init__(self, src: PageId, dst: PageId, count: int, from_low: bool):
+        if src == dst:
+            raise OperationError("borrow source and target must differ")
+        if count <= 0:
+            raise OperationError("borrow count must be positive")
+        self.src = src
+        self.dst = dst
+        self.count = count
+        self.from_low = from_low
+        super().__init__(
+            [src, dst], [src, dst], "btree_borrow",
+            (src, dst, count, from_low), per_target=True,
+        )
+
+    def __repr__(self):
+        direction = "low" if self.from_low else "high"
+        return (
+            f"BTreeBorrow({self.src!r} -> {self.dst!r}, "
+            f"{self.count} {direction})"
+        )
+
+
+class BTreeSetSeparator(PhysiologicalWrite):
+    """Update the parent separator for one child after a borrow."""
+
+    def __init__(self, target: PageId, child_slot: int, new_key: Any):
+        super().__init__(
+            target, "btree_set_separator", (child_slot, new_key)
+        )
+
+
+class BTreeDeleteEntry(PhysiologicalWrite):
+    """Remove a (key, child) routing entry after a merge."""
+
+    def __init__(self, target: PageId, key: Any, child_slot: int):
+        super().__init__(target, "btree_delete_entry", (key, child_slot))

@@ -1,0 +1,5 @@
+"""Cache management with write-graph-ordered flushing and Iw/oF."""
+
+from repro.cache.cache_manager import CacheManager, CachedPage
+
+__all__ = ["CacheManager", "CachedPage"]

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``   reproduce every paper figure/table (``--quick`` available);
+``fig5``      one Figure 5 measurement (``--kind``, ``--steps``, …);
+``demo``      the quickstart flow with narration;
+``selftest``  a fast end-to-end correctness pass (Figure 1 both ways,
+              crash + media recovery on a mixed workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import analysis
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+
+def cmd_fig5(args) -> int:
+    point = experiments.fig5_measure(
+        args.kind, args.steps, pages=args.pages, seed=args.seed
+    )
+    print(
+        format_table(
+            ["kind", "steps", "measured", "analytic", "samples"],
+            [
+                (
+                    point.kind,
+                    point.steps,
+                    point.measured,
+                    point.analytic,
+                    point.samples,
+                )
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    # Delegate to the example script's logic without importing examples/
+    # (which is not a package): re-run its sections here.
+    rows = analysis.figure5_series()
+    print("Closed forms (Figure 5):")
+    print(
+        format_table(
+            ["steps N", "general", "tree"],
+            rows,
+        )
+    )
+    print()
+    for kind in ("naive", "engine"):
+        outcome = experiments.fig1_scenario(kind)
+        status = "OK" if outcome.recovered else "FAILED"
+        print(f"FIG1 {kind:7s}: media recovery {status}")
+    print()
+    sweep = experiments.fig5_sweep(
+        step_counts=(1, 2, 4, 8) if args.quick else (1, 2, 4, 8, 16, 32),
+        seeds=(1,) if args.quick else (1, 2, 3),
+        pages=512 if args.quick else 1024,
+    )
+    print("FIG5 (measured):")
+    print(
+        format_table(
+            ["kind", "steps", "measured", "analytic"],
+            [(p.kind, p.steps, p.measured, p.analytic) for p in sweep],
+        )
+    )
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro import CopyOp, Database, PhysicalWrite
+    from repro.ids import PageId
+
+    db = Database(pages_per_partition=[64], policy="general")
+    print("seeding pages and running logical operations...")
+    for slot in range(8):
+        db.execute(PhysicalWrite(PageId(0, slot), ("record", slot)))
+    db.start_backup(steps=4)
+    counter = 0
+    while db.backup_in_progress():
+        db.backup_step(4)
+        db.execute(CopyOp(PageId(0, counter % 8), PageId(0, 8 + counter % 40)))
+        db.install_some(2)
+        counter += 1
+    print(f"backup: {db.latest_backup()}")
+    print(f"Iw/oF records: {db.metrics.iwof_records}")
+    db.media_failure()
+    outcome = db.media_recover()
+    print(outcome.summary())
+    return 0 if outcome.ok else 1
+
+
+def cmd_selftest(args) -> int:
+    import random
+
+    from repro.db import Database
+    from repro.workloads import mixed_logical_workload
+
+    failures = 0
+
+    naive = experiments.fig1_scenario("naive")
+    engine = experiments.fig1_scenario("engine")
+    ok = (not naive.recovered) and engine.recovered
+    print(f"[{'ok' if ok else 'FAIL'}] Figure 1: naive fails, engine works")
+    failures += 0 if ok else 1
+
+    db = Database(pages_per_partition=[64], policy="general")
+    rng = random.Random(0)
+    source = mixed_logical_workload(db.layout, seed=0, count=100_000)
+    db.start_backup(steps=8)
+    while db.backup_in_progress():
+        db.backup_step(4)
+        db.execute(next(source))
+        db.install_some(2, rng)
+    db.crash()
+    ok = db.recover().ok
+    print(f"[{'ok' if ok else 'FAIL'}] crash recovery (mixed workload)")
+    failures += 0 if ok else 1
+
+    db.start_backup(steps=8)
+    backup = db.run_backup()
+    db.media_failure()
+    ok = db.media_recover(backup=backup).ok
+    print(f"[{'ok' if ok else 'FAIL'}] media recovery (mixed workload)")
+    failures += 0 if ok else 1
+
+    print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Lomet (SIGMOD 2000): high speed on-line "
+            "backup with logical log operations"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce the paper figures")
+    figures.add_argument("--quick", action="store_true")
+    figures.set_defaults(fn=cmd_figures)
+
+    fig5 = sub.add_parser("fig5", help="one Figure 5 measurement")
+    fig5.add_argument("--kind", choices=["general", "tree"], default="tree")
+    fig5.add_argument("--steps", type=int, default=8)
+    fig5.add_argument("--pages", type=int, default=1024)
+    fig5.add_argument("--seed", type=int, default=1)
+    fig5.set_defaults(fn=cmd_fig5)
+
+    demo = sub.add_parser("demo", help="quickstart flow")
+    demo.set_defaults(fn=cmd_demo)
+
+    selftest = sub.add_parser("selftest", help="fast end-to-end checks")
+    selftest.set_defaults(fn=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Shared value codec: immutable page values ⇄ JSON-safe tagged data.
+
+Used by the backup archive (`storage/archive.py`) and the log
+serializer (`wal/serialize.py`).  Deliberately not pickle: encoded data
+is inspectable, diffable, and safe to load.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+
+_INF = float("inf")
+
+
+class CodecError(ReproError):
+    """A value could not be encoded or decoded."""
+
+
+def encode_value(value: Any):
+    """Encode an immutable page value as JSON-safe tagged data."""
+    from repro.ids import PageId
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, PageId):
+        return {"t": "pid", "p": value.partition, "s": value.slot}
+    if isinstance(value, float):
+        if value == _INF:
+            return {"t": "inf"}
+        if value == -_INF:
+            return {"t": "-inf"}
+        return {"t": "f", "v": value}
+    if isinstance(value, bytes):
+        return {"t": "b", "v": value.hex()}
+    if isinstance(value, tuple):
+        return {"t": "t", "v": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        # Mixed-type members are not mutually comparable; sort by a
+        # stable type-aware key for deterministic output.
+        members = sorted(value, key=lambda v: (type(v).__name__, repr(v)))
+        return {"t": "fs", "v": [encode_value(item) for item in members]}
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: Any):
+    if data is None or isinstance(data, (bool, int, str)):
+        return data
+    if isinstance(data, dict):
+        tag = data.get("t")
+        if tag == "pid":
+            from repro.ids import PageId
+
+            return PageId(data["p"], data["s"])
+        if tag == "inf":
+            return _INF
+        if tag == "-inf":
+            return -_INF
+        if tag == "f":
+            return float(data["v"])
+        if tag == "b":
+            return bytes.fromhex(data["v"])
+        if tag == "t":
+            return tuple(decode_value(item) for item in data["v"])
+        if tag == "fs":
+            return frozenset(decode_value(item) for item in data["v"])
+    raise CodecError(f"corrupt encoded value: {data!r}")

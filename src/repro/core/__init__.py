@@ -1,0 +1,62 @@
+"""The paper's primary contribution: high-speed on-line backup that keeps
+the backup database recoverable while logical operations are logged.
+
+Key pieces:
+
+* :class:`~repro.core.progress.PartitionProgress` — the D/P progress
+  bounds and Done/Doubt/Pend classification (section 3.4);
+* :class:`~repro.core.latch.BackupLatch` — the per-partition backup latch
+  synchronizing the backup process with cache-manager flushes;
+* :mod:`~repro.core.policy` — the flush policies: the general-operation
+  rule of section 3.5 and the tree-operation rule of section 4.2;
+* :class:`~repro.core.tree_meta.TreeOpTracker` — S(X) successor metadata:
+  MAX(X) and violation flags;
+* :class:`~repro.core.backup_engine.BackupEngine` — the online fuzzy
+  sweep, full and incremental;
+* :class:`~repro.core.naive_backup.NaiveFuzzyDump` — the conventional
+  (broken-under-logical-ops) baseline of section 1.2;
+* :class:`~repro.core.linked_flush.LinkedFlushBackup` — the "completely
+  unrealistic" strawman of section 1.3, for the cost comparison;
+* :mod:`~repro.core.analysis` — the closed forms of section 5.
+"""
+
+from repro.core.partial_recovery import (
+    check_partition_confinement,
+    run_partition_media_recovery,
+)
+from repro.core.progress import BackupRegion, PartitionProgress
+from repro.core.retention import LogRetention
+from repro.core.standby import StandbyReplica
+from repro.core.latch import BackupLatch
+from repro.core.policy import (
+    FlushDecision,
+    GeneralOpsPolicy,
+    TreeOpsPolicy,
+    PageOrientedPolicy,
+)
+from repro.core.tree_meta import TreeOpTracker, TreeMeta
+from repro.core.backup_engine import BackupEngine, BackupRun
+from repro.core.naive_backup import NaiveFuzzyDump
+from repro.core.linked_flush import LinkedFlushBackup
+from repro.core import analysis
+
+__all__ = [
+    "BackupRegion",
+    "PartitionProgress",
+    "BackupLatch",
+    "FlushDecision",
+    "GeneralOpsPolicy",
+    "TreeOpsPolicy",
+    "PageOrientedPolicy",
+    "TreeOpTracker",
+    "TreeMeta",
+    "BackupEngine",
+    "BackupRun",
+    "NaiveFuzzyDump",
+    "LinkedFlushBackup",
+    "LogRetention",
+    "StandbyReplica",
+    "check_partition_confinement",
+    "run_partition_media_recovery",
+    "analysis",
+]

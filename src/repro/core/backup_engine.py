@@ -1,0 +1,246 @@
+"""The on-line backup engine (section 3): the paper's contribution.
+
+A :class:`BackupRun` sweeps the stable database in backup order, in N
+coarse steps per partition.  The cache manager is bypassed for the copy
+itself — pages are read straight from S — and the only synchronization is
+the per-partition backup latch taken exclusively when D/P move (the
+"loosely coupled" design of section 1.4).
+
+Incremental backups (section 6.1) pass an ``update_set``: only those
+pages are copied, the progress frontier still sweeping the full position
+space so the flush policies stay meaningful.  A page outside the set that
+is flushed while still "pending" would silently miss the backup, so the
+run either (a) treats it as Done — forcing Iw/oF (conservative), or
+(b) with ``dynamic_extend`` adds it to the copy set on the spot, since
+the frontier has yet to reach it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cache.cache_manager import CacheManager
+from repro.errors import BackupError, BackupInProgressError
+from repro.ids import PageId
+from repro.storage.backup_db import BackupDatabase
+
+
+class BackupRun:
+    """State of one in-progress backup sweep."""
+
+    def __init__(
+        self,
+        cm: "CacheManager",
+        backup: BackupDatabase,
+        steps: int,
+        update_set: Optional[Set[PageId]] = None,
+        dynamic_extend: bool = True,
+    ):
+        self.cm = cm
+        self.backup = backup
+        self.steps = steps
+        self.layout = cm.layout
+        self.dynamic_extend = dynamic_extend
+        # None means full backup: copy everything.
+        self.copy_set: Optional[Set[PageId]] = (
+            set(update_set) if update_set is not None else None
+        )
+        self.skipped_pages = 0
+        self._boundaries: Dict[int, List[int]] = {}
+        self._step_index: Dict[int, int] = {}
+        self._cursor: Dict[int, int] = {}
+        self._sealed = False
+        for partition in range(self.layout.num_partitions):
+            boundaries = self.layout.step_boundaries(partition, steps)
+            self._boundaries[partition] = boundaries
+            self._step_index[partition] = 0
+            self._cursor[partition] = 0
+            with cm.progress_transaction(partition) as progress:
+                progress.begin(boundaries[0])
+        if self.copy_set is not None:
+            self.cm.copy_set_filter = self.will_copy
+
+    # ------------------------------------------------------------- filtering
+
+    def will_copy(self, page_id: PageId) -> bool:
+        """Will this page's location be captured by the sweep?
+
+        Called by the cache manager under the partition's shared latch,
+        so the progress values are stable while we consult them.
+        """
+        if self.copy_set is None or page_id in self.copy_set:
+            return True
+        if not self.dynamic_extend:
+            return False
+        progress = self.cm.progress[page_id.partition]
+        position = self.layout.position(page_id)
+        if progress.active and position >= progress.pending:
+            # Frontier has not reached it: extend the copy set.
+            self.copy_set.add(page_id)
+            return True
+        return False
+
+    # --------------------------------------------------------------- copying
+
+    @property
+    def is_sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def finished_copying(self) -> bool:
+        return all(
+            self._cursor[p] >= self.layout.partition_size(p)
+            for p in self._cursor
+        )
+
+    def copy_some(self, pages: int = 1) -> int:
+        """Copy up to ``pages`` pages, round-robin across partitions.
+
+        Returns the number of pages actually copied (skipped pages — those
+        outside an incremental copy set — do not count but do advance the
+        frontier).
+        """
+        if self._sealed:
+            raise BackupError("backup already sealed")
+        copied = 0
+        while copied < pages and not self.finished_copying:
+            advanced = False
+            for partition in range(self.layout.num_partitions):
+                if copied >= pages:
+                    break
+                if self._copy_next(partition):
+                    advanced = True
+                    cursor = self._cursor[partition]
+                    page_id = PageId(partition, cursor - 1)
+                    if self.copy_set is None or page_id in self.copy_set:
+                        copied += 1
+            if not advanced:
+                break
+        return copied
+
+    def _copy_next(self, partition: int) -> bool:
+        """Copy (or skip) the next page of ``partition``; advance steps."""
+        size = self.layout.partition_size(partition)
+        cursor = self._cursor[partition]
+        if cursor >= size:
+            return False
+        progress = self.cm.progress[partition]
+        if cursor >= progress.pending:
+            # Current step's doubt region exhausted: advance under latch.
+            self._advance_step(partition)
+        page_id = PageId(partition, cursor)
+        if self.copy_set is None or page_id in self.copy_set:
+            version = self.cm.stable.read_page(page_id)
+            self.backup.record_page(page_id, version)
+            self.cm.metrics.backup_pages_copied += 1
+        else:
+            self.skipped_pages += 1
+        self._cursor[partition] = cursor + 1
+        return True
+
+    def _advance_step(self, partition: int) -> None:
+        index = self._step_index[partition] + 1
+        boundaries = self._boundaries[partition]
+        if index >= len(boundaries):
+            raise BackupError(
+                f"partition {partition}: no further step boundaries"
+            )
+        with self.cm.progress_transaction(partition) as progress:
+            progress.advance(boundaries[index])
+        self._step_index[partition] = index
+
+    def seal(self) -> BackupDatabase:
+        """Complete the backup: final D/P reset under the latches."""
+        if self._sealed:
+            raise BackupError("backup already sealed")
+        if not self.finished_copying:
+            raise BackupError("seal() before all pages were copied")
+        self.backup.complete(self.cm.log.end_lsn)
+        for partition in range(self.layout.num_partitions):
+            with self.cm.progress_transaction(partition) as progress:
+                progress.finish()
+        if self.cm.copy_set_filter is self.will_copy:
+            self.cm.copy_set_filter = None
+        self._sealed = True
+        self.cm.metrics.backups_completed += 1
+        return self.backup
+
+    def abort(self) -> None:
+        self.backup.abort()
+        for partition in range(self.layout.num_partitions):
+            progress = self.cm.progress[partition]
+            if progress.active:
+                progress.abort()
+        if self.cm.copy_set_filter is self.will_copy:
+            self.cm.copy_set_filter = None
+        self._sealed = True
+        self.cm.metrics.backups_aborted += 1
+
+
+class BackupEngine:
+    """Creates and tracks backup runs against one cache manager."""
+
+    def __init__(self, cm: "CacheManager"):
+        self.cm = cm
+        self.completed: List[BackupDatabase] = []
+        self.active: Optional[BackupRun] = None
+        self._next_id = 1
+
+    def start_backup(
+        self,
+        steps: int = 8,
+        update_set: Optional[Set[PageId]] = None,
+        base_backup: Optional[BackupDatabase] = None,
+        dynamic_extend: bool = True,
+    ) -> BackupRun:
+        if self.active is not None and not self.active.is_sealed:
+            raise BackupInProgressError("a backup is already in progress")
+        scan_start = self.cm.rec.truncation_point(self.cm.log.end_lsn)
+        # The scan start may not exceed end_lsn + 1; for media recovery we
+        # additionally never scan later than the backup's own start point.
+        scan_start = min(scan_start, self.cm.log.end_lsn + 1)
+        backup = BackupDatabase(self._next_id, scan_start)
+        backup.base_backup_id = (
+            base_backup.backup_id if base_backup is not None else None
+        )
+        self._next_id += 1
+        run = BackupRun(
+            self.cm,
+            backup,
+            steps,
+            update_set=update_set,
+            dynamic_extend=dynamic_extend,
+        )
+        self.active = run
+        return run
+
+    def copy_some(self, pages: int = 1) -> int:
+        if self.active is None or self.active.is_sealed:
+            raise BackupError("no backup in progress")
+        copied = self.active.copy_some(pages)
+        if self.active.finished_copying:
+            self.completed.append(self.active.seal())
+            self.active = None
+        return copied
+
+    def run_to_completion(self, pages_per_tick: int = 8, tick=None) -> BackupDatabase:
+        """Drive the active backup to completion, optionally invoking
+        ``tick()`` between copy batches (for interleaved workloads)."""
+        if self.active is None:
+            raise BackupError("no backup in progress")
+        while self.active is not None:
+            self.copy_some(pages_per_tick)
+            if tick is not None and self.active is not None:
+                tick()
+        return self.completed[-1]
+
+    def abort_active(self) -> None:
+        if self.active is not None and not self.active.is_sealed:
+            self.active.abort()
+        self.active = None
+
+    def latest_backup(self) -> Optional[BackupDatabase]:
+        return self.completed[-1] if self.completed else None

@@ -1,0 +1,106 @@
+"""The per-partition backup latch (section 3.4, "Synchronization").
+
+The backup process takes the latch **exclusive** to move D and P; the
+cache manager takes it **shared** around a flush so the progress values it
+read cannot change mid-flush.  Share mode lets a multi-threaded cache
+manager flush concurrently.
+
+The simulation is cooperative (single OS thread), so the latch's job here
+is protocol verification: conflicting acquisitions raise
+:class:`~repro.errors.LatchError`, and the engine/cache-manager code paths
+are written so the discipline is exercised on every progress change and
+every flush.  Hold counts are tracked so tests can assert the discipline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import LatchError
+
+
+class BackupLatch:
+    def __init__(self, partition: int):
+        self.partition = partition
+        self._shared_holders = 0
+        self._exclusive = False
+        # Acquisition counters for tests.
+        self.shared_acquisitions = 0
+        self.exclusive_acquisitions = 0
+
+    # --------------------------------------------------------------- shared
+
+    def acquire_shared(self) -> None:
+        if self._exclusive:
+            raise LatchError(
+                f"partition {self.partition}: shared acquire while held "
+                "exclusive (backup is moving D/P)"
+            )
+        self._shared_holders += 1
+        self.shared_acquisitions += 1
+
+    def release_shared(self) -> None:
+        if self._shared_holders <= 0:
+            raise LatchError(
+                f"partition {self.partition}: shared release without hold"
+            )
+        self._shared_holders -= 1
+
+    @contextmanager
+    def shared(self):
+        self.acquire_shared()
+        try:
+            yield self
+        finally:
+            self.release_shared()
+
+    # ------------------------------------------------------------ exclusive
+
+    def acquire_exclusive(self) -> None:
+        if self._exclusive:
+            raise LatchError(
+                f"partition {self.partition}: exclusive acquire while held "
+                "exclusive"
+            )
+        if self._shared_holders:
+            raise LatchError(
+                f"partition {self.partition}: exclusive acquire while "
+                f"{self._shared_holders} shared holder(s) are flushing"
+            )
+        self._exclusive = True
+        self.exclusive_acquisitions += 1
+
+    def release_exclusive(self) -> None:
+        if not self._exclusive:
+            raise LatchError(
+                f"partition {self.partition}: exclusive release without hold"
+            )
+        self._exclusive = False
+
+    @contextmanager
+    def exclusive(self):
+        self.acquire_exclusive()
+        try:
+            yield self
+        finally:
+            self.release_exclusive()
+
+    # --------------------------------------------------------------- status
+
+    @property
+    def held_shared(self) -> bool:
+        return self._shared_holders > 0
+
+    @property
+    def held_exclusive(self) -> bool:
+        return self._exclusive
+
+    def __repr__(self):
+        mode = (
+            "X"
+            if self._exclusive
+            else f"S[{self._shared_holders}]"
+            if self._shared_holders
+            else "free"
+        )
+        return f"BackupLatch(partition={self.partition}, {mode})"

@@ -1,0 +1,71 @@
+"""The conventional fuzzy dump (section 1.2) — the broken baseline.
+
+``NaiveFuzzyDump`` copies pages from S to B in physical order with **no**
+coordination with the cache manager beyond fixing the media-log scan
+start when it begins.  With page-oriented operations this is exactly the
+classic high-speed online backup and is perfectly correct.  With logical
+operations it is the algorithm Figure 1 shows to be unrecoverable: the
+cache manager keeps flushing without Iw/oF (it never learns a backup is
+running), so flush-order dependencies are violated *for B*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cache.cache_manager import CacheManager
+from repro.errors import BackupError
+from repro.ids import PageId
+from repro.storage.backup_db import BackupDatabase
+
+
+class NaiveFuzzyDump:
+    def __init__(self, cm: "CacheManager"):
+        self.cm = cm
+        self.completed: List[BackupDatabase] = []
+        self.active: Optional[BackupDatabase] = None
+        self._pages: List[PageId] = []
+        self._cursor = 0
+        self._next_id = 1
+
+    def start_backup(self) -> BackupDatabase:
+        if self.active is not None:
+            raise BackupError("naive dump already in progress")
+        scan_start = self.cm.rec.truncation_point(self.cm.log.end_lsn)
+        scan_start = min(scan_start, self.cm.log.end_lsn + 1)
+        self.active = BackupDatabase(self._next_id, scan_start)
+        self._next_id += 1
+        self._pages = list(self.cm.layout.all_pages())
+        self._cursor = 0
+        return self.active
+
+    def copy_some(self, pages: int = 1) -> int:
+        if self.active is None:
+            raise BackupError("no naive dump in progress")
+        copied = 0
+        while copied < pages and self._cursor < len(self._pages):
+            page_id = self._pages[self._cursor]
+            version = self.cm.stable.read_page(page_id)
+            self.active.record_page(page_id, version)
+            self.cm.metrics.backup_pages_copied += 1
+            self._cursor += 1
+            copied += 1
+        if self._cursor >= len(self._pages):
+            self.active.complete(self.cm.log.end_lsn)
+            self.completed.append(self.active)
+            self.active = None
+            self.cm.metrics.backups_completed += 1
+        return copied
+
+    def run_to_completion(self, pages_per_tick: int = 8, tick=None) -> BackupDatabase:
+        while self.active is not None:
+            self.copy_some(pages_per_tick)
+            if tick is not None and self.active is not None:
+                tick()
+        return self.completed[-1]
+
+    def latest_backup(self) -> Optional[BackupDatabase]:
+        return self.completed[-1] if self.completed else None

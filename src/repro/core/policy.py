@@ -1,0 +1,144 @@
+"""Flush policies: when does installing a write-graph node need Iw/oF?
+
+Each policy answers one question for a page X about to be flushed while a
+backup may be in progress: must X's value also be written to the log
+(an Iw/oF identity write) to keep the backup recoverable?
+
+* :class:`GeneralOpsPolicy` — section 3.5: log unless ``Pend(X)``.
+  (Done and Doubt both log; Doubt "may be unnecessary, but we cannot
+  determine this".)
+
+* :class:`TreeOpsPolicy` — section 4.2 / Figure 4: using the successor
+  summary ``MAX(X)`` and the ``violation`` flag,
+
+  - ``Pend(X)`` or ``Done(S(X))``                     → no logging;
+  - ``Doubt(X)`` and ``Doubt(S(X))`` and ¬violation   → no logging
+    (the † property holds: every successor precedes X in backup order,
+    so flush order to the backup cannot be violated);
+  - everything else                                    → Iw/oF.
+
+* :class:`PageOrientedPolicy` — the degenerate case: page-oriented
+  operations never have flush-order dependencies, so no logging is ever
+  needed (this is the conventional fuzzy dump of section 1.2).
+
+Policies are pure deciders over (region of X, successor metadata); the
+cache manager reads the regions under the partition's backup latch.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.progress import BackupRegion, PartitionProgress
+from repro.core.tree_meta import TreeMeta
+
+
+@dataclass(frozen=True)
+class FlushDecision:
+    """Outcome of a policy check for one page flush."""
+
+    needs_iwof: bool
+    region: BackupRegion
+    successor_region: Optional[BackupRegion] = None
+    reason: str = ""
+
+
+class FlushPolicy(abc.ABC):
+    """Decides Iw/oF for a page at ``position`` given partition progress."""
+
+    name: str
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        position: int,
+        progress: PartitionProgress,
+        meta: TreeMeta,
+        will_be_copied: bool = True,
+    ) -> FlushDecision:
+        """``will_be_copied`` is False when an incremental backup will not
+        copy this page even though its position is still pending (the page
+        is outside the incremental copy set) — Pend then gives no
+        guarantee and the page must be treated as Done."""
+
+
+def _effective_region(
+    position: int, progress: PartitionProgress, will_be_copied: bool
+) -> BackupRegion:
+    region = progress.classify(position)
+    if region is BackupRegion.PEND and not will_be_copied:
+        return BackupRegion.DONE
+    return region
+
+
+class PageOrientedPolicy(FlushPolicy):
+    """No flush-order dependencies ⇒ never any extra logging."""
+
+    name = "page-oriented"
+
+    def decide(self, position, progress, meta, will_be_copied=True):
+        region = _effective_region(position, progress, will_be_copied)
+        return FlushDecision(
+            needs_iwof=False, region=region, reason="page-oriented ops"
+        )
+
+
+class GeneralOpsPolicy(FlushPolicy):
+    """Section 3.5: log (Iw/oF) whenever ¬Pend(X)."""
+
+    name = "general"
+
+    def decide(self, position, progress, meta, will_be_copied=True):
+        region = _effective_region(position, progress, will_be_copied)
+        if region is BackupRegion.PEND:
+            return FlushDecision(
+                needs_iwof=False,
+                region=region,
+                reason="Pend(X): flush will reach B",
+            )
+        return FlushDecision(
+            needs_iwof=True,
+            region=region,
+            reason=f"{region.value}(X): X may be absent from B",
+        )
+
+
+class TreeOpsPolicy(FlushPolicy):
+    """Section 4.2 / Figure 4: exploit S(X) to avoid most Iw/oF logging."""
+
+    name = "tree"
+
+    def decide(self, position, progress, meta, will_be_copied=True):
+        region = _effective_region(position, progress, will_be_copied)
+        succ_region = progress.classify_successor_max(meta.max_succ)
+        if region is BackupRegion.PEND:
+            return FlushDecision(
+                False, region, succ_region, "Pend(X): X will appear in B"
+            )
+        if succ_region is BackupRegion.DONE:
+            # MAX(X) < D: every successor's location was already copied,
+            # and successors' updates always flush after X (write-graph
+            # order), so no successor update can reach B — order safe.
+            return FlushDecision(
+                False, region, succ_region, "Done(S(X)): no successor in B"
+            )
+        if (
+            region is BackupRegion.DOUBT
+            and succ_region is BackupRegion.DOUBT
+            and not meta.violation
+        ):
+            return FlushDecision(
+                False,
+                region,
+                succ_region,
+                "Doubt(X) & Doubt(S(X)) & †: flush order safe",
+            )
+        return FlushDecision(
+            True,
+            region,
+            succ_region,
+            f"{region.value}(X) & {succ_region.value}(S(X))"
+            + (" & violation" if meta.violation else ""),
+        )

@@ -1,0 +1,134 @@
+"""Backup progress tracking: D, P, and Done/Doubt/Pend (section 3.4).
+
+Positions are integers ``0 .. size-1`` in the partition's backup order.
+``done`` and ``pending`` are boundary counts:
+
+* ``Done(X)``  ⟺ ``#X < done``      — X has been copied to B;
+* ``Pend(X)``  ⟺ ``#X >= pending``  — X has not yet been copied;
+* ``Doubt(X)`` ⟺ ``done <= #X < pending``.
+
+Between backups ``done == pending == 0``: no object is done, every object
+is pending for whatever backup starts next — which is exactly why the
+flush policies need no separate "backup active" flag: an idle partition
+classifies every page Pend, and Pend means "flush plainly".
+
+The step protocol mirrors Figure 3: ``begin(P1)`` opens the first step;
+after the doubt region ``[done, pending)`` has been copied,
+``advance(P2)`` moves D up to P and P to the next boundary;
+``finish()`` resets to idle after the final step's copying completes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import BackupError
+
+
+class BackupRegion(enum.Enum):
+    DONE = "done"
+    DOUBT = "doubt"
+    PEND = "pend"
+
+
+class PartitionProgress:
+    def __init__(self, partition: int, size: int):
+        if size <= 0:
+            raise BackupError(f"partition {partition} has no pages")
+        self.partition = partition
+        self.size = size
+        self.done = 0
+        self.pending = 0
+        # Monotone counters for tests / metrics.
+        self.steps_taken = 0
+        self.backups_seen = 0
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def active(self) -> bool:
+        """A backup is sweeping this partition."""
+        return self.pending > 0 or self.done > 0
+
+    def classify(self, position: int) -> BackupRegion:
+        if not 0 <= position < self.size:
+            raise BackupError(
+                f"position {position} outside partition "
+                f"{self.partition} (size {self.size})"
+            )
+        if position < self.done:
+            return BackupRegion.DONE
+        if position >= self.pending:
+            return BackupRegion.PEND
+        return BackupRegion.DOUBT
+
+    def classify_successor_max(self, max_position: int) -> BackupRegion:
+        """Region of a successor set summarized by MAX(X) (section 4.2).
+
+        ``max_position`` may be the MIN sentinel (-1) when S(X) is empty;
+        an empty successor set is trivially Done — no successor will ever
+        appear in B ahead of X.
+        """
+        if max_position < self.done:
+            return BackupRegion.DONE
+        if max_position >= self.pending:
+            return BackupRegion.PEND
+        return BackupRegion.DOUBT
+
+    def doubt_range(self):
+        """Positions currently in doubt, as a ``range``."""
+        return range(self.done, self.pending)
+
+    # ----------------------------------------------------------- transitions
+
+    def begin(self, first_boundary: int) -> None:
+        if self.active:
+            raise BackupError(
+                f"partition {self.partition} already has an active backup"
+            )
+        if not 0 < first_boundary <= self.size:
+            raise BackupError(
+                f"first boundary {first_boundary} out of range "
+                f"(0, {self.size}]"
+            )
+        self.done = 0
+        self.pending = first_boundary
+        self.steps_taken = 1
+        self.backups_seen += 1
+
+    def advance(self, next_boundary: int) -> None:
+        if not self.active:
+            raise BackupError("advance() without an active backup")
+        if next_boundary <= self.pending:
+            raise BackupError(
+                f"boundary must increase: {next_boundary} <= {self.pending}"
+            )
+        if next_boundary > self.size:
+            raise BackupError(
+                f"boundary {next_boundary} beyond partition size {self.size}"
+            )
+        self.done = self.pending
+        self.pending = next_boundary
+        self.steps_taken += 1
+
+    def finish(self) -> None:
+        if not self.active:
+            raise BackupError("finish() without an active backup")
+        if self.pending != self.size:
+            raise BackupError(
+                f"finish() before the last step: P={self.pending}, "
+                f"size={self.size}"
+            )
+        self.done = 0
+        self.pending = 0
+
+    def abort(self) -> None:
+        """Reset after an aborted backup (crash during the sweep)."""
+        self.done = 0
+        self.pending = 0
+
+    def __repr__(self):
+        return (
+            f"Progress(partition={self.partition}, D={self.done}, "
+            f"P={self.pending}, size={self.size})"
+        )

@@ -1,0 +1,80 @@
+"""Log retention: how far the log may be physically truncated.
+
+Crash recovery needs the log from the dirty-page truncation point; media
+recovery needs it from the **scan start of every backup still retained**
+(plus any backup in progress).  The safe physical truncation point is
+the minimum of all of these.
+
+Iw/oF is what makes this interesting (section 3.2): identity-write
+records advance rLSNs "permitting the truncation of the log in the same
+way that flushing does" — so a hot page that is never flushed does not
+pin the log, as long as it keeps being identity-logged.
+
+Retiring old backups releases their log ranges; the oldest retained
+backup bounds how much media-recovery history survives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import NoBackupError
+from repro.ids import LSN
+from repro.storage.backup_db import BackupDatabase
+
+
+class LogRetention:
+    """Tracks which backups pin which log prefixes."""
+
+    def __init__(self, cm, engine):
+        self.cm = cm
+        self.engine = engine
+        self._retired_ids = set()
+
+    def retained_backups(self) -> List[BackupDatabase]:
+        return [
+            backup
+            for backup in self.engine.completed
+            if backup.backup_id not in self._retired_ids
+        ]
+
+    def retire_backup(self, backup: BackupDatabase) -> None:
+        """Release a backup's pin on the log (it can no longer be used
+        for media recovery once the log is truncated past it)."""
+        self._retired_ids.add(backup.backup_id)
+
+    def is_retired(self, backup: BackupDatabase) -> bool:
+        return backup.backup_id in self._retired_ids
+
+    def is_usable(self, backup: BackupDatabase) -> bool:
+        """Can this backup still be rolled forward with the current log?"""
+        if self.is_retired(backup):
+            return False
+        return (
+            backup.media_scan_start_lsn
+            >= self.cm.log.first_retained_lsn
+        )
+
+    def safe_truncation_point(self) -> LSN:
+        """Largest LSN such that everything before it is dispensable."""
+        log = self.cm.log
+        candidates = [self.cm.rec.truncation_point(log.end_lsn)]
+        for backup in self.retained_backups():
+            candidates.append(backup.media_scan_start_lsn)
+        active = self.engine.active
+        if active is not None and not active.is_sealed:
+            candidates.append(active.backup.media_scan_start_lsn)
+        return min(candidates)
+
+    def truncate_log(self) -> int:
+        """Physically truncate the log to the safe point; returns the
+        number of records discarded."""
+        return self.cm.log.truncate_prefix(self.safe_truncation_point())
+
+    def latest_usable_backup(self) -> BackupDatabase:
+        for backup in reversed(self.retained_backups()):
+            if self.is_usable(backup):
+                return backup
+        raise NoBackupError(
+            "no retained backup's media log survives on the truncated log"
+        )

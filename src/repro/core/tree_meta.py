@@ -1,0 +1,87 @@
+"""Tree-operation successor metadata (section 4.2).
+
+For each dirty page X the tracker maintains:
+
+* ``max_succ`` — ``MAX(X) = max{#y : y ∈ S(X)}`` over X's successors and
+  potential successors, computed incrementally: when ``W_L(Y, X)`` (read
+  Y, write X) appears, ``MAX(X) = max(#Y, MAX(Y))``.  ``MIN_POS`` (-1)
+  plays the role of the paper's "MAX(Y) = 0 if Y has no successors".
+* ``violation`` — set when ``#X < #y`` for an immediate successor y of X,
+  or when ``violation(y)`` is set; i.e. some (transitive) successor
+  follows X in backup order, so the † property cannot be relied on.
+
+S(X) is fixed the first time X is updated (an object can only be "new"
+once); subsequent operations add predecessors but never successors, so
+``max_succ`` never grows after first update — an invariant the property
+tests verify.
+
+Operations spanning partitions defeat position comparison; the tracker
+conservatively marks the new page violated in that case (the paper's
+"no single operation can read or write objects from more than a single
+partition" assumption, enforced softly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ids import PageId
+from repro.storage.layout import MIN_POS, Layout
+from repro.wal.records import LogRecord
+
+
+@dataclass
+class TreeMeta:
+    """Successor summary for one dirty page."""
+
+    max_succ: int = MIN_POS
+    violation: bool = False
+
+    @property
+    def has_successors(self) -> bool:
+        return self.max_succ > MIN_POS or self.violation
+
+
+class TreeOpTracker:
+    def __init__(self, layout: Layout):
+        self._layout = layout
+        self._meta: Dict[PageId, TreeMeta] = {}
+
+    def meta(self, page: PageId) -> TreeMeta:
+        """Metadata for ``page``; empty (no successors) if untracked."""
+        return self._meta.get(page) or TreeMeta()
+
+    def observe(self, record: LogRecord) -> None:
+        """Update successor metadata for a newly logged operation.
+
+        Page-oriented operations never add successors (section 4.1);
+        general logical operations are outside the tree class and the tree
+        policy must not be used with them.  Operations declare their
+        (predecessor, successor) pairs via ``Operation.successor_pairs``.
+        """
+        for pred, succ in record.op.successor_pairs():
+            self._observe_pair(pred, succ)
+
+    def _observe_pair(self, pred: PageId, succ: PageId) -> None:
+        succ_meta = self._meta.get(succ) or TreeMeta()
+        pred_meta = self._meta.setdefault(pred, TreeMeta())
+        if pred.partition != succ.partition:
+            # Cross-partition positions are incomparable: conservative.
+            pred_meta.violation = True
+            pred_meta.max_succ = self._layout.max_pos(pred.partition)
+            return
+        succ_pos = self._layout.position(succ)
+        pred_pos = self._layout.position(pred)
+        pred_meta.max_succ = max(
+            pred_meta.max_succ, succ_pos, succ_meta.max_succ
+        )
+        if pred_pos < succ_pos or succ_meta.violation:
+            pred_meta.violation = True
+
+    def clear(self, page: PageId) -> None:
+        """Drop metadata once the page's updates are installed."""
+        self._meta.pop(page, None)
+
+    def tracked_count(self) -> int:
+        return len(self._meta)

@@ -1,0 +1,413 @@
+"""``Database``: the public facade over the whole system.
+
+A ``Database`` wires together the stable store, log manager, cache
+manager, oracle, and backup engine, and exposes the operations a
+downstream user (or an experiment harness) needs:
+
+>>> from repro import Database, CopyOp, PhysicalWrite
+>>> from repro.ids import PageId
+>>> db = Database(pages_per_partition=[64])
+>>> db.execute(PhysicalWrite(PageId(0, 3), ("hello",)))   # doctest: +ELLIPSIS
+<LSN 1: W_P(P0:3)>
+>>> db.execute(CopyOp(PageId(0, 3), PageId(0, 40)))       # doctest: +ELLIPSIS
+<LSN 2: copy(P0:3 -> P0:40)>
+>>> run = db.start_backup(steps=4)
+>>> backup = db.run_backup(pages_per_tick=16)
+>>> db.media_failure()
+>>> outcome = db.media_recover()
+>>> outcome.ok
+True
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Set, Union
+
+from repro.cache.cache_manager import CacheManager
+from repro.core.backup_engine import BackupEngine, BackupRun
+from repro.core.linked_flush import LinkedFlushBackup
+from repro.core.naive_backup import NaiveFuzzyDump
+from repro.core.incremental import run_media_recovery_chain
+from repro.core.partial_recovery import run_partition_media_recovery
+from repro.core.retention import LogRetention
+from repro.core.verify_backup import validate_backup
+from repro.recovery.analysis_pass import run_analyzed_crash_recovery
+from repro.recovery.selective_redo import SelectiveRedoResult, run_selective_redo
+from repro.wal.checkpoint import CheckpointManager
+from repro.core.policy import (
+    FlushPolicy,
+    GeneralOpsPolicy,
+    PageOrientedPolicy,
+    TreeOpsPolicy,
+)
+from repro.errors import NoBackupError, ReproError
+from repro.ids import LSN, PageId
+from repro.ops.base import Operation
+from repro.recovery.crash_recovery import run_crash_recovery
+from repro.recovery.explain import RecoveryOutcome
+from repro.recovery.media_recovery import run_media_recovery
+from repro.sim.metrics import Metrics
+from repro.sim.oracle import Oracle
+from repro.storage.backup_db import BackupDatabase
+from repro.storage.layout import Layout
+from repro.storage.stable_db import StableDatabase
+from repro.wal.log_manager import LogManager
+from repro.wal.records import LogRecord, RecordFlag
+
+_POLICIES = {
+    "general": GeneralOpsPolicy,
+    "tree": TreeOpsPolicy,
+    "page": PageOrientedPolicy,
+    "page-oriented": PageOrientedPolicy,
+}
+
+
+class Database:
+    """A single-node database with media recovery via online backup."""
+
+    @classmethod
+    def bootstrap_from_backup(
+        cls,
+        backup: BackupDatabase,
+        source_log: LogManager,
+        pages_per_partition: Sequence[int],
+        policy: Union[str, FlushPolicy] = "general",
+        initial_value: Any = None,
+    ) -> "Database":
+        """Stand up a brand-new node from an archived backup + log.
+
+        The replacement-hardware flow: load the backup (e.g. via
+        :func:`repro.storage.archive.load_backup`), roll the shipped log
+        forward, and return a fresh, fully functional database in a new
+        LSN epoch.  Implemented as seed-and-promote of a standby.
+        """
+        from repro.core.standby import StandbyReplica
+
+        layout = Layout(list(pages_per_partition))
+        replica = StandbyReplica.seed_from_backup(
+            backup, source_log, layout, initial_value
+        )
+        policy_name = policy if isinstance(policy, str) else policy.name
+        return replica.promote(policy=policy_name)
+
+    def __init__(
+        self,
+        pages_per_partition: Sequence[int] = (256,),
+        policy: Union[str, FlushPolicy] = "general",
+        initial_value: Any = None,
+        auto_force_log: bool = True,
+    ):
+        if isinstance(policy, str):
+            try:
+                policy = _POLICIES[policy]()
+            except KeyError:
+                raise ReproError(
+                    f"unknown policy {policy!r}; choose from "
+                    f"{sorted(_POLICIES)}"
+                ) from None
+        self.layout = Layout(list(pages_per_partition))
+        self.initial_value = initial_value
+        self.stable = StableDatabase(self.layout, initial_value)
+        self.log = LogManager(auto_force=auto_force_log)
+        self.metrics = Metrics()
+        self.cm = CacheManager(
+            self.stable,
+            self.log,
+            policy=policy,
+            metrics=self.metrics,
+            initial_value=initial_value,
+        )
+        self.oracle = Oracle(self.log, initial_value)
+        self.engine = BackupEngine(self.cm)
+        self.naive = NaiveFuzzyDump(self.cm)
+        self.linked = LinkedFlushBackup(self.cm)
+        self.retention = LogRetention(self.cm, self.engine)
+        self.checkpoints = CheckpointManager(self.log, lambda: self.cm.rec)
+        # Pages updated since the last completed full/incremental backup,
+        # for incremental update-set capture (section 6.1).
+        self.updated_since_backup: Set[PageId] = set()
+
+    # ---------------------------------------------------------- transactions
+
+    def execute(self, op: Operation, source: str = "") -> LogRecord:
+        """Run one logged operation against the database.
+
+        ``source`` tags the log record with its originator (application
+        or transaction name); selective redo (§6.3) uses the tag to
+        exclude a corrupting source.
+        """
+        record = self.cm.execute(op, source=source)
+        self.updated_since_backup.update(op.writeset)
+        return record
+
+    def execute_all(self, ops: Sequence[Operation]) -> List[LogRecord]:
+        return [self.execute(op) for op in ops]
+
+    def read(self, page_id: PageId) -> Any:
+        return self.cm.read_page(page_id)
+
+    # --------------------------------------------------------------- flushing
+
+    def flush_page(self, page_id: PageId) -> bool:
+        return self.cm.flush_page(page_id)
+
+    def checkpoint(self) -> int:
+        return self.cm.checkpoint()
+
+    def install_some(self, count: int, rng: Optional[random.Random] = None) -> int:
+        return self.cm.install_some(count, rng or random.Random(0))
+
+    # ---------------------------------------------------------------- backup
+
+    def start_backup(
+        self, steps: int = 8, incremental: bool = False,
+        dynamic_extend: bool = True,
+    ) -> BackupRun:
+        """Begin an online backup; drive it with :meth:`backup_step`.
+
+        With ``incremental=True`` only pages updated since the previous
+        completed backup are copied (requires a prior backup as base).
+        """
+        if incremental:
+            base = self.engine.latest_backup()
+            if base is None:
+                raise NoBackupError(
+                    "incremental backup requires a completed base backup"
+                )
+            run = self.engine.start_backup(
+                steps=steps,
+                update_set=set(self.updated_since_backup),
+                base_backup=base,
+                dynamic_extend=dynamic_extend,
+            )
+        else:
+            run = self.engine.start_backup(steps=steps)
+        self.updated_since_backup = set()
+        return run
+
+    def backup_step(self, pages: int = 8) -> int:
+        """Copy some pages of the active backup; returns pages copied."""
+        return self.engine.copy_some(pages)
+
+    def run_backup(self, pages_per_tick: int = 8, tick=None) -> BackupDatabase:
+        """Drive the active backup to completion (see ``tick`` for
+        interleaving a workload)."""
+        return self.engine.run_to_completion(pages_per_tick, tick=tick)
+
+    def backup_in_progress(self) -> bool:
+        return self.engine.active is not None
+
+    def latest_backup(self) -> Optional[BackupDatabase]:
+        return self.engine.latest_backup()
+
+    # --------------------------------------------------------------- failure
+
+    def crash(self) -> int:
+        """System failure: lose the cache and the unforced log tail.
+
+        Returns the number of log records lost.  An active backup is
+        aborted (its partial image is useless after a crash).
+        """
+        lost = self.log.discard_unflushed()
+        self.engine.abort_active()
+        self.cm.crash()
+        if lost:
+            self.oracle.rebuild(self.log)
+        return lost
+
+    def recover(
+        self, verify: bool = True, from_log_only: bool = False
+    ) -> RecoveryOutcome:
+        """Crash recovery: redo from the stable truncation point.
+
+        ``from_log_only=True`` uses the analysis pass instead: the scan
+        start is reconstructed from the durable log's checkpoint records
+        alone, with no reliance on any surviving bookkeeping — the fully
+        self-contained recovery path.
+        """
+        if from_log_only:
+            outcome = run_analyzed_crash_recovery(
+                self.stable,
+                self.log,
+                oracle=self.oracle.state() if verify else None,
+                initial_value=self.initial_value,
+            )
+        else:
+            outcome = run_crash_recovery(
+                self.stable,
+                self.log,
+                scan_start_lsn=self.cm.stable_truncation_point,
+                oracle=self.oracle.state() if verify else None,
+                initial_value=self.initial_value,
+            )
+        self.cm.reload_after_recovery()
+        # After redo, S holds the current state: nothing is dirty.
+        self.cm.stable_truncation_point = self.log.end_lsn + 1
+        return outcome
+
+    def validate_backup(
+        self, backup: Optional[BackupDatabase] = None,
+        base_chain: Sequence[BackupDatabase] = (),
+    ):
+        """Offline recoverability audit of a backup (no restore)."""
+        backup = backup or self.engine.latest_backup()
+        if backup is None:
+            raise NoBackupError("no completed backup to validate")
+        return validate_backup(
+            backup, self.log, self.layout,
+            base_chain=base_chain, initial_value=self.initial_value,
+        )
+
+    def media_failure(self) -> None:
+        """The stable medium fails; S becomes inaccessible."""
+        self.engine.abort_active()
+        self.stable.fail_media()
+        self.cm.crash()
+
+    def media_recover(
+        self,
+        backup: Optional[BackupDatabase] = None,
+        to_lsn: Optional[LSN] = None,
+        verify: bool = True,
+    ) -> RecoveryOutcome:
+        """Restore from a backup (default: latest completed) and roll
+        forward the media recovery log."""
+        backup = backup or self.engine.latest_backup()
+        if backup is None:
+            raise NoBackupError("no completed backup to restore from")
+        outcome = run_media_recovery(
+            self.stable,
+            backup,
+            self.log,
+            to_lsn=to_lsn,
+            oracle=self.oracle.state() if verify and to_lsn is None else None,
+            initial_value=self.initial_value,
+        )
+        self.cm.reload_after_recovery()
+        self.cm.stable_truncation_point = self.log.end_lsn + 1
+        return outcome
+
+    def media_recover_chain(
+        self,
+        chain: Optional[Sequence[BackupDatabase]] = None,
+        verify: bool = True,
+    ) -> RecoveryOutcome:
+        """Restore from a full+incremental chain (section 6.1)."""
+        if chain is None:
+            chain = self.engine.completed
+        outcome = run_media_recovery_chain(
+            self.stable,
+            list(chain),
+            self.log,
+            oracle=self.oracle.state() if verify else None,
+            initial_value=self.initial_value,
+        )
+        self.cm.reload_after_recovery()
+        self.cm.stable_truncation_point = self.log.end_lsn + 1
+        return outcome
+
+    # ---------------------------------------------- partial failure (§6.3 #2)
+
+    def fail_partition(self, partition: int) -> None:
+        """Partial media failure: one partition becomes unreadable."""
+        self.engine.abort_active()
+        self.stable.fail_partition(partition)
+        # The cache may hold dirty pages of the failed partition whose
+        # flushes would now fail; volatile state is dropped like a crash
+        # confined to recovery concerns (healthy partitions' stable data
+        # is untouched).
+        self.cm.crash()
+
+    def recover_partition(
+        self, partition: int, backup: Optional[BackupDatabase] = None,
+        verify: bool = True,
+    ) -> RecoveryOutcome:
+        """Media-recover a single failed partition (section 6.3).
+
+        Requires every logged operation touching the partition since the
+        backup's scan start to be confined to it.
+        """
+        backup = backup or self.engine.latest_backup()
+        if backup is None:
+            raise NoBackupError("no completed backup to restore from")
+        outcome = run_partition_media_recovery(
+            self.stable,
+            partition,
+            backup,
+            self.log,
+            oracle=self.oracle.state() if verify else None,
+            initial_value=self.initial_value,
+        )
+        self.cm.reload_after_recovery()
+        return outcome
+
+    # ----------------------------------------------- selective redo (§6.3 #3)
+
+    def selective_recover(
+        self,
+        corrupt_source: str,
+        backup: Optional[BackupDatabase] = None,
+        verify: bool = True,
+        transactional: bool = False,
+    ) -> SelectiveRedoResult:
+        """Recover to a state excluding one source's operations and all
+        operations tainted by them (section 6.3, direction 3).
+
+        ``transactional=True`` treats each source tag as an atomicity
+        group: a transaction with one tainted operation is excluded
+        whole (a half-excluded transfer would break atomicity).
+
+        The database afterwards reflects the corruption-free history;
+        note the oracle still reflects the corrupted history, so the
+        result carries its own verification diffs (against the
+        corruption-free expected state).
+        """
+        backup = backup or self.engine.latest_backup()
+        if backup is None:
+            raise NoBackupError("no completed backup to restore from")
+        result = run_selective_redo(
+            self.stable,
+            backup,
+            self.log,
+            corrupt=lambda record: record.source == corrupt_source,
+            initial_value=self.initial_value,
+            verify=verify,
+            group_of=(
+                (lambda record: record.source or None)
+                if transactional
+                else None
+            ),
+        )
+        self.cm.reload_after_recovery()
+        self.cm.stable_truncation_point = self.log.end_lsn + 1
+        return result
+
+    # ------------------------------------------- checkpoints / log retention
+
+    def take_checkpoint(self) -> LogRecord:
+        """Log a fuzzy checkpoint (dirty-page table snapshot)."""
+        return self.checkpoints.take_checkpoint()
+
+    def truncate_log(self) -> int:
+        """Physically discard the log prefix no retained backup or dirty
+        page needs; returns records discarded."""
+        return self.retention.truncate_log()
+
+    def retire_backup(self, backup: BackupDatabase) -> None:
+        """Release a backup's pin on the log."""
+        self.retention.retire_backup(backup)
+
+    # ------------------------------------------------------------- inspection
+
+    def oracle_state(self):
+        return self.oracle.state()
+
+    def dirty_page_count(self) -> int:
+        return len(self.cm.dirty_pages())
+
+    def __repr__(self):
+        return (
+            f"Database(pages={self.layout.total_pages()}, "
+            f"policy={self.cm.policy.name}, log_end={self.log.end_lsn})"
+        )

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro package.
+
+Every failure mode a caller may want to catch has its own exception type.
+``ReproError`` is the common base so ``except ReproError`` catches anything
+raised deliberately by this library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for stable-database / backup-database failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was not present in the store being read."""
+
+    def __init__(self, page_id):
+        super().__init__(f"page {page_id!r} not found")
+        self.page_id = page_id
+
+
+class PartitionError(StorageError):
+    """A partition id was invalid or inconsistent with the layout."""
+
+
+class MediaFailureError(StorageError):
+    """The stable database has suffered a (simulated) media failure.
+
+    Reads against failed media raise this until the database is restored
+    from a backup.
+    """
+
+
+class LogError(ReproError):
+    """Base class for log-manager failures."""
+
+
+class WALViolationError(LogError):
+    """The write-ahead-log protocol was violated.
+
+    Raised when a page whose last update's log record has not yet been
+    forced to stable storage is about to be flushed.
+    """
+
+
+class LogTruncatedError(LogError):
+    """A log record before the truncation point was requested."""
+
+
+class RecoveryError(ReproError):
+    """Base class for crash / media recovery failures."""
+
+
+class UnrecoverableError(RecoveryError):
+    """Recovery completed but the resulting state is not explainable.
+
+    This is the error the paper's Figure 1 scenario produces when a naive
+    fuzzy dump is taken while logical operations are being logged: the
+    moved records exist neither in the backup nor on the log.
+    """
+
+
+class CacheError(ReproError):
+    """Base class for cache-manager failures."""
+
+
+class FlushOrderError(CacheError):
+    """A flush was attempted that violates the write-graph flush order."""
+
+
+class LatchError(ReproError):
+    """Backup latch misuse (e.g. releasing a latch that is not held)."""
+
+
+class BackupError(ReproError):
+    """Base class for backup-engine failures."""
+
+
+class BackupInProgressError(BackupError):
+    """An operation conflicts with an active backup."""
+
+
+class NoBackupError(BackupError):
+    """Media recovery was requested but no completed backup exists."""
+
+
+class OperationError(ReproError):
+    """An operation was malformed or could not be applied."""
+
+
+class WriteGraphError(ReproError):
+    """Write-graph invariant violation (cycles after collapse, etc.)."""

@@ -1,0 +1,7 @@
+"""Experiment harness: drivers that regenerate every figure of the paper
+plus the repo's ablations, and plain-text reporting helpers."""
+
+from repro.harness.reporting import format_table, format_series
+from repro.harness import experiments
+
+__all__ = ["format_table", "format_series", "experiments"]

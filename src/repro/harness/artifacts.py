@@ -1,0 +1,104 @@
+"""Result artifacts: write experiment series to CSV files.
+
+Benchmarks print human tables; this module persists the same data as
+CSV so plots and regressions can be made outside the test run:
+
+    from repro.harness import artifacts
+    artifacts.write_csv("results/fig5.csv", ["N", "general", "tree"], rows)
+    artifacts.write_fig5("results")   # the full Figure 5 sweep
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Iterable, List, Sequence
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Write one CSV file, creating parent directories; returns path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_fig5(
+    directory: str,
+    step_counts=(1, 2, 4, 8, 16, 32),
+    seeds=(1, 2, 3),
+    pages: int = 1024,
+) -> str:
+    """Run the Figure 5 sweep and persist it as CSV."""
+    from repro.harness.experiments import fig5_sweep
+
+    points = fig5_sweep(step_counts=step_counts, seeds=seeds, pages=pages)
+    rows: List[Sequence[Any]] = [
+        (p.kind, p.steps, f"{p.measured:.6f}", f"{p.analytic:.6f}",
+         p.samples)
+        for p in points
+    ]
+    return write_csv(
+        os.path.join(directory, "fig5.csv"),
+        ["kind", "steps", "measured", "analytic", "samples"],
+        rows,
+    )
+
+
+def write_fig4(directory: str, size: int = 24) -> str:
+    """Persist the Figure 4 decision grid as CSV (1 = Iw/oF needed)."""
+    from repro.harness.experiments import fig4_grid
+
+    grids = fig4_grid(size=size, done=size // 3, pending=2 * size // 3)
+    rows = [
+        (x, s, int(grids["policy"][x][s]), int(grids["analytic"][x][s]))
+        for x in range(size)
+        for s in range(size)
+    ]
+    return write_csv(
+        os.path.join(directory, "fig4.csv"),
+        ["x_pos", "succ_pos", "policy_logs", "analytic_logs"],
+        rows,
+    )
+
+
+def write_economy(directory: str, keys: int = 1200) -> str:
+    from repro.harness.experiments import logging_economy
+
+    rows = []
+    for order in (16, 64, 128):
+        for result in logging_economy(keys=keys, order=order):
+            rows.append(
+                (
+                    order, result.logging, result.splits,
+                    result.split_bytes, result.total_bytes,
+                )
+            )
+    return write_csv(
+        os.path.join(directory, "logging_economy.csv"),
+        ["order", "logging", "splits", "split_bytes", "total_bytes"],
+        rows,
+    )
+
+
+def write_all(directory: str = "results", quick: bool = False) -> List[str]:
+    """Persist every figure's data; returns the written paths."""
+    if quick:
+        return [
+            write_fig5(directory, step_counts=(1, 2, 4, 8), seeds=(1,),
+                       pages=512),
+            write_fig4(directory, size=12),
+            write_economy(directory, keys=400),
+        ]
+    return [
+        write_fig5(directory),
+        write_fig4(directory),
+        write_economy(directory),
+    ]

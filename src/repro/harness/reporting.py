@@ -1,0 +1,38 @@
+"""Plain-text tables for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures show; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a header rule."""
+    table = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in table
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def format_series(title: str, pairs: Sequence[tuple]) -> str:
+    """A named (x, y) series as an aligned two-column block."""
+    lines = [title]
+    for x, y in pairs:
+        lines.append(f"  {_fmt(x):>8}  {_fmt(y)}")
+    return "\n".join(lines)

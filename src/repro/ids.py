@@ -1,0 +1,66 @@
+"""Identifier types used throughout the library.
+
+The paper's recoverable objects are pages; a page lives in a partition and
+occupies a slot within that partition.  The pair (partition, slot) is the
+page's *physical address*, and the backup order ``#X`` of section 3.4 is
+derived from it (see :mod:`repro.storage.layout`).
+
+``LSN`` values are plain integers; ``NULL_LSN`` (0) sorts before every real
+log sequence number, so a page that has never been written has
+``page_lsn == NULL_LSN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# Log sequence numbers are plain ints; the first record appended gets LSN 1.
+LSN = int
+NULL_LSN: LSN = 0
+
+
+@dataclass(frozen=True, order=True)
+class PageId:
+    """Physical address of a recoverable page: (partition, slot).
+
+    Ordering is lexicographic (partition, slot), which is also the default
+    backup order used by :class:`repro.storage.layout.Layout`.
+    """
+
+    partition: int
+    slot: int
+
+    def __post_init__(self):
+        if self.partition < 0:
+            raise ValueError(f"partition must be >= 0, got {self.partition}")
+        if self.slot < 0:
+            raise ValueError(f"slot must be >= 0, got {self.slot}")
+
+    def __repr__(self):
+        return f"P{self.partition}:{self.slot}"
+
+
+@dataclass(frozen=True, order=True)
+class AppId:
+    """Identifier of an application whose state is a recoverable object.
+
+    Application state (section 6.2 of the paper) is modelled as a page in a
+    dedicated partition, but callers address applications by name.
+    """
+
+    name: str
+
+    def __repr__(self):
+        return f"App({self.name})"
+
+
+# An object identifier appearing in read/write sets: always a PageId once
+# resolved; AppId is resolved to a PageId by the application domain layer.
+ObjectId = Union[PageId]
+
+
+def page_range(partition: int, count: int, start: int = 0):
+    """Yield ``count`` consecutive PageIds in ``partition`` from ``start``."""
+    for slot in range(start, start + count):
+        yield PageId(partition, slot)

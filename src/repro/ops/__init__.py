@@ -1,0 +1,55 @@
+"""Log operation model (Table 1 of the paper).
+
+Operations are pure, deterministic state transformers over pages:
+
+* ``readset`` / ``writeset`` — the object sets of section 2.2;
+* ``compute(reads)`` — produces new values for the writeset from the
+  values read; during normal execution it is applied to the cache, during
+  recovery it is replayed against the recovering state;
+* ``log_record_size()`` — a byte estimate of what the operation's log
+  record would occupy, which is what the logging-economy results compare.
+
+The taxonomy:
+
+========================  ===============================  ===============
+Paper form                Class                            reads / writes
+========================  ===============================  ===============
+``W_P(X, log(v))``        :class:`PhysicalWrite`           ∅ → {X}
+``W_PL(X)``               :class:`PhysiologicalWrite`      {X} → {X}
+general logical           :class:`GeneralLogicalOp`        R → W (any)
+``copy(X, Y)``            :class:`CopyOp`                  {X} → {Y}
+``W_L(old, new)``         :class:`WriteNew` (tree op)      {old} → {new}
+``MovRec(old, key, new)``  :class:`MovRec` (tree op)       {old} → {new}
+``RmvRec(old, key)``      :class:`RmvRec`                  {old} → {old}
+``W_IP(X, log(X))``       :class:`IdentityWrite`           ∅ → {X}
+========================  ===============================  ===============
+"""
+
+from repro.ops.base import (
+    Operation,
+    OperationKind,
+    estimate_value_size,
+)
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.tree import MovRec, RmvRec, WriteNew, is_tree_operation
+from repro.ops.identity import IdentityWrite
+from repro.ops.registry import TransformRegistry, default_registry
+
+__all__ = [
+    "Operation",
+    "OperationKind",
+    "estimate_value_size",
+    "PhysicalWrite",
+    "PhysiologicalWrite",
+    "GeneralLogicalOp",
+    "CopyOp",
+    "WriteNew",
+    "MovRec",
+    "RmvRec",
+    "IdentityWrite",
+    "is_tree_operation",
+    "TransformRegistry",
+    "default_registry",
+]

@@ -1,0 +1,130 @@
+"""Base class and shared helpers for log operations."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any, FrozenSet, Mapping
+
+from repro.errors import OperationError
+from repro.ids import PageId
+
+# Byte-cost model for log records, used by the logging-economy benchmark.
+# These mirror the paper's back-of-envelope numbers: "logging an identifier
+# (unlikely to be larger than 16 bytes)".
+RECORD_HEADER_BYTES = 24  # LSN, type, length, transaction id
+OBJECT_ID_BYTES = 8
+TRANSFORM_TAG_BYTES = 4
+
+
+class OperationKind(enum.Enum):
+    """Classification used by cache/backup policy decisions."""
+
+    PHYSICAL = "physical"
+    PHYSIOLOGICAL = "physiological"
+    LOGICAL = "logical"
+    TREE_WRITE_NEW = "tree_write_new"
+    IDENTITY = "identity"
+
+
+def estimate_value_size(value: Any) -> int:
+    """Rough byte size of a page value for the log-volume cost model."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (bytes, str)):
+        return len(value)
+    if isinstance(value, (tuple, frozenset)):
+        return 8 + sum(estimate_value_size(v) for v in value)
+    # Unknown types get a conservative flat charge.
+    return 64
+
+
+class Operation(abc.ABC):
+    """A logged, redoable state-transition over pages.
+
+    Subclasses must be *pure*: ``compute`` may not depend on anything but
+    the supplied read values and the operation's own (immutable)
+    parameters.  This is what makes replay during redo recovery possible.
+    """
+
+    kind: OperationKind
+
+    @property
+    @abc.abstractmethod
+    def readset(self) -> FrozenSet[PageId]:
+        """Pages the operation reads."""
+
+    @property
+    @abc.abstractmethod
+    def writeset(self) -> FrozenSet[PageId]:
+        """Pages the operation writes."""
+
+    @abc.abstractmethod
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        """New values for every page in ``writeset``, from read values.
+
+        ``reads`` must supply a value for every page in ``readset``.
+        """
+
+    @abc.abstractmethod
+    def log_record_size(self) -> int:
+        """Estimated log record size in bytes (see the module cost model)."""
+
+    # --------------------------------------------------------------- helpers
+
+    @property
+    def is_page_oriented(self) -> bool:
+        """True for the traditional forms that touch exactly one page."""
+        return self.kind in (
+            OperationKind.PHYSICAL,
+            OperationKind.PHYSIOLOGICAL,
+            OperationKind.IDENTITY,
+        )
+
+    @property
+    def is_blind(self) -> bool:
+        """True when the operation reads nothing (physical/identity writes).
+
+        Blind writes are what allow the refined write graph rW to mark a
+        previously written object *unexposed* (section 2.4).
+        """
+        return not self.readset
+
+    def successor_pairs(self):
+        """(predecessor_page, successor_page) pairs this op induces.
+
+        For an operation that reads ``r`` and writes ``w`` (w ≠ r), ``r``
+        becomes a *potential successor* of ``w`` in the write graph: r's
+        next update must flush after w (section 4.1).  Tree write-new
+        operations return ``[(new, old)]``; the application-read operation
+        of section 6.2 returns ``[(A, X)]``.  Page-oriented operations
+        return nothing.
+        """
+        return ()
+
+    def check_reads(self, reads: Mapping[PageId, Any]) -> None:
+        missing = self.readset - set(reads)
+        if missing:
+            raise OperationError(
+                f"{self!r} is missing read values for {sorted(missing)}"
+            )
+
+    def check_result(self, result: Mapping[PageId, Any]) -> None:
+        if set(result) != set(self.writeset):
+            raise OperationError(
+                f"{self!r} computed values for {sorted(result)} "
+                f"but its writeset is {sorted(self.writeset)}"
+            )
+
+    def apply(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        """``compute`` with read/write-set validation."""
+        self.check_reads(reads)
+        result = self.compute(reads)
+        self.check_result(result)
+        return result

@@ -1,0 +1,33 @@
+"""Cache-manager identity writes: ``W_IP(X, log(X))`` (section 2.5).
+
+An identity write "writes" a page without changing it and is logged as a
+*physical* operation carrying the page's current value.  It is the
+library's implementation of the paper's first key insight:
+
+    an object can be written to the log as a substitute for being flushed
+    to S or B.  The object version needed for media recovery is then
+    available from the (media) log.
+
+Identity writes are injected by the cache manager, never by transactions,
+and are the building block of Install-without-Flush (section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ids import PageId
+from repro.ops.base import OperationKind
+from repro.ops.physical import PhysicalWrite
+
+
+class IdentityWrite(PhysicalWrite):
+    """Physical re-write of ``target`` with its current value."""
+
+    kind = OperationKind.IDENTITY
+
+    def __init__(self, target: PageId, current_value: Any):
+        super().__init__(target, current_value)
+
+    def __repr__(self):
+        return f"W_IP({self.target!r})"

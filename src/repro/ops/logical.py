@@ -1,0 +1,119 @@
+"""General logical operations: read and write multiple pages.
+
+A log operation is *logical* if it can read one or more pages and write
+(potentially different) multiple pages, logging only operand identifiers
+(section 1.1).  ``copy(X, Y)`` — the paper's canonical example, covering
+file copy and sort — is provided as a convenience subclass.
+
+These are the operations that create flush-order dependencies: for
+``copy(X, Y)``, Y must reach stable storage before a subsequent update of
+X overwrites the value replay of the copy would need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import OperationError
+from repro.ids import PageId
+from repro.ops.base import (
+    OBJECT_ID_BYTES,
+    RECORD_HEADER_BYTES,
+    TRANSFORM_TAG_BYTES,
+    Operation,
+    OperationKind,
+    estimate_value_size,
+)
+from repro.ops.registry import TransformRegistry, default_registry
+
+
+class GeneralLogicalOp(Operation):
+    """reads R, writes W, where each written page gets f(reads, args).
+
+    ``transform`` resolves to a function invoked once per written page as
+    ``fn(reads_dict, *args)`` when ``per_target`` is False (all written
+    pages get the same value), or ``fn(reads_dict, target, *args)`` when
+    ``per_target`` is True.
+    """
+
+    kind = OperationKind.LOGICAL
+
+    def __init__(
+        self,
+        reads: Iterable[PageId],
+        writes: Iterable[PageId],
+        transform: str,
+        args: Tuple = (),
+        per_target: bool = False,
+        registry: Optional[TransformRegistry] = None,
+    ):
+        self._readset = frozenset(reads)
+        self._writeset = frozenset(writes)
+        if not self._writeset:
+            raise OperationError("a logical operation must write something")
+        self.transform = transform
+        self.args = tuple(args)
+        self.per_target = per_target
+        self._registry = registry or default_registry
+        self._fn = self._registry.resolve(transform)
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._readset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._writeset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        # Registry convention: single-source transforms take the bare
+        # value; transforms registered with ``multi=True`` always take
+        # the {page: value} mapping, regardless of read-set size.
+        read_values: Any = {pid: reads[pid] for pid in self._readset}
+        if len(self._readset) == 1 and not self._registry.is_multi(
+            self.transform
+        ):
+            read_values = next(iter(read_values.values()))
+        if self.per_target:
+            return {
+                pid: self._fn(read_values, pid, *self.args)
+                for pid in self._writeset
+            }
+        value = self._fn(read_values, *self.args)
+        return {pid: value for pid in self._writeset}
+
+    def log_record_size(self) -> int:
+        return (
+            RECORD_HEADER_BYTES
+            + TRANSFORM_TAG_BYTES
+            + OBJECT_ID_BYTES * (len(self._readset) + len(self._writeset))
+            + sum(estimate_value_size(a) for a in self.args)
+        )
+
+    def __repr__(self):
+        return (
+            f"Logical({self.transform}, "
+            f"R={sorted(self._readset)}, W={sorted(self._writeset)})"
+        )
+
+
+class CopyOp(GeneralLogicalOp):
+    """``copy(X, Y)``: Y := value of X.  Only identifiers are logged."""
+
+    def __init__(self, source: PageId, target: PageId):
+        if source == target:
+            raise OperationError("copy source and target must differ")
+        self.source = source
+        self.target = target
+        super().__init__(
+            reads=[source],
+            writes=[target],
+            transform="copy_value",
+            per_target=False,
+        )
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.target: reads[self.source]}
+
+    def __repr__(self):
+        return f"copy({self.source!r} -> {self.target!r})"

@@ -1,0 +1,54 @@
+"""Physical write operations: ``W_P(X, log(v))``.
+
+A physical operation updates exactly one page, reads nothing, and carries
+the full new value in its log record — the most expensive form to log and
+the simplest to recover (section 1.1).  Being blind, a physical write also
+makes the target's prior value *unexposed*, which the refined write graph
+rW exploits (section 2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Mapping
+
+from repro.ids import PageId
+from repro.ops.base import (
+    OBJECT_ID_BYTES,
+    RECORD_HEADER_BYTES,
+    Operation,
+    OperationKind,
+    estimate_value_size,
+)
+from repro.storage.page import check_value
+
+
+class PhysicalWrite(Operation):
+    """Set page ``target`` to ``value`` taken from the log record."""
+
+    kind = OperationKind.PHYSICAL
+
+    def __init__(self, target: PageId, value: Any):
+        self.target = target
+        self.value = check_value(value)
+        self._writeset = frozenset([target])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return frozenset()
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._writeset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.target: self.value}
+
+    def log_record_size(self) -> int:
+        return (
+            RECORD_HEADER_BYTES
+            + OBJECT_ID_BYTES
+            + estimate_value_size(self.value)
+        )
+
+    def __repr__(self):
+        return f"W_P({self.target!r})"

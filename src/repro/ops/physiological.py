@@ -1,0 +1,65 @@
+"""Physiological write operations: ``W_PL(X)``.
+
+A physiological operation reads and writes a single page, denoting a state
+transition; its log record holds only a transform tag plus small arguments
+(e.g. the record being inserted), not the page value (section 1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Mapping, Optional, Tuple
+
+from repro.ids import PageId
+from repro.ops.base import (
+    OBJECT_ID_BYTES,
+    RECORD_HEADER_BYTES,
+    TRANSFORM_TAG_BYTES,
+    Operation,
+    OperationKind,
+    estimate_value_size,
+)
+from repro.ops.registry import TransformRegistry, default_registry
+
+
+class PhysiologicalWrite(Operation):
+    """Apply a registered transform to a single page: X := f(X, args)."""
+
+    kind = OperationKind.PHYSIOLOGICAL
+
+    def __init__(
+        self,
+        target: PageId,
+        transform: str,
+        args: Tuple = (),
+        registry: Optional[TransformRegistry] = None,
+    ):
+        self.target = target
+        self.transform = transform
+        self.args = tuple(args)
+        self._registry = registry or default_registry
+        # Resolve eagerly so a typo fails at construction, not replay.
+        self._fn = self._registry.resolve(transform)
+        self._rwset = frozenset([target])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._rwset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._rwset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        old = reads[self.target]
+        return {self.target: self._fn(old, *self.args)}
+
+    def log_record_size(self) -> int:
+        return (
+            RECORD_HEADER_BYTES
+            + OBJECT_ID_BYTES
+            + TRANSFORM_TAG_BYTES
+            + sum(estimate_value_size(a) for a in self.args)
+        )
+
+    def __repr__(self):
+        return f"W_PL({self.target!r}, {self.transform})"

@@ -1,0 +1,168 @@
+"""Named transforms for physiological and logical operations.
+
+Logical and physiological log records contain a *transform tag* plus small
+arguments, never the data values themselves — that is the whole economy of
+logical logging (section 1.1).  At replay time the tag is resolved against
+this registry, mirroring how a real system dispatches on a log record type
+code.
+
+A transform takes ``(reads, args)`` where ``reads`` maps PageId → value,
+and returns the new-value mapping for the operation's writeset.  For
+single-target forms the convention is that helpers below adapt simpler
+callables.
+
+Record values (used by the B-tree and record-page transforms) are tuples of
+``(key, payload)`` pairs kept sorted by key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.errors import OperationError
+
+Transform = Callable[..., Any]
+
+
+class TransformRegistry:
+    """A name → transform function table.
+
+    ``multi=True`` marks a transform that takes the whole
+    ``{page: value}`` mapping as its first argument even when the
+    operation reads a single page; single-source transforms receive the
+    bare value.
+    """
+
+    def __init__(self):
+        self._transforms: Dict[str, Transform] = {}
+        self._multi: Dict[str, bool] = {}
+
+    def register(self, name: str, fn: Transform, multi: bool = False) -> None:
+        if name in self._transforms:
+            raise OperationError(f"transform {name!r} already registered")
+        self._transforms[name] = fn
+        self._multi[name] = multi
+
+    def resolve(self, name: str) -> Transform:
+        try:
+            return self._transforms[name]
+        except KeyError:
+            raise OperationError(f"unknown transform {name!r}") from None
+
+    def is_multi(self, name: str) -> bool:
+        return self._multi.get(name, False)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._transforms
+
+    def names(self):
+        return sorted(self._transforms)
+
+
+# --------------------------------------------------------------------------
+# Record-tuple helpers (shared by the B-tree and the record-page transforms).
+# --------------------------------------------------------------------------
+
+
+def as_records(value: Any) -> Tuple[Tuple[Any, Any], ...]:
+    """Interpret a page value as a sorted record tuple; defensive.
+
+    Replay can encounter garbage values (an unexposed page whose stale
+    value will be overwritten later in the log); returning an empty record
+    set instead of raising keeps replay running, and correctness is judged
+    at the end against the oracle.
+    """
+    if value is None:
+        return ()
+    if isinstance(value, tuple) and all(
+        isinstance(r, tuple) and len(r) == 2 for r in value
+    ):
+        return value
+    return ()
+
+
+def insert_record(records: Tuple, key: Any, payload: Any) -> Tuple:
+    kept = tuple(r for r in records if r[0] != key)
+    return tuple(sorted(kept + ((key, payload),)))
+
+
+def delete_record(records: Tuple, key: Any) -> Tuple:
+    return tuple(r for r in records if r[0] != key)
+
+
+def split_high(records: Tuple, split_key: Any) -> Tuple:
+    """Records with key strictly greater than ``split_key``."""
+    return tuple(r for r in records if r[0] > split_key)
+
+
+def split_low(records: Tuple, split_key: Any) -> Tuple:
+    """Records with key less than or equal to ``split_key``."""
+    return tuple(r for r in records if r[0] <= split_key)
+
+
+# --------------------------------------------------------------------------
+# Built-in transforms.
+# --------------------------------------------------------------------------
+
+
+def _single_read(reads: Mapping) -> Any:
+    if len(reads) != 1:
+        raise OperationError(
+            f"transform expected exactly one read value, got {len(reads)}"
+        )
+    return next(iter(reads.values()))
+
+
+def make_default_registry() -> TransformRegistry:
+    reg = TransformRegistry()
+
+    # Physiological (single page read+write): fn(old_value, *args) -> value.
+    reg.register("increment", lambda old, delta=1: (old or 0) + delta)
+    reg.register(
+        "append",
+        lambda old, item: (old if isinstance(old, tuple) else ()) + (item,),
+    )
+    reg.register(
+        "insert_record",
+        lambda old, key, payload: insert_record(as_records(old), key, payload),
+    )
+    reg.register(
+        "delete_record",
+        lambda old, key: delete_record(as_records(old), key),
+    )
+    reg.register(
+        "remove_high",
+        lambda old, split_key: split_low(as_records(old), split_key),
+    )
+    reg.register(
+        "stamp",
+        lambda old, tag: ("stamped", tag, old),
+    )
+
+    # Logical single-source (read src, write dst): fn(src_value, *args).
+    reg.register("copy_value", lambda src: src)
+    reg.register(
+        "take_high",
+        lambda src, split_key: split_high(as_records(src), split_key),
+    )
+    reg.register(
+        "sort_records",
+        lambda src: tuple(sorted(as_records(src))),
+    )
+    reg.register(
+        "transform_tagged",
+        lambda src, tag: ("derived", tag, src),
+    )
+
+    # Multi-source logical: fn(reads_dict, *args) -> value (merge forms).
+    reg.register(
+        "concat_sorted",
+        lambda reads: tuple(
+            v for _, v in sorted(reads.items()) for v in as_records(v)
+        ),
+        multi=True,
+    )
+    return reg
+
+
+default_registry = make_default_registry()

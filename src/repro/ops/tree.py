@@ -1,0 +1,133 @@
+"""Tree operations (section 4): the constrained logical-operation class.
+
+A tree operation either
+
+1. is page-oriented — possibly read an existing page ``old`` and write
+   ``old`` (``W_PL(old)`` or ``W_P(old, log(v))``); or
+2. is *write-new* — read an existing page ``old`` and write a **new** page
+   ``new`` (an object not previously updated): ``W_L(old, new)``.
+
+Because a page can be "new" only the first time it is updated, the write
+graph of a tree-operation log is a forest: each node has one var, edges run
+new → old, successor sets never grow after first update (section 4.1).
+
+The canonical pair is the B-tree split:
+
+* ``MovRec(old, key, new)`` — read ``old``, write ``new`` with the records
+  whose key exceeds ``key``.  No record data is logged.
+* ``RmvRec(old, key)`` — physiological removal of the moved records from
+  ``old``.  MovRec must precede RmvRec in the log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Mapping, Optional, Tuple
+
+from repro.errors import OperationError
+from repro.ids import PageId
+from repro.ops.base import (
+    OBJECT_ID_BYTES,
+    RECORD_HEADER_BYTES,
+    TRANSFORM_TAG_BYTES,
+    Operation,
+    OperationKind,
+    estimate_value_size,
+)
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.registry import TransformRegistry, default_registry, split_high, as_records
+
+
+class WriteNew(Operation):
+    """``W_L(old, new)``: read ``old``, initialize the new page ``new``.
+
+    The generic tree write-new form; ``new := f(value(old), args)``.
+    """
+
+    kind = OperationKind.TREE_WRITE_NEW
+
+    def __init__(
+        self,
+        old: PageId,
+        new: PageId,
+        transform: str = "copy_value",
+        args: Tuple = (),
+        registry: Optional[TransformRegistry] = None,
+    ):
+        if old == new:
+            raise OperationError(
+                "a write-new tree operation may not update the page it reads"
+            )
+        self.old = old
+        self.new = new
+        self.transform = transform
+        self.args = tuple(args)
+        self._registry = registry or default_registry
+        self._fn = self._registry.resolve(transform)
+        self._readset = frozenset([old])
+        self._writeset = frozenset([new])
+
+    @property
+    def readset(self) -> FrozenSet[PageId]:
+        return self._readset
+
+    @property
+    def writeset(self) -> FrozenSet[PageId]:
+        return self._writeset
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.new: self._fn(reads[self.old], *self.args)}
+
+    def log_record_size(self) -> int:
+        return (
+            RECORD_HEADER_BYTES
+            + TRANSFORM_TAG_BYTES
+            + 2 * OBJECT_ID_BYTES
+            + sum(estimate_value_size(a) for a in self.args)
+        )
+
+    def successor_pairs(self):
+        # old's next update must flush after new: old succeeds new.
+        return ((self.new, self.old),)
+
+    def __repr__(self):
+        return f"W_L({self.old!r} -> {self.new!r}, {self.transform})"
+
+
+class MovRec(WriteNew):
+    """B-tree split, step 1: move high records from ``old`` to ``new``.
+
+    Logs only (old, key, new) — the moved record data never hits the log.
+    """
+
+    def __init__(self, old: PageId, split_key: Any, new: PageId):
+        self.split_key = split_key
+        super().__init__(old, new, transform="take_high", args=(split_key,))
+
+    def compute(self, reads: Mapping[PageId, Any]) -> Mapping[PageId, Any]:
+        return {self.new: split_high(as_records(reads[self.old]), self.split_key)}
+
+    def __repr__(self):
+        return f"MovRec({self.old!r}, key={self.split_key!r}, {self.new!r})"
+
+
+class RmvRec(PhysiologicalWrite):
+    """B-tree split, step 2: delete the moved records from ``old``."""
+
+    def __init__(self, old: PageId, split_key: Any):
+        self.split_key = split_key
+        super().__init__(old, transform="remove_high", args=(split_key,))
+
+    def __repr__(self):
+        return f"RmvRec({self.target!r}, key={self.split_key!r})"
+
+
+def is_tree_operation(op: Operation) -> bool:
+    """True iff ``op`` fits the tree-operation class of section 4.1.
+
+    Page-oriented operations (physical, physiological, identity writes)
+    are included in the class by the paper's modified definition; the only
+    logical form admitted is write-new.
+    """
+    if op.is_page_oriented:
+        return True
+    return op.kind is OperationKind.TREE_WRITE_NEW

@@ -1,0 +1,32 @@
+"""Redo-recovery framework (Lomet & Tuttle, VLDB 1995 / SIGMOD 1999).
+
+This package implements the machinery section 2 of the backup paper builds
+on: installation graphs over logged operations, the "intersecting writes"
+write graph W, the refined write graph rW exploiting unexposed objects, the
+LSN-based redo test, and crash / media recovery drivers.
+"""
+
+from repro.recovery.installation_graph import InstallationGraph, InstallEdge
+from repro.recovery.write_graph import WriteGraphNode, build_intersecting_writes_graph
+from repro.recovery.refined_write_graph import DynamicWriteGraph, build_refined_graph
+from repro.recovery.redo import POISON, RedoReplayer, ReplayStats
+from repro.recovery.explain import RecoveryOutcome, diff_states, find_order_violations
+from repro.recovery.crash_recovery import run_crash_recovery
+from repro.recovery.media_recovery import run_media_recovery
+
+__all__ = [
+    "InstallationGraph",
+    "InstallEdge",
+    "WriteGraphNode",
+    "build_intersecting_writes_graph",
+    "DynamicWriteGraph",
+    "build_refined_graph",
+    "POISON",
+    "RedoReplayer",
+    "ReplayStats",
+    "RecoveryOutcome",
+    "diff_states",
+    "find_order_violations",
+    "run_crash_recovery",
+    "run_media_recovery",
+]

@@ -1,0 +1,54 @@
+"""Crash (system-failure) recovery: redo over the stable database.
+
+After a crash the volatile cache is gone; S plus the durable log prefix
+must reconstruct the current state.  Recovery loads S's pages, replays the
+durable log from the scan-start (truncation) point with the LSN redo test,
+and — when an oracle is supplied — verifies the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.ids import LSN, PageId
+from repro.recovery.explain import RecoveryOutcome, diff_states
+from repro.recovery.redo import RedoReplayer, surviving_poison
+from repro.storage.page import PageVersion
+from repro.storage.stable_db import StableDatabase
+from repro.wal.log_manager import LogManager
+
+
+def run_crash_recovery(
+    stable: StableDatabase,
+    log: LogManager,
+    scan_start_lsn: LSN = 1,
+    oracle: Optional[Mapping[PageId, Any]] = None,
+    initial_value: Any = None,
+    apply_to_stable: bool = True,
+) -> RecoveryOutcome:
+    """Recover the current state from S and the durable log.
+
+    When ``apply_to_stable`` is True the recovered page versions are
+    written back into S (as a real system's redo pass would), making S
+    equal to the recovered current state.
+    """
+    state: Dict[PageId, PageVersion] = {
+        pid: ver for pid, ver in stable.iter_pages()
+    }
+    replayer = RedoReplayer(initial_value=initial_value)
+    stats = replayer.replay(log.durable_scan(scan_start_lsn), state)
+    poisoned = surviving_poison(state)
+    diffs = []
+    if oracle is not None:
+        diffs = diff_states(state, oracle, initial_value)
+    if apply_to_stable:
+        for pid, ver in state.items():
+            if stable.layout.contains(pid):
+                stable.install_version(pid, ver)
+    return RecoveryOutcome(
+        state=state,
+        replayed=stats.ops_replayed,
+        skipped=stats.ops_skipped,
+        poisoned=poisoned,
+        diffs=diffs,
+    )

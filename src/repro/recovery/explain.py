@@ -1,0 +1,136 @@
+"""Recoverability verification: explainable states and order violations.
+
+Two complementary checkers:
+
+* :func:`diff_states` — operational correctness: after recovery the state
+  must equal the oracle (the state produced by applying every logged
+  operation in order during normal execution).
+
+* :func:`find_order_violations` — the *structural* condition of section 2:
+  for a stable state (S or a backup B) plus the log suffix available for
+  its recovery, report every read-write installation edge O → P such that
+  P's update is present in the state while O's effects are neither present
+  nor reconstructible (no later physical/identity record covers O's
+  targets).  This is exactly the condition that makes the Figure 1 backup
+  unrecoverable, and is the predicate the paper's protocol maintains
+  vacuously false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.ids import LSN, PageId
+from repro.ops.base import OperationKind
+from repro.storage.page import PageVersion
+from repro.wal.records import LogRecord
+
+
+@dataclass
+class RecoveryOutcome:
+    """Result of a recovery run, as returned by the recovery drivers."""
+
+    state: Dict[PageId, PageVersion]
+    replayed: int
+    skipped: int
+    poisoned: List[PageId]
+    diffs: List[Tuple[PageId, Any, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diffs and not self.poisoned
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"recovery {status}: replayed={self.replayed} "
+            f"skipped={self.skipped} diffs={len(self.diffs)} "
+            f"poisoned={len(self.poisoned)}"
+        )
+
+
+def diff_states(
+    recovered: Mapping[PageId, PageVersion],
+    expected: Mapping[PageId, Any],
+    initial_value: Any = None,
+) -> List[Tuple[PageId, Any, Any]]:
+    """(page, recovered_value, expected_value) for every mismatch."""
+    diffs = []
+    pages = set(recovered) | set(expected)
+    for page in sorted(pages):
+        rec = recovered[page].value if page in recovered else initial_value
+        exp = expected.get(page, initial_value)
+        if rec != exp:
+            diffs.append((page, rec, exp))
+    return diffs
+
+
+@dataclass(frozen=True)
+class OrderViolation:
+    """Read-write edge O → P enforced for S but broken in the state."""
+
+    reader_lsn: LSN  # O: the operation whose replay is now impossible
+    writer_lsn: LSN  # P: the operation whose update is present
+    page: PageId  # the contested page (in readset(O) ∩ writeset(P))
+    lost_targets: Tuple[PageId, ...]  # O's targets with no recovery source
+
+
+def find_order_violations(
+    state: Mapping[PageId, PageVersion],
+    records: Sequence[LogRecord],
+    initial_value: Any = None,
+) -> List[OrderViolation]:
+    """Structural unrecoverability check for ``state`` + ``records``.
+
+    ``records`` must be the log suffix available to recover ``state``
+    (crash log from the truncation point, or the media log for a backup).
+    """
+
+    def page_lsn(page: PageId) -> LSN:
+        version = state.get(page)
+        return version.page_lsn if version is not None else 0
+
+    # A page is "covered" after LSN L if some record > L writes it blindly
+    # (physical/identity) — its value is then reconstructible from the log
+    # regardless of replay inputs.
+    blind_writes: Dict[PageId, List[LSN]] = {}
+    for record in records:
+        if record.op.is_blind:
+            for page in record.op.writeset:
+                blind_writes.setdefault(page, []).append(record.lsn)
+
+    def covered_after(page: PageId, lsn: LSN) -> bool:
+        return any(b > lsn for b in blind_writes.get(page, ()))
+
+    violations: List[OrderViolation] = []
+    by_lsn = {r.lsn: r for r in records}
+    # For each record P whose update is present in the state, find earlier
+    # readers O of pages P wrote whose own effects are absent and
+    # uncovered.  Readers accumulate — the installation-graph definition
+    # conflicts a read with EVERY later writer of the page.
+    readers: Dict[PageId, List[LSN]] = {}
+    for record in records:
+        op = record.op
+        for page in op.writeset:
+            if page_lsn(page) >= record.lsn:
+                # P's update to `page` is present in the state.
+                for reader_lsn in readers.get(page, ()):
+                    reader = by_lsn[reader_lsn].op
+                    lost = tuple(
+                        sorted(
+                            t
+                            for t in reader.writeset
+                            if page_lsn(t) < reader_lsn
+                            and not covered_after(t, reader_lsn)
+                        )
+                    )
+                    if lost:
+                        violations.append(
+                            OrderViolation(
+                                reader_lsn, record.lsn, page, lost
+                            )
+                        )
+        for page in op.readset:
+            readers.setdefault(page, []).append(record.lsn)
+    return violations

@@ -1,0 +1,74 @@
+"""Media recovery: restore S from a backup B and roll forward (section 1).
+
+The sequence is the paper's: (1) off-line restore — copy B onto the failed
+medium; (2) roll forward — replay the media recovery log (the log suffix
+from B's scan-start LSN) against the restored state using redo recovery.
+
+Roll-forward can target any LSN at or after the backup's completion LSN
+("to the desired time, usually the most recent committed state").  Earlier
+targets are rejected: the backup is fuzzy and may already contain effects
+of operations up to its completion point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import NoBackupError, RecoveryError
+from repro.ids import LSN, PageId
+from repro.recovery.explain import RecoveryOutcome, diff_states
+from repro.recovery.redo import RedoReplayer, surviving_poison
+from repro.storage.backup_db import BackupDatabase
+from repro.storage.page import PageVersion
+from repro.storage.stable_db import StableDatabase
+from repro.wal.log_manager import LogManager
+
+
+def run_media_recovery(
+    stable: StableDatabase,
+    backup: BackupDatabase,
+    log: LogManager,
+    to_lsn: Optional[LSN] = None,
+    oracle: Optional[Mapping[PageId, Any]] = None,
+    initial_value: Any = None,
+) -> RecoveryOutcome:
+    """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``."""
+    if backup is None:
+        raise NoBackupError("no backup available for media recovery")
+    if not backup.is_complete:
+        raise NoBackupError(
+            f"backup {backup.backup_id} is {backup.status.value}; media "
+            "recovery requires a completed backup"
+        )
+    target = log.end_lsn if to_lsn is None else to_lsn
+    if backup.completion_lsn is not None and target < backup.completion_lsn:
+        raise RecoveryError(
+            f"cannot roll forward to LSN {target}: backup completed at "
+            f"{backup.completion_lsn} and is fuzzy before that point"
+        )
+
+    # (1) Off-line restore: re-format S from the backup image.
+    stable.restore_from(backup.pages(), initial_value=initial_value)
+
+    # (2) Roll forward with the media recovery log.
+    state: Dict[PageId, PageVersion] = {
+        pid: ver for pid, ver in stable.iter_pages()
+    }
+    replayer = RedoReplayer(initial_value=initial_value)
+    stats = replayer.replay(
+        log.scan(backup.media_scan_start_lsn, target), state
+    )
+    poisoned = surviving_poison(state)
+    diffs = []
+    if oracle is not None:
+        diffs = diff_states(state, oracle, initial_value)
+    for pid, ver in state.items():
+        if stable.layout.contains(pid):
+            stable.install_version(pid, ver)
+    return RecoveryOutcome(
+        state=state,
+        replayed=stats.ops_replayed,
+        skipped=stats.ops_skipped,
+        poisoned=poisoned,
+        diffs=diffs,
+    )

@@ -1,0 +1,360 @@
+"""The refined write graph rW (section 2.4), as a *dynamic* structure.
+
+``DynamicWriteGraph`` is the write graph the cache manager actually
+maintains during normal execution:
+
+* adding a non-blind operation merges it with the nodes currently holding
+  the pages it writes (the "intersecting writes" first collapse), adds the
+  read-write installation edges, and collapses any strongly connected
+  region the new edges create (the second collapse) — so the graph is
+  acyclic at all times;
+* adding a **blind** write (physical or identity write) instead creates a
+  fresh node holding only its target, removes the target from the previous
+  holder's ``vars`` (the target's old value has become *unexposed*), and
+  adds the *inverse write-read* edges from nodes whose operations read the
+  value being overwritten;
+* installing a node with no predecessors removes it, releasing its
+  successors.
+
+``build_refined_graph`` replays a record sequence through a
+``DynamicWriteGraph`` without installing anything, yielding the static rW
+of a log — this is what the Figure 2 test compares against W.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import FlushOrderError, WriteGraphError
+from repro.ids import LSN, PageId
+from repro.ops.base import OperationKind
+from repro.wal.records import LogRecord
+
+
+@dataclass
+class DynamicNode:
+    """A live write-graph node: uninstalled ops and the vars to flush."""
+
+    node_id: int
+    ops: List[LogRecord] = field(default_factory=list)
+    vars: Set[PageId] = field(default_factory=set)
+    preds: Set[int] = field(default_factory=set)
+    succs: Set[int] = field(default_factory=set)
+
+    @property
+    def op_lsns(self) -> List[LSN]:
+        return [r.lsn for r in self.ops]
+
+    def writes(self) -> Set[PageId]:
+        out: Set[PageId] = set()
+        for record in self.ops:
+            out |= record.op.writeset
+        return out
+
+    def __repr__(self):
+        return (
+            f"DNode({self.node_id}, ops={self.op_lsns}, "
+            f"vars={sorted(map(str, self.vars))})"
+        )
+
+
+class DynamicWriteGraph:
+    def __init__(self):
+        self._nodes: Dict[int, DynamicNode] = {}
+        self._ids = itertools.count(1)
+        # page -> node currently holding page in its vars (disjoint sets).
+        self._holder: Dict[PageId, int] = {}
+        # page -> node ids with an op that read the page's *current* value.
+        self._readers: Dict[PageId, Set[int]] = {}
+        # Alias map for merged nodes (union-find style path compression).
+        self._alias: Dict[int, int] = {}
+
+    # -------------------------------------------------------------- plumbing
+
+    def _resolve(self, node_id: int) -> Optional[int]:
+        seen = []
+        while node_id in self._alias:
+            seen.append(node_id)
+            node_id = self._alias[node_id]
+        for s in seen:
+            self._alias[s] = node_id
+        return node_id if node_id in self._nodes else None
+
+    def _resolve_set(self, ids: Iterable[int]) -> Set[int]:
+        out = set()
+        for node_id in ids:
+            resolved = self._resolve(node_id)
+            if resolved is not None:
+                out.add(resolved)
+        return out
+
+    def node(self, node_id: int) -> DynamicNode:
+        resolved = self._resolve(node_id)
+        if resolved is None:
+            raise WriteGraphError(f"node {node_id} no longer exists")
+        return self._nodes[resolved]
+
+    def nodes(self) -> List[DynamicNode]:
+        return list(self._nodes.values())
+
+    def holder_of(self, page: PageId) -> Optional[DynamicNode]:
+        node_id = self._holder.get(page)
+        if node_id is None:
+            return None
+        resolved = self._resolve(node_id)
+        if resolved is None:
+            del self._holder[page]
+            return None
+        self._holder[page] = resolved
+        return self._nodes[resolved]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ---------------------------------------------------------- construction
+
+    def add_operation(self, record: LogRecord) -> DynamicNode:
+        """Incorporate a newly logged operation; returns its node."""
+        if record.op.is_blind:
+            return self._add_blind(record)
+        return self._add_general(record)
+
+    def _new_node(self, record: LogRecord, vars_: Set[PageId]) -> DynamicNode:
+        node = DynamicNode(next(self._ids), ops=[record], vars=set(vars_))
+        self._nodes[node.node_id] = node
+        return node
+
+    def _add_general(self, record: LogRecord) -> DynamicNode:
+        op = record.op
+        node = self._new_node(record, set(op.writeset))
+
+        # First collapse: merge with nodes already holding written pages.
+        # Merging nodes with a pre-existing path between them would close
+        # a cycle through the intermediate nodes, so the whole region
+        # between them is collapsed as well (the second collapse applied
+        # incrementally).
+        to_merge = self._resolve_set(
+            self._holder[p] for p in op.writeset if p in self._holder
+        )
+        to_merge.discard(node.node_id)
+        for other_id in to_merge:
+            node = self._merge_collapsing(node.node_id, other_id)
+
+        for page in op.writeset:
+            self._holder[page] = node.node_id
+
+        # Read-write edges: every *uninstalled* reader of the page must
+        # install before this node.  Readers stay registered until their
+        # node installs — the installation-graph definition has no
+        # adjacency restriction (readset(O) ∩ writeset(P) for ANY O < P),
+        # and a later flush of the page destroys the value those readers'
+        # replay needs just as surely as the first one does.
+        pending_edges: List[int] = []
+        for page in op.writeset:
+            for reader in self._resolve_set(self._readers.get(page, ())):
+                if reader != node.node_id:
+                    pending_edges.append(reader)
+        for src in pending_edges:
+            node = self._add_edge_collapsing(src, node.node_id)
+
+        # Register this operation's reads against the current values.
+        for page in op.readset:
+            self._readers.setdefault(page, set()).add(node.node_id)
+        return node
+
+    def _add_blind(self, record: LogRecord) -> DynamicNode:
+        op = record.op
+        (target,) = op.writeset
+        # The target's previous value becomes unexposed: remove it from the
+        # prior holder's flush set (the rW refinement, Figure 2).
+        previous = self.holder_of(target)
+        if previous is not None:
+            previous.vars.discard(target)
+        node = self._new_node(record, {target})
+        self._holder[target] = node.node_id
+        if record.op.kind is OperationKind.IDENTITY:
+            # An identity write does not change the value: readers of the
+            # current value are unaffected, so no inverse write-read edges
+            # are needed — and the readers stay registered so the *next*
+            # real write still orders after them.
+            return node
+        # Inverse write-read edges: every uninstalled operation that read
+        # any still-needed value of the target must install before this
+        # blind write flushes over it.
+        for reader in self._resolve_set(self._readers.get(target, ())):
+            if reader != node.node_id:
+                node = self._add_edge_collapsing(reader, node.node_id)
+        return node
+
+    # ----------------------------------------------------- edges and merging
+
+    def _add_edge_collapsing(self, src: int, dst: int) -> DynamicNode:
+        """Add edge src → dst; collapse the cycle if one is created."""
+        src = self._resolve(src)
+        dst = self._resolve(dst)
+        if src is None or dst is None or src == dst:
+            return self._nodes[dst] if dst is not None else None
+        if self._reachable(dst, src):
+            # Adding src → dst closes a cycle: collapse everything on a
+            # path dst ⇝ src together with src and dst (second collapse).
+            region = self._nodes_between(dst, src)
+            region |= {src, dst}
+            it = iter(region)
+            merged = next(it)
+            for other in it:
+                merged = self._merge(merged, other).node_id
+            return self._nodes[merged]
+        self._nodes[src].succs.add(dst)
+        self._nodes[dst].preds.add(src)
+        return self._nodes[dst]
+
+    def _reachable(self, start: int, goal: int) -> bool:
+        stack, seen = [start], {start}
+        while stack:
+            current = stack.pop()
+            if current == goal:
+                return True
+            for succ in self._resolve_set(self._nodes[current].succs):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def _nodes_between(self, start: int, goal: int) -> Set[int]:
+        """Nodes on some path start ⇝ goal (inclusive), via forward and
+        backward reachability intersection."""
+        forward = self._closure(start, lambda n: self._nodes[n].succs)
+        backward = self._closure(goal, lambda n: self._nodes[n].preds)
+        return forward & backward
+
+    def _closure(self, start: int, neighbours) -> Set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for nxt in self._resolve_set(neighbours(current)):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def _merge_collapsing(self, keep_id: int, other_id: int) -> DynamicNode:
+        """Merge two nodes, collapsing any path between them first."""
+        keep_id = self._resolve(keep_id)
+        other_id = self._resolve(other_id)
+        if keep_id == other_id:
+            return self._nodes[keep_id]
+        region = {keep_id, other_id}
+        region |= self._nodes_between(keep_id, other_id)
+        region |= self._nodes_between(other_id, keep_id)
+        it = iter(region)
+        merged = next(it)
+        for node_id in it:
+            merged = self._merge(merged, node_id).node_id
+        return self._nodes[self._resolve(merged)]
+
+    def _merge(self, keep_id: int, other_id: int) -> DynamicNode:
+        keep_id = self._resolve(keep_id)
+        other_id = self._resolve(other_id)
+        if keep_id == other_id:
+            return self._nodes[keep_id]
+        keep, other = self._nodes[keep_id], self._nodes[other_id]
+        keep.ops.extend(other.ops)
+        keep.ops.sort(key=lambda r: r.lsn)
+        keep.vars |= other.vars
+        keep.preds |= other.preds
+        keep.succs |= other.succs
+        del self._nodes[other_id]
+        self._alias[other_id] = keep_id
+        # Re-resolve and strip self references.
+        keep.preds = self._resolve_set(keep.preds) - {keep_id}
+        keep.succs = self._resolve_set(keep.succs) - {keep_id}
+        for pred in keep.preds:
+            self._nodes[pred].succs.discard(other_id)
+            self._nodes[pred].succs.add(keep_id)
+        for succ in keep.succs:
+            self._nodes[succ].preds.discard(other_id)
+            self._nodes[succ].preds.add(keep_id)
+        for page in keep.vars:
+            self._holder[page] = keep_id
+        return keep
+
+    # ------------------------------------------------------------ installing
+
+    def predecessors(self, node: DynamicNode) -> Set[int]:
+        node.preds = self._resolve_set(node.preds) - {node.node_id}
+        return node.preds
+
+    def is_installable(self, node: DynamicNode) -> bool:
+        return not self.predecessors(node)
+
+    def installable_nodes(self) -> List[DynamicNode]:
+        """Nodes with no predecessors, in increasing first-op LSN order."""
+        out = [n for n in self._nodes.values() if self.is_installable(n)]
+        out.sort(key=lambda n: n.ops[0].lsn if n.ops else 0)
+        return out
+
+    def install_node(self, node: DynamicNode) -> Set[PageId]:
+        """Remove an installable node; returns the pages that were its vars.
+
+        The caller is responsible for actually flushing (or having
+        identity-logged) those pages.
+        """
+        node_id = self._resolve(node.node_id)
+        if node_id is None:
+            raise WriteGraphError(f"node {node.node_id} already installed")
+        node = self._nodes[node_id]
+        if self.predecessors(node):
+            raise FlushOrderError(
+                f"node {node_id} has uninstalled predecessors "
+                f"{sorted(self.predecessors(node))}"
+            )
+        for succ in self._resolve_set(node.succs):
+            self._nodes[succ].preds.discard(node_id)
+        for page in list(node.vars):
+            if self._holder.get(page) == node_id:
+                del self._holder[page]
+        for page, readers in list(self._readers.items()):
+            readers.discard(node_id)
+        del self._nodes[node_id]
+        return set(node.vars)
+
+    # ------------------------------------------------------------ inspection
+
+    def check_acyclic(self) -> None:
+        """Invariant check used by tests: the live graph has no cycle."""
+        in_deg = {
+            nid: len(self._resolve_set(n.preds) - {nid})
+            for nid, n in self._nodes.items()
+        }
+        queue = [nid for nid, d in in_deg.items() if d == 0]
+        seen = 0
+        while queue:
+            nid = queue.pop()
+            seen += 1
+            for succ in self._resolve_set(self._nodes[nid].succs):
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    queue.append(succ)
+        if seen != len(self._nodes):
+            raise WriteGraphError("dynamic write graph has a cycle")
+
+    def vars_are_disjoint(self) -> bool:
+        seen: Set[PageId] = set()
+        for node in self._nodes.values():
+            overlap = node.vars & seen
+            if overlap:
+                return False
+            seen |= node.vars
+        return True
+
+
+def build_refined_graph(records: Sequence[LogRecord]) -> DynamicWriteGraph:
+    """Static rW of a record sequence (no installs) — analysis/tests aid."""
+    graph = DynamicWriteGraph()
+    for record in records:
+        graph.add_operation(record)
+    graph.check_acyclic()
+    return graph

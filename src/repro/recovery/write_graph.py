@@ -1,0 +1,227 @@
+"""The "intersecting writes" write graph W (section 2.4).
+
+W translates installation order on operations into flush order on pages.
+It is built from an installation graph by two collapses:
+
+1. **intersecting writes** — operations whose write sets intersect land in
+   the same node (transitively);
+2. **strongly connected regions** — cycles among the resulting nodes are
+   collapsed so the final graph is acyclic and hence a feasible flush
+   order.
+
+Each node n carries ``ops(n)`` and ``vars(n) = Writes(n)``: installing
+ops(n) requires atomically flushing all of vars(n).  The paper's complaint
+about W — ``|vars(n)|`` grows monotonically, forcing ever larger atomic
+flushes — is visible directly in the structures built here, and is what
+the refined graph rW (and identity writes) fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import WriteGraphError
+from repro.ids import LSN, PageId
+from repro.recovery.installation_graph import InstallationGraph
+from repro.wal.records import LogRecord
+
+
+@dataclass
+class WriteGraphNode:
+    """One node of a (static) write graph."""
+
+    node_id: int
+    ops: FrozenSet[LSN]
+    vars: FrozenSet[PageId]
+    preds: Set[int] = field(default_factory=set)
+    succs: Set[int] = field(default_factory=set)
+
+    def __repr__(self):
+        return (
+            f"WGNode({self.node_id}, ops={sorted(self.ops)}, "
+            f"vars={sorted(map(str, self.vars))})"
+        )
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self._parent.setdefault(x, x)
+        if parent != x:
+            root = self.find(parent)
+            self._parent[x] = root
+            return root
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _strongly_connected_components(
+    vertices: Sequence[int], succs: Dict[int, Set[int]]
+) -> List[List[int]]:
+    """Tarjan's algorithm, iterative to avoid recursion limits."""
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = [0]
+
+    for root in vertices:
+        if root in index:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            v, child_idx = work.pop()
+            if child_idx == 0:
+                index[v] = lowlink[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack.add(v)
+            recurse = False
+            children = sorted(succs.get(v, ()))
+            for i in range(child_idx, len(children)):
+                w = children[i]
+                if w not in index:
+                    work.append((v, i + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if recurse:
+                continue
+            if lowlink[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return components
+
+
+def _collapse(
+    members: Dict[int, FrozenSet[LSN]],
+    vars_of: Dict[int, FrozenSet[PageId]],
+    succs: Dict[int, Set[int]],
+    partition: List[List[int]],
+) -> List[WriteGraphNode]:
+    """Collapse a graph with respect to a partition of its vertices."""
+    class_of: Dict[int, int] = {}
+    for class_id, group in enumerate(partition):
+        for vertex in group:
+            class_of[vertex] = class_id
+    nodes: List[WriteGraphNode] = []
+    for class_id, group in enumerate(partition):
+        ops: Set[LSN] = set()
+        vars_: Set[PageId] = set()
+        for vertex in group:
+            ops |= members[vertex]
+            vars_ |= vars_of[vertex]
+        nodes.append(
+            WriteGraphNode(class_id, frozenset(ops), frozenset(vars_))
+        )
+    for vertex, out in succs.items():
+        src = class_of[vertex]
+        for target in out:
+            dst = class_of[target]
+            if src != dst:
+                nodes[src].succs.add(dst)
+                nodes[dst].preds.add(src)
+    return nodes
+
+
+def build_intersecting_writes_graph(
+    records: Sequence[LogRecord],
+    installation_graph: InstallationGraph = None,
+) -> List[WriteGraphNode]:
+    """Build W for a log-record sequence; returns its (acyclic) nodes."""
+    graph = installation_graph or InstallationGraph(records)
+
+    # First collapse: union operations whose write sets intersect.
+    uf = _UnionFind()
+    writer_of: Dict[PageId, LSN] = {}
+    for record in records:
+        for page in record.op.writeset:
+            if page in writer_of:
+                uf.union(record.lsn, writer_of[page])
+            writer_of[page] = record.lsn
+    groups: Dict[int, List[LSN]] = {}
+    for record in records:
+        groups.setdefault(uf.find(record.lsn), []).append(record.lsn)
+
+    # Intermediate graph over the first-collapse classes.
+    class_ids = {root: i for i, root in enumerate(sorted(groups))}
+    members: Dict[int, FrozenSet[LSN]] = {}
+    vars_of: Dict[int, FrozenSet[PageId]] = {}
+    succs: Dict[int, Set[int]] = {i: set() for i in class_ids.values()}
+    by_lsn = {r.lsn: r for r in records}
+    lsn_class: Dict[LSN, int] = {}
+    for root, lsns in groups.items():
+        cid = class_ids[root]
+        members[cid] = frozenset(lsns)
+        vars_of[cid] = frozenset().union(
+            *(by_lsn[lsn].op.writeset for lsn in lsns)
+        )
+        for lsn in lsns:
+            lsn_class[lsn] = cid
+    for edge in graph.edges:
+        src, dst = lsn_class[edge.src], lsn_class[edge.dst]
+        if src != dst:
+            succs[src].add(dst)
+
+    # Second collapse: strongly connected regions → acyclic graph.
+    components = _strongly_connected_components(
+        sorted(succs), {k: set(v) for k, v in succs.items()}
+    )
+    nodes = _collapse(members, vars_of, succs, components)
+    _assert_acyclic(nodes)
+    return nodes
+
+
+def _assert_acyclic(nodes: List[WriteGraphNode]) -> None:
+    """Kahn's algorithm as a sanity check after the second collapse."""
+    in_deg = {n.node_id: len(n.preds) for n in nodes}
+    queue = [nid for nid, d in in_deg.items() if d == 0]
+    by_id = {n.node_id: n for n in nodes}
+    seen = 0
+    while queue:
+        nid = queue.pop()
+        seen += 1
+        for succ in by_id[nid].succs:
+            in_deg[succ] -= 1
+            if in_deg[succ] == 0:
+                queue.append(succ)
+    if seen != len(nodes):
+        raise WriteGraphError("write graph is cyclic after second collapse")
+
+
+def topological_flush_order(nodes: List[WriteGraphNode]) -> List[WriteGraphNode]:
+    """One feasible flush order for a static write graph (for tests)."""
+    by_id = {n.node_id: n for n in nodes}
+    in_deg = {n.node_id: len(n.preds) for n in nodes}
+    ready = sorted(nid for nid, d in in_deg.items() if d == 0)
+    order: List[WriteGraphNode] = []
+    while ready:
+        nid = ready.pop(0)
+        order.append(by_id[nid])
+        for succ in sorted(by_id[nid].succs):
+            in_deg[succ] -= 1
+            if in_deg[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    if len(order) != len(nodes):
+        raise WriteGraphError("cycle encountered computing flush order")
+    return order

@@ -1,0 +1,16 @@
+"""Simulation support: metrics, the oracle shadow state, failure injection,
+and the interleaved workload runner."""
+
+from repro.sim.metrics import Metrics
+from repro.sim.oracle import Oracle
+from repro.sim.failure import CrashPlan, FailureInjector
+from repro.sim.runner import InterleavedRun, RunResult
+
+__all__ = [
+    "Metrics",
+    "Oracle",
+    "CrashPlan",
+    "FailureInjector",
+    "InterleavedRun",
+    "RunResult",
+]

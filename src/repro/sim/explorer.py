@@ -1,0 +1,108 @@
+"""Exhaustive interleaving exploration (bounded model checking).
+
+The paper's correctness argument is about *all* interleavings of three
+concurrent activities: operation execution, cache-manager installs, and
+backup copy steps.  Random testing samples that space;
+:class:`InterleavingExplorer` enumerates it exhaustively for small
+scenarios, checking media recoverability after every complete run.
+
+A scenario is a list of labelled *actions*; the explorer runs every
+topological interleaving of the actions subject to per-track ordering
+(actions of the same track keep their relative order, tracks are freely
+interleaved) — i.e. all merges of the tracks.  For the Figure 1
+neighbourhood (2 operations × k flushes × m backup steps) this is a few
+thousand runs and takes well under a second each batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.db import Database
+
+
+@dataclass
+class ExplorationResult:
+    interleavings: int = 0
+    recovered: int = 0
+    failures: List[Tuple[Tuple[str, ...], str]] = field(default_factory=list)
+
+    @property
+    def all_recovered(self) -> bool:
+        return not self.failures
+
+
+def merges(tracks: Sequence[Sequence]) -> "itertools.chain":
+    """All interleavings of the tracks preserving per-track order."""
+    lengths = [len(track) for track in tracks]
+    total = sum(lengths)
+    if total == 0:
+        yield ()
+        return
+    # Choose which track supplies each position: multiset permutations.
+    labels = []
+    for index, length in enumerate(lengths):
+        labels.extend([index] * length)
+    seen = set()
+    for perm in itertools.permutations(labels):
+        if perm in seen:
+            continue
+        seen.add(perm)
+        cursors = [0] * len(tracks)
+        sequence = []
+        for track_index in perm:
+            sequence.append(tracks[track_index][cursors[track_index]])
+            cursors[track_index] += 1
+        yield tuple(sequence)
+
+
+class InterleavingExplorer:
+    """Runs a scenario factory under every interleaving of its tracks.
+
+    ``scenario_factory()`` must return ``(db, tracks, finish)`` where
+    ``tracks`` is a list of lists of zero-argument callables (the
+    ordered actions of each concurrent activity) and ``finish(db)``
+    completes whatever remains (e.g. drains the backup and the cache)
+    and may return the BackupDatabase media recovery should restore
+    from (None → the engine's latest backup).
+    """
+
+    def __init__(self, scenario_factory: Callable):
+        self.scenario_factory = scenario_factory
+
+    def explore(self, max_interleavings: Optional[int] = None) -> ExplorationResult:
+        result = ExplorationResult()
+        db_probe, tracks_probe, _ = self.scenario_factory()
+        track_shapes = [
+            [f"t{t}.{i}" for i in range(len(track))]
+            for t, track in enumerate(tracks_probe)
+        ]
+        for schedule in merges(track_shapes):
+            if (
+                max_interleavings is not None
+                and result.interleavings >= max_interleavings
+            ):
+                break
+            result.interleavings += 1
+            db, tracks, finish = self.scenario_factory()
+            actions: Dict[str, Callable] = {}
+            for t, track in enumerate(tracks):
+                for i, action in enumerate(track):
+                    actions[f"t{t}.{i}"] = action
+            try:
+                for label in schedule:
+                    actions[label]()
+                backup = finish(db)
+                db.media_failure()
+                outcome = db.media_recover(backup=backup)
+                if outcome.ok:
+                    result.recovered += 1
+                else:
+                    result.failures.append(
+                        (schedule, f"{len(outcome.diffs)} diffs")
+                    )
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                result.failures.append((schedule, repr(exc)))
+        return result

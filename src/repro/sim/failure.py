@@ -1,0 +1,52 @@
+"""Failure injection: scheduled crashes and media failures.
+
+A :class:`CrashPlan` names a tick at which a failure fires;
+:class:`FailureInjector` applies it to a :class:`~repro.db.Database`
+during an interleaved run.  Integration and property tests sweep the
+tick across a run to validate recoverability at every interleaving point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+class FailureKind:
+    CRASH = "crash"
+    MEDIA = "media"
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Fire a failure of ``kind`` when the run reaches ``at_tick``."""
+
+    at_tick: int
+    kind: str = FailureKind.CRASH
+
+    def __post_init__(self):
+        if self.kind not in (FailureKind.CRASH, FailureKind.MEDIA):
+            raise ReproError(f"unknown failure kind {self.kind!r}")
+        if self.at_tick < 0:
+            raise ReproError("at_tick must be >= 0")
+
+
+class FailureInjector:
+    def __init__(self, db, plans: Optional[List[CrashPlan]] = None):
+        self.db = db
+        self.plans = sorted(plans or [], key=lambda p: p.at_tick)
+        self.fired: List[CrashPlan] = []
+
+    def check(self, tick: int) -> Optional[CrashPlan]:
+        """Fire (at most) the first due plan; returns it if fired."""
+        while self.plans and self.plans[0].at_tick <= tick:
+            plan = self.plans.pop(0)
+            if plan.kind == FailureKind.CRASH:
+                self.db.crash()
+            else:
+                self.db.media_failure()
+            self.fired.append(plan)
+            return plan
+        return None

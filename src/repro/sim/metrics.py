@@ -1,0 +1,85 @@
+"""Execution counters shared by the cache manager and the backup engines.
+
+``flush_decisions_during_backup`` / ``iwof_during_backup`` measure exactly
+the quantity of section 5: the probability that an object flush requires
+Iw/oF logging *while a backup is in progress*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Metrics:
+    # Cache manager.
+    page_flushes: int = 0
+    node_installs: int = 0
+    multi_page_installs: int = 0
+    identity_installs: int = 0  # hot-page Iw/oF without flushing (§5.3)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # Backup-related logging (the paper's headline quantity).
+    flush_decisions_during_backup: int = 0
+    iwof_during_backup: int = 0
+    iwof_records: int = 0
+    iwof_bytes: int = 0
+    decisions_by_region: Dict[str, int] = field(default_factory=dict)
+    iwof_by_region: Dict[str, int] = field(default_factory=dict)
+
+    # Backup engines.
+    backup_pages_copied: int = 0
+    backups_completed: int = 0
+    backups_aborted: int = 0
+    linked_flushes: int = 0
+
+    # Per-backup-step breakdown (step m of section 5's analysis).
+    decisions_by_step: Dict[int, int] = field(default_factory=dict)
+    iwof_by_step: Dict[int, int] = field(default_factory=dict)
+
+    def record_decision(
+        self, region: str, needs_iwof: bool, step: int = 0
+    ) -> None:
+        self.flush_decisions_during_backup += 1
+        self.decisions_by_region[region] = (
+            self.decisions_by_region.get(region, 0) + 1
+        )
+        self.decisions_by_step[step] = (
+            self.decisions_by_step.get(step, 0) + 1
+        )
+        if needs_iwof:
+            self.iwof_during_backup += 1
+            self.iwof_by_region[region] = (
+                self.iwof_by_region.get(region, 0) + 1
+            )
+            self.iwof_by_step[step] = self.iwof_by_step.get(step, 0) + 1
+
+    def step_fractions(self) -> Dict[int, float]:
+        """Measured Prob_m{log} per backup step m (section 5)."""
+        return {
+            step: self.iwof_by_step.get(step, 0) / total
+            for step, total in sorted(self.decisions_by_step.items())
+            if total
+        }
+
+    @property
+    def extra_logging_fraction(self) -> float:
+        """Measured Prob{log}: Iw/oF per object flush during backup."""
+        if not self.flush_decisions_during_backup:
+            return 0.0
+        return self.iwof_during_backup / self.flush_decisions_during_backup
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "page_flushes": self.page_flushes,
+            "node_installs": self.node_installs,
+            "flush_decisions_during_backup": self.flush_decisions_during_backup,
+            "iwof_during_backup": self.iwof_during_backup,
+            "extra_logging_fraction": self.extra_logging_fraction,
+            "iwof_records": self.iwof_records,
+            "iwof_bytes": self.iwof_bytes,
+            "backup_pages_copied": self.backup_pages_copied,
+            "backups_completed": self.backups_completed,
+        }

@@ -1,0 +1,26 @@
+"""Simulated stable storage: pages, the stable database S, and backups B.
+
+The paper's protocol depends on exactly two storage properties, both of
+which this package models faithfully:
+
+* **page-write atomicity** — a page write to S either happens entirely or
+  not at all (``StableDatabase.write_page``), and a multi-page atomic flush
+  is available for write-graph nodes whose ``vars`` contain several pages
+  (``StableDatabase.write_pages_atomically``);
+* **a physical backup order** — every page has a position ``#X`` in the
+  backup order, derived from its physical address by :class:`Layout`.
+"""
+
+from repro.storage.page import Page, PageVersion
+from repro.storage.layout import Layout
+from repro.storage.stable_db import StableDatabase
+from repro.storage.backup_db import BackupDatabase, BackupStatus
+
+__all__ = [
+    "Page",
+    "PageVersion",
+    "Layout",
+    "StableDatabase",
+    "BackupDatabase",
+    "BackupStatus",
+]

@@ -1,0 +1,92 @@
+"""Tertiary-storage archive: backups as real files on disk.
+
+The paper's backups live "perhaps stored on tertiary storage"; this
+module gives :class:`~repro.storage.backup_db.BackupDatabase` a durable
+serialized form so the full operational loop — back up online, ship the
+image off the box, restore on a fresh instance — is executable.
+
+Format: a JSON envelope (schema-versioned) containing the backup's
+bookkeeping plus one entry per page.  Page values are arbitrary
+immutable Python data; they are encoded with a small self-describing
+scheme (``_encode``/``_decode``) rather than pickle, so archives are
+inspectable, diffable, and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.codec import CodecError, decode_value, encode_value
+from repro.errors import BackupError
+from repro.ids import PageId
+from repro.storage.backup_db import BackupDatabase, BackupStatus
+from repro.storage.page import PageVersion
+
+FORMAT_VERSION = 1
+
+
+def _encode(value: Any):
+    """Encode a page value (shared codec; BackupError on failure)."""
+    try:
+        return encode_value(value)
+    except CodecError as exc:
+        raise BackupError(str(exc)) from exc
+
+
+def _decode(data: Any):
+    try:
+        return decode_value(data)
+    except CodecError as exc:
+        raise BackupError(str(exc)) from exc
+
+
+def save_backup(backup: BackupDatabase, path: str) -> int:
+    """Write a completed backup to ``path``; returns bytes written."""
+    if not backup.is_complete:
+        raise BackupError(
+            f"backup {backup.backup_id} is {backup.status.value}; only "
+            "completed backups are archived"
+        )
+    envelope: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "backup_id": backup.backup_id,
+        "media_scan_start_lsn": backup.media_scan_start_lsn,
+        "completion_lsn": backup.completion_lsn,
+        "base_backup_id": getattr(backup, "base_backup_id", None),
+        "pages": [
+            {
+                "partition": pid.partition,
+                "slot": pid.slot,
+                "lsn": version.page_lsn,
+                "value": _encode(version.value),
+            }
+            for pid, version in sorted(backup.pages().items())
+        ],
+    }
+    payload = json.dumps(envelope, separators=(",", ":"))
+    with open(path, "w") as handle:
+        handle.write(payload)
+    return os.path.getsize(path)
+
+
+def load_backup(path: str) -> BackupDatabase:
+    """Reconstruct a completed backup from an archive file."""
+    with open(path) as handle:
+        envelope = json.load(handle)
+    if envelope.get("format") != FORMAT_VERSION:
+        raise BackupError(
+            f"unsupported archive format {envelope.get('format')!r}"
+        )
+    backup = BackupDatabase(
+        envelope["backup_id"], envelope["media_scan_start_lsn"]
+    )
+    backup.base_backup_id = envelope.get("base_backup_id")
+    for entry in envelope["pages"]:
+        backup.record_page(
+            PageId(entry["partition"], entry["slot"]),
+            PageVersion(_decode(entry["value"]), entry["lsn"]),
+        )
+    backup.complete(envelope["completion_lsn"])
+    return backup

@@ -1,0 +1,101 @@
+"""The backup database B.
+
+A :class:`BackupDatabase` is the output of one backup run: a fuzzy copy of
+the stable database taken page-by-page while updates continued, plus the
+bookkeeping media recovery needs:
+
+* ``media_scan_start_lsn`` — the media-recovery log scan start point,
+  fixed when the backup begins (section 1.2: "the media recovery log scan
+  start point can be the crash recovery log scan start point at the time
+  backup begins");
+* per-page versions recorded in copy order, so tests can verify that the
+  backup respected the declared backup order.
+
+The backup is immutable once sealed (``complete()``); media recovery only
+ever reads completed backups.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BackupError
+from repro.ids import LSN, PageId
+from repro.storage.page import PageVersion
+
+
+class BackupStatus(enum.Enum):
+    IN_PROGRESS = "in_progress"
+    COMPLETE = "complete"
+    ABORTED = "aborted"
+
+
+class BackupDatabase:
+    """One backup image of the database, fuzzy w.r.t. transaction boundaries."""
+
+    def __init__(self, backup_id: int, media_scan_start_lsn: LSN):
+        self.backup_id = backup_id
+        self.media_scan_start_lsn = media_scan_start_lsn
+        self._versions: Dict[PageId, PageVersion] = {}
+        self._copy_order: List[PageId] = []
+        self._status = BackupStatus.IN_PROGRESS
+        self.completion_lsn: Optional[LSN] = None
+
+    # --------------------------------------------------------------- writing
+
+    def record_page(self, page_id: PageId, version: PageVersion) -> None:
+        """Record the copy of one page from S into this backup."""
+        if self._status is not BackupStatus.IN_PROGRESS:
+            raise BackupError(
+                f"backup {self.backup_id} is {self._status.value}; "
+                "cannot record pages"
+            )
+        if page_id in self._versions:
+            raise BackupError(
+                f"page {page_id!r} copied twice into backup {self.backup_id}"
+            )
+        self._versions[page_id] = version
+        self._copy_order.append(page_id)
+
+    def complete(self, completion_lsn: LSN) -> None:
+        if self._status is not BackupStatus.IN_PROGRESS:
+            raise BackupError(f"backup {self.backup_id} already sealed")
+        self._status = BackupStatus.COMPLETE
+        self.completion_lsn = completion_lsn
+
+    def abort(self) -> None:
+        if self._status is BackupStatus.IN_PROGRESS:
+            self._status = BackupStatus.ABORTED
+
+    # --------------------------------------------------------------- reading
+
+    @property
+    def status(self) -> BackupStatus:
+        return self._status
+
+    @property
+    def is_complete(self) -> bool:
+        return self._status is BackupStatus.COMPLETE
+
+    def read_page(self, page_id: PageId) -> Optional[PageVersion]:
+        return self._versions.get(page_id)
+
+    def pages(self) -> Dict[PageId, PageVersion]:
+        return dict(self._versions)
+
+    def copy_order(self) -> List[PageId]:
+        return list(self._copy_order)
+
+    def copied_count(self) -> int:
+        return len(self._copy_order)
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return page_id in self._versions
+
+    def __repr__(self):
+        return (
+            f"BackupDatabase(id={self.backup_id}, status={self._status.value},"
+            f" pages={len(self._versions)},"
+            f" scan_start={self.media_scan_start_lsn})"
+        )

@@ -1,0 +1,84 @@
+"""Page objects: the paper's recoverable objects.
+
+A page couples a *value* with the LSN of the last logged operation whose
+effect on the page the value reflects (``page_lsn``).  The LSN is what the
+LSN-based redo test of section 2 consults: an operation with LSN ``L`` must
+be replayed against page ``X`` iff ``X.page_lsn < L``.
+
+Values are arbitrary immutable Python objects (tuples, bytes, frozensets,
+ints, strings).  Mutability is rejected defensively for lists/dicts/sets at
+construction, because sharing a mutable value between the cache, S and B
+would silently break the simulation's fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ids import LSN, NULL_LSN, PageId
+
+_MUTABLE_TYPES = (list, dict, set, bytearray)
+
+
+def check_value(value: Any) -> Any:
+    """Reject obviously mutable page values; return the value unchanged."""
+    if isinstance(value, _MUTABLE_TYPES):
+        raise TypeError(
+            f"page values must be immutable; got {type(value).__name__}. "
+            "Use a tuple / frozenset / bytes instead."
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class PageVersion:
+    """An immutable (value, page_lsn) snapshot of a page."""
+
+    value: Any
+    page_lsn: LSN = NULL_LSN
+
+    def __post_init__(self):
+        check_value(self.value)
+        if self.page_lsn < NULL_LSN:
+            raise ValueError(f"page_lsn must be >= {NULL_LSN}")
+
+    def with_update(self, value: Any, lsn: LSN) -> "PageVersion":
+        """Return a new version carrying ``value`` stamped with ``lsn``."""
+        return PageVersion(check_value(value), lsn)
+
+
+@dataclass
+class Page:
+    """A mutable page cell as held by a page store or the cache.
+
+    ``Page`` is a thin mutable wrapper over :class:`PageVersion` so that
+    stores can update in place while snapshots stay immutable.
+    """
+
+    page_id: PageId
+    version: PageVersion
+
+    @classmethod
+    def empty(cls, page_id: PageId, initial_value: Any = None) -> "Page":
+        return cls(page_id, PageVersion(initial_value, NULL_LSN))
+
+    @property
+    def value(self) -> Any:
+        return self.version.value
+
+    @property
+    def page_lsn(self) -> LSN:
+        return self.version.page_lsn
+
+    def update(self, value: Any, lsn: LSN) -> None:
+        """Overwrite the page content, stamping it with ``lsn``.
+
+        LSN-based recovery never rolls state backward, so the stamp must
+        not decrease except for the deliberate NULL_LSN reset used when
+        formatting a store.
+        """
+        self.version = self.version.with_update(value, lsn)
+
+    def snapshot(self) -> PageVersion:
+        return self.version

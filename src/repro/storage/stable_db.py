@@ -1,0 +1,161 @@
+"""The stable database S.
+
+``StableDatabase`` is the simulated disk-resident database the cache
+manager flushes to and the backup process copies from.  It provides:
+
+* atomic single-page writes (disk write atomicity, assumed by the paper);
+* atomic multi-page writes, used when a write-graph node's ``vars`` set
+  contains several pages that must be installed together;
+* simulated *media failure* (``fail_media``): after a failure every access
+  raises :class:`~repro.errors.MediaFailureError` until the database is
+  re-formatted from a backup (``restore_from``).
+
+Write counts are tracked so benchmarks can report I/O volume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import MediaFailureError, PageNotFoundError
+from repro.ids import LSN, PageId
+from repro.storage.layout import Layout
+from repro.storage.page import Page, PageVersion
+
+
+class StableDatabase:
+    """Simulated stable medium holding one page cell per layout slot."""
+
+    def __init__(self, layout: Layout, initial_value: Any = None):
+        self.layout = layout
+        self._pages: Dict[PageId, Page] = {
+            pid: Page.empty(pid, initial_value) for pid in layout.all_pages()
+        }
+        self._failed = False
+        self._failed_partitions: set = set()
+        self.page_writes = 0
+        self.multi_page_flushes = 0
+
+    # ------------------------------------------------------------------ reads
+
+    def read_page(self, page_id: PageId) -> PageVersion:
+        self._check_media(page_id.partition)
+        return self._page(page_id).snapshot()
+
+    def page_lsn(self, page_id: PageId) -> LSN:
+        return self.read_page(page_id).page_lsn
+
+    def iter_pages(self) -> Iterator[Tuple[PageId, PageVersion]]:
+        self._check_media()
+        for pid in self.layout.all_pages():
+            yield pid, self._pages[pid].snapshot()
+
+    def snapshot(self) -> Dict[PageId, PageVersion]:
+        """A consistent point-in-time copy of the whole store (test aid)."""
+        self._check_media()
+        return {pid: page.snapshot() for pid, page in self._pages.items()}
+
+    # ----------------------------------------------------------------- writes
+
+    def write_page(self, page_id: PageId, value: Any, lsn: LSN) -> None:
+        """Atomically overwrite one page (disk write atomicity)."""
+        self._check_media(page_id.partition)
+        self._page(page_id).update(value, lsn)
+        self.page_writes += 1
+
+    def write_pages_atomically(
+        self, versions: Mapping[PageId, PageVersion]
+    ) -> None:
+        """Install several pages as one atomic action.
+
+        Used when a write-graph node requires vars(n) with |vars(n)| > 1 to
+        be flushed together.  All pages are validated before any is
+        modified, so the action is all-or-nothing even on errors.
+        """
+        self._check_media()
+        for pid in versions:
+            self._check_media(pid.partition)
+        cells = [(self._page(pid), ver) for pid, ver in versions.items()]
+        for cell, ver in cells:
+            cell.version = ver
+            self.page_writes += 1
+        if len(cells) > 1:
+            self.multi_page_flushes += 1
+
+    def install_version(self, page_id: PageId, version: PageVersion) -> None:
+        """Atomically overwrite one page with a prepared version."""
+        self.write_pages_atomically({page_id: version})
+
+    # ---------------------------------------------------------- media failure
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail_media(self) -> None:
+        """Simulate loss of the stable medium: content becomes inaccessible."""
+        self._failed = True
+
+    def fail_partition(self, partition: int) -> None:
+        """Partial media failure (§6.3): one partition becomes unreadable."""
+        self.layout.partition_size(partition)  # validates the id
+        self._failed_partitions.add(partition)
+
+    @property
+    def failed_partitions(self) -> frozenset:
+        return frozenset(self._failed_partitions)
+
+    def restore_partition_from(
+        self,
+        partition: int,
+        versions: Mapping[PageId, PageVersion],
+        initial_value: Any = None,
+    ) -> None:
+        """Re-format one partition from backup content; other partitions
+        are untouched."""
+        self._failed_partitions.discard(partition)
+        for pid in self.layout.pages_in_partition(partition):
+            self._pages[pid] = Page.empty(pid, initial_value)
+        for pid, ver in versions.items():
+            if pid.partition != partition:
+                raise PageNotFoundError(pid)
+            self._page(pid).version = ver
+
+    def restore_from(
+        self, versions: Mapping[PageId, PageVersion], initial_value: Any = None
+    ) -> None:
+        """Re-format the store from backup content (off-line restore, §1).
+
+        Pages absent from ``versions`` (never copied because never written)
+        are formatted to the initial value.
+        """
+        self._failed = False
+        self._failed_partitions.clear()
+        self._pages = {
+            pid: Page.empty(pid, initial_value)
+            for pid in self.layout.all_pages()
+        }
+        for pid, ver in versions.items():
+            self._page(pid).version = ver
+
+    # --------------------------------------------------------------- plumbing
+
+    def _page(self, page_id: PageId) -> Page:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+
+    def _check_media(self, partition: Optional[int] = None) -> None:
+        if self._failed:
+            raise MediaFailureError("stable database media has failed")
+        if partition is not None and partition in self._failed_partitions:
+            raise MediaFailureError(
+                f"partition {partition} has suffered a media failure"
+            )
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,184 @@
+"""The log manager: append-only record stream with a force point.
+
+Responsibilities:
+
+* assign LSNs (monotone from 1);
+* track ``flushed_lsn`` — the stable prefix of the log.  A record is only
+  durable (survives a crash) once forced; the WAL rule requires a page's
+  last-update record to be forced before the page reaches S
+  (:meth:`assert_wal` is called by the cache manager before each flush);
+* expose ordered scans from any LSN for recovery and statistics used by
+  the benchmarks (record counts / byte volumes by flag and kind).
+
+For simplicity transactions are not modelled as explicit begin/commit
+records: the paper's protocol is entirely about operation installation
+and redo, and every logged operation is treated as committed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import LogTruncatedError, WALViolationError
+from repro.ids import LSN, NULL_LSN, PageId
+from repro.ops.base import Operation
+from repro.wal.records import LogRecord, RecordFlag
+
+
+class LogManager:
+    def __init__(self, auto_force: bool = True):
+        self._records: List[LogRecord] = []
+        # LSN of the first retained record; physical truncation advances
+        # this (LSN addressing is stable across truncation).
+        self._first_lsn: LSN = 1
+        self._flushed_lsn: LSN = NULL_LSN
+        # When True every append is immediately forced, modelling a system
+        # that forces the log aggressively; tests set False to exercise the
+        # WAL rule and crash-durability boundary.
+        self.auto_force = auto_force
+        self._append_listeners: List[Callable[[LogRecord], None]] = []
+
+    # --------------------------------------------------------------- appends
+
+    def append(
+        self,
+        op: Operation,
+        flags: RecordFlag = RecordFlag.NONE,
+        source: str = "",
+    ) -> LogRecord:
+        record = LogRecord(lsn=self.next_lsn, op=op, flags=flags,
+                           source=source)
+        self._records.append(record)
+        if self.auto_force:
+            self._flushed_lsn = record.lsn
+        for listener in self._append_listeners:
+            listener(record)
+        return record
+
+    def on_append(self, listener: Callable[[LogRecord], None]) -> None:
+        """Register a callback invoked after every append (metrics hooks)."""
+        self._append_listeners.append(listener)
+
+    def force(self, up_to: Optional[LSN] = None) -> None:
+        """Force the log to stable storage up to ``up_to`` (default: all)."""
+        end = self.end_lsn if up_to is None else min(up_to, self.end_lsn)
+        if end > self._flushed_lsn:
+            self._flushed_lsn = end
+
+    def discard_unflushed(self) -> int:
+        """Crash simulation: drop the volatile log tail.
+
+        Records beyond ``flushed_lsn`` never reached stable storage, so a
+        crash loses them.  Returns the number of records lost.
+        """
+        lost = self.end_lsn - self._flushed_lsn
+        if lost > 0:
+            del self._records[self._flushed_lsn - self._first_lsn + 1:]
+        return max(lost, 0)
+
+    # ---------------------------------------------------------------- status
+
+    @property
+    def end_lsn(self) -> LSN:
+        """LSN of the last appended record (first_lsn - 1 when empty)."""
+        return self._first_lsn - 1 + len(self._records)
+
+    @property
+    def next_lsn(self) -> LSN:
+        return self.end_lsn + 1
+
+    @property
+    def first_retained_lsn(self) -> LSN:
+        """Oldest LSN still on the log (after physical truncation)."""
+        return self._first_lsn
+
+    @property
+    def flushed_lsn(self) -> LSN:
+        return self._flushed_lsn
+
+    def assert_wal(self, page_id: PageId, page_lsn: LSN) -> None:
+        """Enforce the write-ahead rule for a page about to be flushed."""
+        if page_lsn > self._flushed_lsn:
+            raise WALViolationError(
+                f"flushing {page_id!r} with page_lsn {page_lsn} but log is "
+                f"only stable to {self._flushed_lsn}"
+            )
+
+    # ----------------------------------------------------------------- scans
+
+    def record_at(self, lsn: LSN) -> LogRecord:
+        if not self._first_lsn <= lsn <= self.end_lsn:
+            raise LogTruncatedError(f"no record at LSN {lsn}")
+        return self._records[lsn - self._first_lsn]
+
+    def scan(self, from_lsn: LSN = 1, to_lsn: Optional[LSN] = None) -> Iterator[LogRecord]:
+        """Records with ``from_lsn <= lsn <= to_lsn`` in LSN order.
+
+        Raises :class:`LogTruncatedError` if the requested range starts
+        before the physically retained prefix — recovery asking for a
+        truncated record is a hard error, never silence.
+        """
+        start = max(from_lsn, 1)
+        end = self.end_lsn if to_lsn is None else min(to_lsn, self.end_lsn)
+        if start < self._first_lsn and start <= end:
+            raise LogTruncatedError(
+                f"scan from LSN {start} but log is truncated before "
+                f"{self._first_lsn}"
+            )
+        for i in range(start - self._first_lsn, end - self._first_lsn + 1):
+            yield self._records[i]
+
+    def durable_scan(self, from_lsn: LSN = 1) -> Iterator[LogRecord]:
+        """Only the records that survived a crash (forced prefix)."""
+        return self.scan(from_lsn, self._flushed_lsn)
+
+    def truncate_prefix(self, up_to_lsn: LSN) -> int:
+        """Physically discard records with LSN < ``up_to_lsn``.
+
+        The caller is responsible for choosing a safe point: crash
+        recovery needs the tracker's truncation point, media recovery
+        needs every retained backup's scan start (see
+        :class:`repro.core.retention.LogRetention`).  Returns the number
+        of records discarded.
+        """
+        if up_to_lsn <= self._first_lsn:
+            return 0
+        cut = min(up_to_lsn, self.end_lsn + 1)
+        discarded = cut - self._first_lsn
+        del self._records[:discarded]
+        self._first_lsn = cut
+        if self._flushed_lsn < self._first_lsn - 1:
+            self._flushed_lsn = self._first_lsn - 1
+        return discarded
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------ statistics
+
+    def count(
+        self,
+        from_lsn: LSN = 1,
+        to_lsn: Optional[LSN] = None,
+        predicate: Optional[Callable[[LogRecord], bool]] = None,
+    ) -> int:
+        return sum(
+            1
+            for r in self.scan(from_lsn, to_lsn)
+            if predicate is None or predicate(r)
+        )
+
+    def bytes_logged(
+        self,
+        from_lsn: LSN = 1,
+        to_lsn: Optional[LSN] = None,
+        predicate: Optional[Callable[[LogRecord], bool]] = None,
+    ) -> int:
+        return sum(
+            r.size_bytes
+            for r in self.scan(from_lsn, to_lsn)
+            if predicate is None or predicate(r)
+        )
+
+    def iwof_count(self, from_lsn: LSN = 1) -> int:
+        return self.count(from_lsn, predicate=lambda r: r.is_iwof)

@@ -1,0 +1,231 @@
+"""Log serialization: operations, records, and whole logs as JSON.
+
+With the backup archive this completes the cross-machine story: a node
+can ship its log as a file and a replacement can reconstruct a working
+:class:`~repro.wal.log_manager.LogManager` from it.
+
+Operations serialize to *specs* keyed by structural family, not by
+Python class: a ``BTreeSplitRemove`` round-trips as a physiological
+operation with transform ``btree_remove_high`` — replay-equivalent by
+construction, because compute always dispatches through the transform
+registry.  Families:
+
+* ``physical``      — target + logged value (+ identity flag);
+* ``physiological`` — target + transform + args;
+* ``logical``       — reads + writes + transform + args + per_target;
+* ``write_new``     — old + new + transform + args (tree class);
+* ``checkpoint``    — the dirty-page table;
+* ``app_step`` / ``app_feed`` / ``app_emit`` / ``app_read`` — the
+  application-runtime forms (resolved back to their exact classes so
+  successor metadata is preserved).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.codec import decode_value, encode_value
+from repro.errors import LogError
+from repro.ids import PageId
+from repro.ops.base import Operation
+from repro.ops.identity import IdentityWrite
+from repro.ops.logical import GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.tree import WriteNew
+from repro.wal.checkpoint import CheckpointOp
+from repro.wal.log_manager import LogManager
+from repro.wal.records import LogRecord, RecordFlag
+
+FORMAT_VERSION = 1
+
+
+def _pid_spec(page: PageId):
+    return [page.partition, page.slot]
+
+
+def _pid_from(spec) -> PageId:
+    return PageId(spec[0], spec[1])
+
+
+def op_to_spec(op: Operation) -> Dict[str, Any]:
+    """Serialize one operation to a JSON-safe spec."""
+    from repro.appfs.application import AppRead
+    from repro.appfs.runtime import AppEmit, AppFeed, AppStep
+
+    if isinstance(op, CheckpointOp):
+        return {
+            "kind": "checkpoint",
+            "table": [
+                [pid.partition, pid.slot, lsn]
+                for pid, lsn in sorted(op.dirty_table.items())
+            ],
+        }
+    if isinstance(op, AppStep):
+        return {
+            "kind": "app_step",
+            "app": _pid_spec(op.app_page),
+            "logic": op.logic_name,
+        }
+    if isinstance(op, AppFeed):
+        return {
+            "kind": "app_feed",
+            "source": _pid_spec(op.source),
+            "app": _pid_spec(op.app_page),
+        }
+    if isinstance(op, AppEmit):
+        return {
+            "kind": "app_emit",
+            "app": _pid_spec(op.app_page),
+            "target": _pid_spec(op.target),
+        }
+    if isinstance(op, AppRead):
+        return {
+            "kind": "app_read",
+            "source": _pid_spec(op.source),
+            "app": _pid_spec(op.app_page),
+        }
+    if isinstance(op, IdentityWrite):
+        return {
+            "kind": "physical",
+            "target": _pid_spec(op.target),
+            "value": encode_value(op.value),
+            "identity": True,
+        }
+    if isinstance(op, PhysicalWrite):
+        return {
+            "kind": "physical",
+            "target": _pid_spec(op.target),
+            "value": encode_value(op.value),
+            "identity": False,
+        }
+    if isinstance(op, WriteNew):
+        return {
+            "kind": "write_new",
+            "old": _pid_spec(op.old),
+            "new": _pid_spec(op.new),
+            "transform": op.transform,
+            "args": encode_value(tuple(op.args)),
+        }
+    if isinstance(op, PhysiologicalWrite):
+        return {
+            "kind": "physiological",
+            "target": _pid_spec(op.target),
+            "transform": op.transform,
+            "args": encode_value(tuple(op.args)),
+        }
+    if isinstance(op, GeneralLogicalOp):
+        return {
+            "kind": "logical",
+            "reads": [_pid_spec(p) for p in sorted(op.readset)],
+            "writes": [_pid_spec(p) for p in sorted(op.writeset)],
+            "transform": op.transform,
+            "args": encode_value(tuple(op.args)),
+            "per_target": op.per_target,
+        }
+    raise LogError(
+        f"cannot serialize operation of type {type(op).__name__}"
+    )
+
+
+def op_from_spec(spec: Dict[str, Any]) -> Operation:
+    """Reconstruct a replay-equivalent operation from a spec."""
+    from repro.appfs.application import AppRead
+    from repro.appfs.runtime import AppEmit, AppFeed, AppStep
+
+    kind = spec.get("kind")
+    if kind == "checkpoint":
+        return CheckpointOp(
+            {PageId(p, s): lsn for p, s, lsn in spec["table"]}
+        )
+    if kind == "app_step":
+        return AppStep(_pid_from(spec["app"]), spec["logic"])
+    if kind == "app_feed":
+        return AppFeed(_pid_from(spec["source"]), _pid_from(spec["app"]))
+    if kind == "app_emit":
+        return AppEmit(_pid_from(spec["app"]), _pid_from(spec["target"]))
+    if kind == "app_read":
+        return AppRead(_pid_from(spec["source"]), _pid_from(spec["app"]))
+    if kind == "physical":
+        cls = IdentityWrite if spec.get("identity") else PhysicalWrite
+        return cls(_pid_from(spec["target"]), decode_value(spec["value"]))
+    if kind == "write_new":
+        return WriteNew(
+            _pid_from(spec["old"]),
+            _pid_from(spec["new"]),
+            spec["transform"],
+            decode_value(spec["args"]),
+        )
+    if kind == "physiological":
+        return PhysiologicalWrite(
+            _pid_from(spec["target"]),
+            spec["transform"],
+            decode_value(spec["args"]),
+        )
+    if kind == "logical":
+        return GeneralLogicalOp(
+            [_pid_from(p) for p in spec["reads"]],
+            [_pid_from(p) for p in spec["writes"]],
+            spec["transform"],
+            decode_value(spec["args"]),
+            per_target=spec["per_target"],
+        )
+    raise LogError(f"unknown operation spec kind {kind!r}")
+
+
+def record_to_spec(record: LogRecord) -> Dict[str, Any]:
+    return {
+        "lsn": record.lsn,
+        "flags": record.flags.value,
+        "source": record.source,
+        "op": op_to_spec(record.op),
+    }
+
+
+def record_from_spec(spec: Dict[str, Any]) -> LogRecord:
+    return LogRecord(
+        lsn=spec["lsn"],
+        op=op_from_spec(spec["op"]),
+        flags=RecordFlag(spec["flags"]),
+        source=spec.get("source", ""),
+    )
+
+
+def save_log(log: LogManager, path: str) -> int:
+    """Serialize the retained, durable portion of a log to a file."""
+    envelope = {
+        "format": FORMAT_VERSION,
+        "first_lsn": log.first_retained_lsn,
+        "flushed_lsn": log.flushed_lsn,
+        "records": [
+            record_to_spec(record)
+            for record in log.durable_scan(log.first_retained_lsn)
+        ],
+    }
+    with open(path, "w") as handle:
+        handle.write(json.dumps(envelope, separators=(",", ":")))
+    return os.path.getsize(path)
+
+
+def load_log(path: str) -> LogManager:
+    """Reconstruct a LogManager (with original LSNs) from a file."""
+    with open(path) as handle:
+        envelope = json.load(handle)
+    if envelope.get("format") != FORMAT_VERSION:
+        raise LogError(
+            f"unsupported log format {envelope.get('format')!r}"
+        )
+    log = LogManager(auto_force=True)
+    log._first_lsn = envelope["first_lsn"]  # noqa: SLF001
+    for spec in envelope["records"]:
+        record = record_from_spec(spec)
+        if record.lsn != log.next_lsn:
+            raise LogError(
+                f"log file out of sequence at LSN {record.lsn} "
+                f"(expected {log.next_lsn})"
+            )
+        log._records.append(record)  # noqa: SLF001
+    log.force()
+    return log

@@ -1,0 +1,58 @@
+"""Log truncation / rLSN tracking.
+
+The crash-recovery log scan start point is the minimum *recovery LSN*
+(recLSN) over all dirty pages: every operation that might need replay has
+an LSN at or after it.  The paper's Iw/oF insight (sections 3.2, 2.5) shows
+up here concretely: logging an identity write for a page *advances its
+rLSN* exactly the way flushing does, "permitting the truncation of the log
+in the same way that flushing does".
+
+``RecLSNTracker`` is maintained by the cache manager:
+
+* ``mark_dirty(page, lsn)`` when a clean page is first updated;
+* ``mark_installed(page)`` when the page's operations are installed —
+  either by an actual flush or by Iw/oF logging of its value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ids import LSN, PageId
+
+
+class RecLSNTracker:
+    def __init__(self):
+        self._rec_lsn: Dict[PageId, LSN] = {}
+
+    def mark_dirty(self, page_id: PageId, lsn: LSN) -> None:
+        """Record the first update of a clean page (keeps the oldest LSN)."""
+        self._rec_lsn.setdefault(page_id, lsn)
+
+    def mark_installed(self, page_id: PageId) -> None:
+        """The page's pending updates are now recoverable without the log
+        prefix (flushed to S, or identity-logged)."""
+        self._rec_lsn.pop(page_id, None)
+
+    def mark_redirtied(self, page_id: PageId, lsn: LSN) -> None:
+        """A page updated again after installation restarts its recLSN."""
+        self._rec_lsn[page_id] = lsn
+
+    def rec_lsn(self, page_id: PageId) -> Optional[LSN]:
+        return self._rec_lsn.get(page_id)
+
+    def truncation_point(self, end_lsn: LSN) -> LSN:
+        """First LSN that must be retained; ``end_lsn + 1`` if none dirty.
+
+        Recovery scans from this LSN; everything before it may be
+        discarded from the (crash) log.
+        """
+        if not self._rec_lsn:
+            return end_lsn + 1
+        return min(self._rec_lsn.values())
+
+    def dirty_count(self) -> int:
+        return len(self._rec_lsn)
+
+    def dirty_pages(self):
+        return set(self._rec_lsn)

@@ -1,0 +1,17 @@
+"""Seeded workload generators for the experiments and tests."""
+
+from repro.workloads.generators import (
+    copy_chain_workload,
+    fresh_copy_workload,
+    mixed_logical_workload,
+    page_oriented_workload,
+    tree_split_workload,
+)
+
+__all__ = [
+    "page_oriented_workload",
+    "fresh_copy_workload",
+    "copy_chain_workload",
+    "mixed_logical_workload",
+    "tree_split_workload",
+]

@@ -1,0 +1,206 @@
+"""Workload generators.
+
+Each generator is an iterator of :class:`~repro.ops.base.Operation`
+driven by a seeded :class:`random.Random`, so runs are reproducible.
+
+* :func:`page_oriented_workload` — uniform physiological updates; the
+  traditional setting where a naive fuzzy dump is already correct.
+* :func:`fresh_copy_workload` — the section-5 measurement shape: each
+  operation reads a uniformly random initialized page and writes a fresh
+  (or recycled-clean) page.  Every flushed page has exactly one
+  successor, matching the analysis assumptions of sections 5.1/5.2.
+  Emitted as ``CopyOp`` (general class) or ``WriteNew`` (tree class).
+* :func:`copy_chain_workload` — adversarial chains ``copy(X₁,X₂),
+  copy(X₂,X₃)…`` plus overwrites of sources: deep write-graph paths.
+* :func:`mixed_logical_workload` — a stress mix of physical,
+  physiological, copy, and multi-target logical operations.
+* :func:`tree_split_workload` — MovRec/RmvRec pairs plus record inserts:
+  the B-tree-shaped tree-operation workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Set
+
+from repro.ids import PageId
+from repro.ops.base import Operation
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.tree import MovRec, RmvRec, WriteNew
+from repro.storage.layout import Layout
+
+
+def _all_pages(layout: Layout) -> List[PageId]:
+    return list(layout.all_pages())
+
+
+def page_oriented_workload(
+    layout: Layout, seed: int = 0, count: Optional[int] = None
+) -> Iterator[Operation]:
+    """Uniform single-page updates: increments and physical writes."""
+    rng = random.Random(seed)
+    pages = _all_pages(layout)
+    emitted = 0
+    while count is None or emitted < count:
+        page = rng.choice(pages)
+        if rng.random() < 0.3:
+            yield PhysicalWrite(page, rng.randrange(1_000_000))
+        else:
+            yield PhysiologicalWrite(page, "increment", (1,))
+        emitted += 1
+
+
+def fresh_copy_workload(
+    layout: Layout,
+    seed: int = 0,
+    count: Optional[int] = None,
+    tree_ops: bool = False,
+    is_clean=None,
+) -> Iterator[Operation]:
+    """Read a random initialized page, write a fresh/recycled-clean page.
+
+    ``is_clean(page)`` (optional) gates recycling: a previously written
+    page is reused as a target only once it reports clean — keeping every
+    dirty page's successor count at exactly one, per the section 5 model.
+    """
+    rng = random.Random(seed)
+    pages = _all_pages(layout)
+    rng.shuffle(pages)
+    initialized: List[PageId] = []
+    fresh: List[PageId] = pages[:]
+    emitted = 0
+    # Seed the database with a handful of initialized source pages.
+    for _ in range(min(8, len(fresh))):
+        page = fresh.pop()
+        initialized.append(page)
+        yield PhysicalWrite(page, (("seed", page.slot),))
+        emitted += 1
+    while count is None or emitted < count:
+        if fresh:
+            target = fresh.pop()
+        else:
+            candidates = [
+                p
+                for p in initialized
+                if is_clean is None or is_clean(p)
+            ]
+            if not candidates:
+                return
+            target = rng.choice(candidates)
+        sources = [p for p in initialized if p != target]
+        if not sources:
+            return
+        source = rng.choice(sources)
+        if tree_ops:
+            yield WriteNew(source, target, "copy_value")
+        else:
+            yield CopyOp(source, target)
+        if target not in initialized:
+            initialized.append(target)
+        emitted += 1
+
+
+def copy_chain_workload(
+    layout: Layout,
+    seed: int = 0,
+    count: int = 100,
+    chain_length: int = 4,
+) -> Iterator[Operation]:
+    """Chains of copies followed by overwrites of the chain's sources."""
+    rng = random.Random(seed)
+    pages = _all_pages(layout)
+    emitted = 0
+    while emitted < count:
+        chain = rng.sample(pages, min(chain_length + 1, len(pages)))
+        head = chain[0]
+        yield PhysicalWrite(head, ("chain-head", rng.randrange(1 << 16)))
+        emitted += 1
+        for src, dst in zip(chain, chain[1:]):
+            if emitted >= count:
+                return
+            yield CopyOp(src, dst)
+            emitted += 1
+            if emitted >= count:
+                return
+            # Overwrite the source: creates the flush dependency.
+            yield PhysiologicalWrite(src, "stamp", (rng.randrange(1 << 16),))
+            emitted += 1
+
+
+def mixed_logical_workload(
+    layout: Layout, seed: int = 0, count: int = 200
+) -> Iterator[Operation]:
+    """A stress mix exercising every general operation form."""
+    rng = random.Random(seed)
+    pages = _all_pages(layout)
+    emitted = 0
+    while emitted < count:
+        roll = rng.random()
+        if roll < 0.25:
+            yield PhysicalWrite(rng.choice(pages), rng.randrange(1 << 20))
+        elif roll < 0.55:
+            yield PhysiologicalWrite(
+                rng.choice(pages), "stamp", (rng.randrange(1 << 16),)
+            )
+        elif roll < 0.85:
+            src, dst = rng.sample(pages, 2)
+            yield CopyOp(src, dst)
+        else:
+            k = rng.randrange(2, 4)
+            reads = rng.sample(pages, k)
+            writes = rng.sample(pages, rng.randrange(1, 3))
+            yield GeneralLogicalOp(
+                reads, writes, "concat_sorted", per_target=False
+            )
+        emitted += 1
+
+
+def tree_split_workload(
+    layout: Layout,
+    seed: int = 0,
+    count: int = 200,
+    records_per_page: int = 8,
+) -> Iterator[Operation]:
+    """B-tree-shaped tree operations: inserts and MovRec/RmvRec splits.
+
+    Pages hold sorted ``(key, payload)`` tuples; when a page fills up it
+    splits into a fresh page via the logical MovRec/RmvRec pair.
+    """
+    rng = random.Random(seed)
+    pages = _all_pages(layout)
+    rng.shuffle(pages)
+    fresh = pages[:]
+    live: List[PageId] = []
+    fill: dict = {}
+    emitted = 0
+    # Initialize one live page.
+    first = fresh.pop()
+    live.append(first)
+    fill[first] = 0
+    yield PhysicalWrite(first, ())
+    emitted += 1
+    key_counter = 0
+    while emitted < count:
+        page = rng.choice(live)
+        if fill[page] >= records_per_page and fresh:
+            new = fresh.pop()
+            split_key = key_counter - fill[page] // 2
+            yield MovRec(page, split_key, new)
+            emitted += 1
+            if emitted >= count:
+                return
+            yield RmvRec(page, split_key)
+            emitted += 1
+            live.append(new)
+            moved = fill[page] // 2
+            fill[new] = moved
+            fill[page] -= moved
+        else:
+            key_counter += 1
+            yield PhysiologicalWrite(
+                page, "insert_record", (key_counter, f"v{key_counter}")
+            )
+            fill[page] = fill.get(page, 0) + 1
+            emitted += 1

@@ -1,0 +1,58 @@
+"""Skewed (hotspot) workloads — for the §5.3 amortization ablation.
+
+"Further, multiple updates can accumulate in each object before we log
+or flush it.  Hence, as is common in database systems, the cost of
+flushing (and logging) is amortised over several updating operations."
+
+The generator sends ``hot_fraction`` of updates to ``hot_pages`` pages
+(a classic 90/10-style hotspot), mixing physiological updates with
+occasional logical copies out of the hot set, so hot pages stay dirty
+and keep accumulating updates between installs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.ids import PageId
+from repro.ops.base import Operation
+from repro.ops.logical import CopyOp
+from repro.ops.physiological import PhysiologicalWrite
+from repro.storage.layout import Layout
+
+
+def hotspot_workload(
+    layout: Layout,
+    seed: int = 0,
+    count: Optional[int] = None,
+    hot_pages: int = 4,
+    hot_fraction: float = 0.9,
+    copy_fraction: float = 0.1,
+) -> Iterator[Operation]:
+    """Updates concentrated on a small hot set.
+
+    ``copy_fraction`` of operations copy a hot page to a uniformly
+    random cold page — the logical operations that make the hot pages
+    write-graph predecessors.
+    """
+    rng = random.Random(seed)
+    pages = list(layout.all_pages())
+    if hot_pages >= len(pages):
+        raise ValueError("hot set must be smaller than the database")
+    hot = pages[:hot_pages]
+    cold = pages[hot_pages:]
+    emitted = 0
+    while count is None or emitted < count:
+        if rng.random() < copy_fraction:
+            yield CopyOp(rng.choice(hot), rng.choice(cold))
+        else:
+            target = (
+                rng.choice(hot)
+                if rng.random() < hot_fraction
+                else rng.choice(cold)
+            )
+            yield PhysiologicalWrite(
+                target, "stamp", (rng.randrange(1 << 16),)
+            )
+        emitted += 1

@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import Database
+from repro.ids import PageId
+from repro.storage.layout import Layout
+
+
+@pytest.fixture
+def layout():
+    return Layout([32])
+
+
+@pytest.fixture
+def layout_multi():
+    return Layout([16, 24, 8])
+
+
+@pytest.fixture
+def db():
+    return Database(pages_per_partition=[32], policy="general")
+
+
+@pytest.fixture
+def tree_db():
+    return Database(pages_per_partition=[64], policy="tree")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def pid(slot: int, partition: int = 0) -> PageId:
+    return PageId(partition, slot)
+
+
+def drive_backup_interleaved(db, op_iter, steps=4, ops_per_tick=2,
+                             installs_per_tick=2, pages_per_tick=4, seed=0):
+    """Run a backup to completion with the op stream interleaved."""
+    rng = random.Random(seed)
+    db.start_backup(steps=steps)
+    while db.backup_in_progress():
+        db.backup_step(pages_per_tick)
+        for _ in range(ops_per_tick):
+            op = next(op_iter, None)
+            if op is not None:
+                db.execute(op)
+        db.install_some(installs_per_tick, rng)
+    return db.latest_backup()

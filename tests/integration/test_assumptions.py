@@ -1,0 +1,119 @@
+"""Integration: the protocol's stated assumptions, demonstrated.
+
+The paper assumes (1) I/O page atomicity and (2) atomic multi-page
+flushes for write-graph nodes with |vars| > 1.  These tests show the
+assumptions are *load-bearing*: violating them with an injected torn
+write produces exactly the unrecoverable states the machinery otherwise
+prevents — and the structural checker catches the damage.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ReproError
+from repro.ids import PageId
+from repro.ops.logical import GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.storage.page import PageVersion
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+class TornWrite(ReproError):
+    """Injected crash in the middle of a multi-page stable write."""
+
+
+def tear_multi_page_writes(stable, after_pages=1):
+    """Monkeypatch: apply only the first ``after_pages`` pages of the
+    next multi-page atomic write, then crash."""
+    original = stable.write_pages_atomically
+
+    def torn(versions):
+        if len(versions) <= after_pages:
+            return original(versions)
+        applied = dict(list(sorted(versions.items()))[:after_pages])
+        original(applied)
+        raise TornWrite("crash mid multi-page flush")
+
+    stable.write_pages_atomically = torn
+    return original
+
+
+class TestMultiPageAtomicityIsLoadBearing:
+    def _db_with_pair_node(self):
+        """A write-graph node with vars = {X, Y} awaiting atomic flush."""
+        db = Database(pages_per_partition=[16], policy="general")
+        db.execute(PhysicalWrite(pid(5), ("source",)))
+        db.checkpoint()
+        # One logical op writing two pages -> |vars(n)| = 2.
+        db.execute(
+            GeneralLogicalOp([pid(5)], [pid(1), pid(2)], "copy_value")
+        )
+        # Overwrite the source so replay of the logical op needs order.
+        db.execute(PhysiologicalWrite(pid(5), "stamp", ("post",)))
+        return db
+
+    def test_atomic_flush_keeps_things_recoverable(self):
+        db = self._db_with_pair_node()
+        db.checkpoint()
+        db.crash()
+        assert db.recover().ok
+
+    def test_torn_multi_page_flush_breaks_recovery(self):
+        """Tear the {X, Y} flush: X lands, Y does not, but both pages'
+        operations were considered installed — recovery goes wrong
+        unless atomicity holds.
+
+        We tear the PAIR flush and then also let the source's overwrite
+        reach S (as a cache manager believing the install succeeded
+        would).  The recovered state then disagrees with the oracle.
+        """
+        db = self._db_with_pair_node()
+        node = db.cm.graph.holder_of(pid(1))
+        assert node.vars == {pid(1), pid(2)}
+        original = tear_multi_page_writes(db.stable, after_pages=1)
+        with pytest.raises(TornWrite):
+            db.cm.install_node(node)
+        db.stable.write_pages_atomically = original
+        # The damage: simulate the "believed installed" aftermath by
+        # flushing the source overwrite directly (what a CM whose
+        # bookkeeping ran ahead of the torn write would have done).
+        cached = db.cm.cached(pid(5))
+        db.stable.write_page(pid(5), cached.value, cached.page_lsn)
+        db.crash()
+        outcome = db.recover()
+        assert not outcome.ok, (
+            "a torn multi-page flush plus a premature source overwrite "
+            "must be unrecoverable — page atomicity is load-bearing"
+        )
+
+    def test_structural_checker_flags_the_torn_state(self):
+        db = self._db_with_pair_node()
+        node = db.cm.graph.holder_of(pid(1))
+        original = tear_multi_page_writes(db.stable, after_pages=1)
+        with pytest.raises(TornWrite):
+            db.cm.install_node(node)
+        db.stable.write_pages_atomically = original
+        cached = db.cm.cached(pid(5))
+        db.stable.write_page(pid(5), cached.value, cached.page_lsn)
+        from repro.recovery.explain import find_order_violations
+
+        violations = find_order_violations(
+            db.stable.snapshot(), list(db.log.scan())
+        )
+        assert violations, "the torn state violates installation order"
+
+
+class TestSinglePageAtomicityAssumption:
+    def test_partial_page_value_is_modelled_as_impossible(self):
+        """Single-page writes are atomic by construction: a PageVersion
+        is swapped in whole.  This test pins that modelling decision."""
+        db = Database(pages_per_partition=[8], policy="general")
+        db.execute(PhysicalWrite(pid(0), ("whole", "value")))
+        db.flush_page(pid(0))
+        version = db.stable.read_page(pid(0))
+        assert isinstance(version, PageVersion)
+        assert version.value == ("whole", "value")

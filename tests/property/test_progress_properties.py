@@ -1,0 +1,80 @@
+"""Property-based tests for progress tracking and the analysis model."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core import analysis
+from repro.core.progress import BackupRegion, PartitionProgress
+from repro.storage.layout import Layout
+
+
+class TestProgressProperties:
+    @given(
+        st.integers(2, 200),
+        st.integers(1, 16),
+        st.integers(0, 199),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_regions_partition_positions_at_every_step(
+        self, size, steps, probe
+    ):
+        assume(probe < size)
+        layout = Layout([size])
+        progress = PartitionProgress(0, size)
+        boundaries = layout.step_boundaries(0, steps)
+        progress.begin(boundaries[0])
+        seen_regions = []
+        for boundary in boundaries[1:] + [None]:
+            region = progress.classify(probe)
+            seen_regions.append(region)
+            assert 0 <= progress.done <= progress.pending <= size
+            if boundary is not None:
+                progress.advance(boundary)
+        progress.finish()
+        # A position's region only ever moves PEND -> DOUBT -> DONE.
+        order = {
+            BackupRegion.PEND: 0,
+            BackupRegion.DOUBT: 1,
+            BackupRegion.DONE: 2,
+        }
+        ranks = [order[r] for r in seen_regions]
+        assert ranks == sorted(ranks)
+
+    @given(st.integers(2, 200), st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_doubt_region_sizes_roughly_equal(self, size, steps):
+        """Section 5 models N equal steps; boundaries should divide the
+        partition into near-equal pieces."""
+        layout = Layout([size])
+        boundaries = layout.step_boundaries(0, steps)
+        widths = [b - a for a, b in zip([0] + boundaries, boundaries)]
+        if steps <= size:
+            assert max(widths) - min(widths) <= 1 + size // steps // 8
+
+
+class TestAnalysisProperties:
+    @given(st.integers(1, 512))
+    def test_curves_bounded_and_ordered(self, steps):
+        general = analysis.general_extra_logging(steps)
+        tree = analysis.tree_extra_logging(steps)
+        assert 0.0 <= tree <= general <= 1.0
+        assert general >= analysis.general_asymptote()
+        assert tree >= analysis.tree_asymptote() - 1e-12
+
+    @given(st.integers(1, 256))
+    def test_more_steps_never_hurt(self, steps):
+        assert analysis.general_extra_logging(
+            steps + 1
+        ) <= analysis.general_extra_logging(steps)
+        assert analysis.tree_extra_logging(
+            steps + 1
+        ) <= analysis.tree_extra_logging(steps)
+
+    @given(st.integers(1, 64))
+    def test_step_probabilities_are_probabilities(self, steps):
+        for m in range(1, steps + 1):
+            assert 0.0 <= analysis.general_step_probability(m, steps) <= 1.0
+            # Tree step probability can dip microscopically below zero
+            # only through the -1/(2N^2) correction at m=1, N=1; the
+            # formula itself stays within [0, 1] for all valid (m, N).
+            assert -1e-9 <= analysis.tree_step_probability(m, steps) <= 1.0

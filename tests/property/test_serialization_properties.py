@@ -1,0 +1,99 @@
+"""Property-based tests for the codec and operation serialization."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.codec import decode_value, encode_value
+from repro.ids import PageId
+from repro.wal.log_manager import LogManager
+from repro.wal.serialize import (
+    op_from_spec,
+    op_to_spec,
+    record_from_spec,
+    record_to_spec,
+)
+
+# ---------------------------------------------------------------------------
+# Codec: arbitrary nested immutable values round-trip exactly.
+# ---------------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.floats(allow_nan=False, width=32),
+    st.builds(PageId, st.integers(0, 7), st.integers(0, 63)),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.lists(
+            st.one_of(
+                st.integers(0, 100), st.text(max_size=5)
+            ),
+            max_size=4,
+            unique=True,
+        ).map(frozenset),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCodecProperties:
+    @given(values)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_identity(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_encoded_form_is_json_safe(self, value):
+        import json
+
+        json.dumps(encode_value(value))
+
+
+# ---------------------------------------------------------------------------
+# Operations: every generated operation round-trips replay-equivalently.
+# ---------------------------------------------------------------------------
+
+from tests.property.test_write_graph_properties import (  # noqa: E402
+    N_PAGES,
+    operations,
+)
+
+
+class TestOpSpecProperties:
+    @given(operations())
+    @settings(max_examples=300, deadline=None)
+    def test_sets_and_effects_preserved(self, op):
+        clone = op_from_spec(op_to_spec(op))
+        assert clone.readset == op.readset
+        assert clone.writeset == op.writeset
+        # Apply both to the same inputs: identical results, or the same
+        # failure (a type-mismatched transform fails the same way on
+        # both sides — what matters is replay equivalence).
+        reads = {pid: ((1, "x"),) for pid in op.readset}
+
+        def outcome(operation):
+            try:
+                return ("ok", operation.apply(reads))
+            except Exception as exc:  # noqa: BLE001
+                return ("err", type(exc).__name__)
+
+        assert outcome(clone) == outcome(op)
+
+    @given(operations(), st.sampled_from(["", "txn-9", "loader"]))
+    @settings(max_examples=150, deadline=None)
+    def test_record_roundtrip(self, op, source):
+        log = LogManager()
+        record = log.append(op, source=source)
+        clone = record_from_spec(record_to_spec(record))
+        assert clone.lsn == record.lsn
+        assert clone.source == record.source
+        assert clone.flags == record.flags
+        assert clone.op.writeset == record.op.writeset

@@ -1,0 +1,105 @@
+"""Unit tests for the section 5 closed forms."""
+
+import math
+
+import pytest
+
+from repro.core import analysis
+
+
+class TestGeneralCurve:
+    def test_one_step_always_logs(self):
+        """N=1: 'we must always do the extra logging.'"""
+        assert analysis.general_extra_logging(1) == pytest.approx(1.0)
+
+    def test_asymptote_is_half(self):
+        assert analysis.general_extra_logging(10_000) == pytest.approx(
+            0.5, abs=1e-3
+        )
+        assert analysis.general_asymptote() == 0.5
+
+    def test_closed_form_matches_step_average(self):
+        for steps in (1, 2, 4, 8, 16, 32):
+            average = sum(
+                analysis.general_step_probability(m, steps)
+                for m in range(1, steps + 1)
+            ) / steps
+            assert analysis.general_extra_logging(steps) == pytest.approx(
+                average
+            )
+
+    def test_monotone_decreasing(self):
+        values = [analysis.general_extra_logging(n) for n in range(1, 65)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestTreeCurve:
+    def test_asymptote_is_one_sixth(self):
+        """'Only one flush in six needs extra logging.'"""
+        assert analysis.tree_extra_logging(10_000) == pytest.approx(
+            1 / 6, abs=1e-3
+        )
+        assert analysis.tree_asymptote() == pytest.approx(1 / 6)
+
+    def test_n1_value(self):
+        # 1/6 + 1/2 - 1/6 = 1/2.
+        assert analysis.tree_extra_logging(1) == pytest.approx(0.5)
+
+    def test_closed_form_matches_step_average(self):
+        for steps in (2, 4, 8, 16, 32):
+            average = sum(
+                analysis.tree_step_probability(m, steps)
+                for m in range(1, steps + 1)
+            ) / steps
+            assert analysis.tree_extra_logging(steps) == pytest.approx(
+                average, abs=1e-9
+            )
+
+    def test_tree_below_general_everywhere(self):
+        """Tree operations reduce logging by half to two thirds (§5.3)."""
+        for steps in range(1, 65):
+            tree = analysis.tree_extra_logging(steps)
+            general = analysis.general_extra_logging(steps)
+            assert tree <= general
+            if steps > 1:
+                assert 0.3 <= 1 - tree / general <= 0.75
+
+
+class TestReductionFraction:
+    def test_ninety_percent_by_eight_steps(self):
+        """§5.3: 'most of the reduction (almost 90%) has been achieved
+        with an eight step backup.'"""
+        # general: 93.75% by N=8; tree: 82% by N=8, 91% by N=16 — "most
+        # of the reduction", with little incentive beyond eight steps.
+        for kind in ("general", "tree"):
+            at8 = analysis.reduction_fraction(8, kind)
+            assert 0.80 <= at8 < 0.95
+            gain_beyond_8 = analysis.reduction_fraction(32, kind) - at8
+            assert gain_beyond_8 < 0.15
+
+    def test_bounds(self):
+        for kind in ("general", "tree"):
+            assert analysis.reduction_fraction(1, kind) == pytest.approx(0.0)
+            assert analysis.reduction_fraction(4096, kind) == pytest.approx(
+                1.0, abs=1e-3
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.reduction_fraction(8, "quantum")
+
+
+class TestFigure5Series:
+    def test_default_series_shape(self):
+        rows = analysis.figure5_series()
+        assert [n for n, _, _ in rows] == [1, 2, 4, 8, 16, 32]
+        for _, general, tree in rows:
+            assert tree <= general
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            analysis.general_extra_logging(0)
+        with pytest.raises(ValueError):
+            analysis.tree_step_probability(0, 4)
+        with pytest.raises(ValueError):
+            analysis.general_step_probability(5, 4)

@@ -1,0 +1,106 @@
+"""Unit tests for application recovery operations (sections 1.1, 6.2)."""
+
+import pytest
+
+from repro.appfs.application import (
+    AppExec,
+    AppRead,
+    AppWrite,
+    ApplicationManager,
+)
+from repro.db import Database
+from repro.errors import OperationError, ReproError
+from repro.ids import PageId
+
+
+@pytest.fixture
+def db():
+    return Database(pages_per_partition=[32], policy="tree")
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+class TestAppOps:
+    def test_exec_transforms_state(self):
+        op = AppExec(pid(1), "step1")
+        assert op.apply({pid(1): ("init",)}) == {
+            pid(1): ("exec", "step1", ("init",))
+        }
+        assert op.readset == op.writeset == {pid(1)}
+
+    def test_read_combines_state_and_input(self):
+        op = AppRead(pid(0), pid(1))
+        result = op.apply({pid(0): "data", pid(1): ("init",)})
+        assert result == {pid(1): ("read", "data", ("init",))}
+        assert op.readset == {pid(0), pid(1)}
+        assert op.writeset == {pid(1)}
+
+    def test_read_logs_identifiers_only(self):
+        assert AppRead(pid(0), pid(1)).log_record_size() < 64
+
+    def test_read_successor_pair(self):
+        """X's next change must flush after A (section 6.2)."""
+        op = AppRead(pid(0), pid(1))
+        assert op.successor_pairs() == ((pid(1), pid(0)),)
+
+    def test_self_read_rejected(self):
+        with pytest.raises(OperationError):
+            AppRead(pid(1), pid(1))
+
+    def test_write_outputs_from_state(self):
+        op = AppWrite(pid(1), pid(2))
+        result = op.apply({pid(1): ("state",)})
+        assert result[pid(2)] == ("derived", "output", ("state",))
+        assert op.successor_pairs() == ((pid(2), pid(1)),)
+
+
+class TestApplicationManager:
+    def test_apps_placed_at_partition_end_by_default(self, db):
+        manager = ApplicationManager(db, app_slots=2)
+        page = manager.launch("a")
+        assert page.slot >= db.layout.partition_size(0) - 2
+
+    def test_apps_placed_at_front_on_request(self, db):
+        manager = ApplicationManager(db, app_slots=2, at_end=False)
+        assert manager.launch("a").slot < 2
+
+    def test_duplicate_launch_rejected(self, db):
+        manager = ApplicationManager(db, app_slots=2)
+        manager.launch("a")
+        with pytest.raises(ReproError):
+            manager.launch("a")
+
+    def test_slots_exhaust(self, db):
+        manager = ApplicationManager(db, app_slots=1)
+        manager.launch("a")
+        with pytest.raises(ReproError):
+            manager.launch("b")
+
+    def test_state_evolution(self, db):
+        manager = ApplicationManager(db, app_slots=1)
+        manager.launch("app", initial_state=("init",))
+        manager.execute_step("app", "s1")
+        state = manager.state_of("app")
+        assert state == ("exec", "s1", ("init",))
+
+    def test_read_and_write_roundtrip(self, db):
+        manager = ApplicationManager(db, app_slots=1)
+        manager.launch("app")
+        source, target = pid(3), pid(4)
+        from repro.ops.physical import PhysicalWrite
+
+        db.execute(PhysicalWrite(source, "input"))
+        manager.read_into("app", source)
+        manager.write_out("app", target)
+        assert db.read(target)[0] == "derived"
+
+    def test_unknown_app_rejected(self, db):
+        manager = ApplicationManager(db)
+        with pytest.raises(ReproError):
+            manager.state_of("ghost")
+
+    def test_too_many_slots_rejected(self, db):
+        with pytest.raises(ReproError):
+            ApplicationManager(db, app_slots=99)

@@ -1,0 +1,47 @@
+"""Unit tests for CSV result artifacts."""
+
+import csv
+import os
+
+from repro.harness import artifacts
+
+
+class TestWriteCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = artifacts.write_csv(
+            str(tmp_path / "out.csv"), ["a", "b"], [(1, 2), (3, 4)]
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = artifacts.write_csv(
+            str(tmp_path / "nested" / "dir" / "out.csv"), ["x"], [(1,)]
+        )
+        assert os.path.exists(path)
+
+
+class TestFigureArtifacts:
+    def test_fig4_grid_csv(self, tmp_path):
+        path = artifacts.write_fig4(str(tmp_path), size=12)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 144
+        # Policy and analytic agree on every cell.
+        assert all(r["policy_logs"] == r["analytic_logs"] for r in rows)
+
+    def test_quick_write_all(self, tmp_path):
+        paths = artifacts.write_all(str(tmp_path), quick=True)
+        assert len(paths) == 3
+        for path in paths:
+            assert os.path.getsize(path) > 0
+
+    def test_fig5_csv_shape(self, tmp_path):
+        path = artifacts.write_fig5(
+            str(tmp_path), step_counts=(1, 2), seeds=(1,), pages=256
+        )
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert {r["kind"] for r in rows} == {"general", "tree"}
+        assert {r["steps"] for r in rows} == {"1", "2"}

@@ -1,0 +1,59 @@
+"""Unit tests for the backup database B."""
+
+import pytest
+
+from repro.errors import BackupError
+from repro.ids import PageId
+from repro.storage.backup_db import BackupDatabase, BackupStatus
+from repro.storage.page import PageVersion
+
+
+@pytest.fixture
+def backup():
+    return BackupDatabase(backup_id=1, media_scan_start_lsn=10)
+
+
+class TestRecording:
+    def test_records_pages_in_copy_order(self, backup):
+        backup.record_page(PageId(0, 1), PageVersion("a", 1))
+        backup.record_page(PageId(0, 0), PageVersion("b", 2))
+        assert backup.copy_order() == [PageId(0, 1), PageId(0, 0)]
+        assert backup.copied_count() == 2
+
+    def test_duplicate_copy_rejected(self, backup):
+        backup.record_page(PageId(0, 1), PageVersion("a", 1))
+        with pytest.raises(BackupError):
+            backup.record_page(PageId(0, 1), PageVersion("a", 1))
+
+    def test_read_back(self, backup):
+        backup.record_page(PageId(0, 1), PageVersion("a", 5))
+        assert backup.read_page(PageId(0, 1)).page_lsn == 5
+        assert backup.read_page(PageId(0, 2)) is None
+        assert PageId(0, 1) in backup
+
+
+class TestSealing:
+    def test_complete_freezes_backup(self, backup):
+        backup.complete(completion_lsn=42)
+        assert backup.is_complete
+        assert backup.completion_lsn == 42
+        with pytest.raises(BackupError):
+            backup.record_page(PageId(0, 0), PageVersion("x", 1))
+
+    def test_double_complete_rejected(self, backup):
+        backup.complete(1)
+        with pytest.raises(BackupError):
+            backup.complete(2)
+
+    def test_abort(self, backup):
+        backup.abort()
+        assert backup.status is BackupStatus.ABORTED
+        assert not backup.is_complete
+
+    def test_abort_after_complete_is_noop(self, backup):
+        backup.complete(1)
+        backup.abort()
+        assert backup.status is BackupStatus.COMPLETE
+
+    def test_scan_start_preserved(self, backup):
+        assert backup.media_scan_start_lsn == 10

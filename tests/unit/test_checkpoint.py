@@ -1,0 +1,98 @@
+"""Unit tests for checkpoint records and the scan-start protocol."""
+
+import pytest
+
+from repro.db import Database
+from repro.ids import PageId
+from repro.ops.physical import PhysicalWrite
+from repro.wal.checkpoint import CheckpointManager, CheckpointOp
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+@pytest.fixture
+def db():
+    return Database(pages_per_partition=[16], policy="general")
+
+
+class TestCheckpointOp:
+    def test_reads_and_writes_nothing(self):
+        op = CheckpointOp({pid(0): 5})
+        assert op.readset == frozenset()
+        assert op.writeset == frozenset()
+        assert op.apply({}) == {}
+
+    def test_min_rec_lsn(self):
+        assert CheckpointOp({pid(0): 5, pid(1): 3}).min_rec_lsn == 3
+        assert CheckpointOp({}).min_rec_lsn is None
+
+    def test_size_scales_with_table(self):
+        small = CheckpointOp({pid(0): 1})
+        large = CheckpointOp({pid(i): 1 for i in range(10)})
+        assert large.log_record_size() > small.log_record_size()
+
+
+class TestCheckpointManager:
+    def test_no_checkpoint_scans_from_one(self, db):
+        assert db.checkpoints.crash_scan_start() == 1
+
+    def test_clean_checkpoint_scans_after_itself(self, db):
+        db.execute(PhysicalWrite(pid(0), "v"))
+        db.checkpoint()
+        record = db.take_checkpoint()
+        assert db.checkpoints.crash_scan_start() == record.lsn + 1
+
+    def test_dirty_checkpoint_scans_from_min_rec_lsn(self, db):
+        first = db.execute(PhysicalWrite(pid(0), "a"))
+        db.execute(PhysicalWrite(pid(1), "b"))
+        db.take_checkpoint()
+        assert db.checkpoints.crash_scan_start() == first.lsn
+
+    def test_checkpoint_table_snapshot(self, db):
+        db.execute(PhysicalWrite(pid(0), "a"))
+        record = db.take_checkpoint()
+        op = record.op
+        assert isinstance(op, CheckpointOp)
+        assert set(op.dirty_table) == {pid(0)}
+
+    def test_find_last_checkpoint(self, db):
+        db.execute(PhysicalWrite(pid(0), "a"))
+        db.take_checkpoint()
+        db.execute(PhysicalWrite(pid(1), "b"))
+        second = db.take_checkpoint()
+        found = CheckpointManager.find_last_checkpoint(db.log)
+        assert found is not None
+        assert found.lsn == second.lsn
+
+    def test_recovery_from_checkpoint_scan_start(self, db):
+        """Replaying from the checkpoint-derived scan start recovers the
+        oracle state — the scan start is never too late."""
+        from repro.recovery.crash_recovery import run_crash_recovery
+
+        for slot in range(6):
+            db.execute(PhysicalWrite(pid(slot), ("v", slot)))
+        db.flush_page(pid(0))
+        db.flush_page(pid(1))
+        db.take_checkpoint()
+        db.execute(PhysicalWrite(pid(0), "post-ckpt"))
+        scan_start = db.checkpoints.crash_scan_start()
+        db.crash()
+        outcome = run_crash_recovery(
+            db.stable, db.log, scan_start_lsn=scan_start,
+            oracle=db.oracle.state(),
+        )
+        assert outcome.ok, outcome.diffs[:3]
+
+    def test_iwof_advances_checkpoint_scan_start(self, db):
+        """Section 3.2: identity-logging a page truncates the log like a
+        flush would — the checkpointed recLSN moves forward."""
+        db.execute(PhysicalWrite(pid(0), "hot"))
+        first = db.checkpoints
+        db.take_checkpoint()
+        early = db.checkpoints.crash_scan_start()
+        record = db.cm.identity_install(pid(0))
+        db.take_checkpoint()
+        late = db.checkpoints.crash_scan_start()
+        assert late == record.lsn > early

@@ -1,0 +1,39 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "Figure 1" in out
+
+    def test_fig5_single_measurement(self, capsys):
+        assert main(["fig5", "--kind", "tree", "--steps", "4",
+                     "--pages", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "tree" in out
+        assert "measured" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery OK" in out
+
+    def test_figures_quick(self, capsys):
+        assert main(["figures", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1 naive" in out
+        assert "FIG5" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

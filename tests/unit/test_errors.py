@@ -1,0 +1,71 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.StorageError,
+            errors.PageNotFoundError,
+            errors.PartitionError,
+            errors.MediaFailureError,
+            errors.LogError,
+            errors.WALViolationError,
+            errors.LogTruncatedError,
+            errors.RecoveryError,
+            errors.UnrecoverableError,
+            errors.CacheError,
+            errors.FlushOrderError,
+            errors.LatchError,
+            errors.BackupError,
+            errors.BackupInProgressError,
+            errors.NoBackupError,
+            errors.OperationError,
+            errors.WriteGraphError,
+        ],
+    )
+    def test_all_catchable_as_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_storage_family(self):
+        for exc in (
+            errors.PageNotFoundError,
+            errors.PartitionError,
+            errors.MediaFailureError,
+        ):
+            assert issubclass(exc, errors.StorageError)
+
+    def test_log_family(self):
+        for exc in (errors.WALViolationError, errors.LogTruncatedError):
+            assert issubclass(exc, errors.LogError)
+
+    def test_backup_family(self):
+        for exc in (errors.BackupInProgressError, errors.NoBackupError):
+            assert issubclass(exc, errors.BackupError)
+
+    def test_page_not_found_carries_page(self):
+        from repro.ids import PageId
+
+        exc = errors.PageNotFoundError(PageId(0, 3))
+        assert exc.page_id == PageId(0, 3)
+        assert "P0:3" in str(exc)
+
+    def test_transaction_error_is_repro_error(self):
+        from repro.txn import TransactionError
+
+        assert issubclass(TransactionError, errors.ReproError)
+
+    def test_one_catch_covers_a_whole_flow(self):
+        """The promise of the hierarchy: except ReproError is enough."""
+        from repro.db import Database
+
+        db = Database(pages_per_partition=[8])
+        db.media_failure()
+        with pytest.raises(errors.ReproError):
+            db.read(__import__("repro.ids", fromlist=["PageId"]).PageId(0, 0))
+        with pytest.raises(errors.ReproError):
+            db.media_recover()

@@ -1,0 +1,98 @@
+"""Unit tests for recoverability checkers (diffs and order violations)."""
+
+from repro.ids import PageId
+from repro.ops.identity import IdentityWrite
+from repro.ops.logical import CopyOp
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.tree import MovRec, RmvRec
+from repro.recovery.explain import diff_states, find_order_violations
+from repro.storage.page import PageVersion
+from repro.wal.log_manager import LogManager
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+def logged(*ops):
+    log = LogManager()
+    return [log.append(op) for op in ops]
+
+
+class TestDiffStates:
+    def test_equal_states(self):
+        recovered = {pid(0): PageVersion("a", 1)}
+        assert diff_states(recovered, {pid(0): "a"}) == []
+
+    def test_value_mismatch(self):
+        recovered = {pid(0): PageVersion("a", 1)}
+        diffs = diff_states(recovered, {pid(0): "b"})
+        assert diffs == [(pid(0), "a", "b")]
+
+    def test_missing_page_compared_to_initial(self):
+        diffs = diff_states({}, {pid(0): "x"}, initial_value=None)
+        assert diffs == [(pid(0), None, "x")]
+        assert diff_states({}, {pid(0): None}) == []
+
+
+class TestOrderViolations:
+    def test_figure1_backup_state_is_flagged(self):
+        """B holds old's post-split value but not new's: violation."""
+        old, new = pid(20), pid(2)
+        records = logged(MovRec(old, 4, new), RmvRec(old, 4))
+        backup_state = {
+            old: PageVersion(((1, "a"),), 2),  # RmvRec (LSN 2) applied
+            new: PageVersion(None, 0),         # MovRec (LSN 1) missing
+        }
+        violations = find_order_violations(backup_state, records)
+        assert len(violations) == 1
+        v = violations[0]
+        assert (v.reader_lsn, v.writer_lsn, v.page) == (1, 2, old)
+        assert v.lost_targets == (new,)
+
+    def test_correct_flush_order_is_clean(self):
+        old, new = pid(20), pid(2)
+        records = logged(MovRec(old, 4, new), RmvRec(old, 4))
+        good_state = {
+            old: PageVersion(((1, "a"),), 2),
+            new: PageVersion(((5, "e"),), 1),  # MovRec's effect present
+        }
+        assert find_order_violations(good_state, records) == []
+
+    def test_iwof_record_covers_lost_target(self):
+        """An identity write after the reader makes its value available
+        from the log: no violation even when the state looks stale."""
+        old, new = pid(20), pid(2)
+        records = logged(
+            MovRec(old, 4, new),
+            RmvRec(old, 4),
+            IdentityWrite(new, ((5, "e"),)),
+        )
+        backup_state = {
+            old: PageVersion(((1, "a"),), 2),
+            new: PageVersion(None, 0),
+        }
+        assert find_order_violations(backup_state, records) == []
+
+    def test_reader_absent_and_uncovered_but_writer_absent_too(self):
+        """If neither update is in the state, replay regenerates both."""
+        old, new = pid(20), pid(2)
+        records = logged(MovRec(old, 4, new), RmvRec(old, 4))
+        state = {
+            old: PageVersion(((1, "a"), (5, "e")), 0),
+            new: PageVersion(None, 0),
+        }
+        assert find_order_violations(state, records) == []
+
+    def test_copy_chain_violation(self):
+        x, y = pid(0), pid(1)
+        records = logged(
+            CopyOp(x, y),
+            PhysiologicalWrite(x, "increment"),
+        )
+        state = {
+            x: PageVersion(1, 2),          # increment present
+            y: PageVersion(None, 0),       # copy missing
+        }
+        violations = find_order_violations(state, records)
+        assert [v.page for v in violations] == [x]

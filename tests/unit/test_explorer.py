@@ -1,0 +1,71 @@
+"""Unit tests for the exhaustive interleaving explorer."""
+
+import math
+
+from repro.db import Database
+from repro.ids import PageId
+from repro.ops.physical import PhysicalWrite
+from repro.sim.explorer import InterleavingExplorer, merges
+
+
+class TestMerges:
+    def test_single_track(self):
+        assert list(merges([[1, 2, 3]])) == [(1, 2, 3)]
+
+    def test_count_is_multinomial(self):
+        tracks = [[1, 2], ["a", "b", "c"], ["x"]]
+        expected = math.factorial(6) // (
+            math.factorial(2) * math.factorial(3) * math.factorial(1)
+        )
+        assert len(list(merges(tracks))) == expected
+
+    def test_all_unique(self):
+        out = list(merges([[1, 2], ["a", "b"]]))
+        assert len(out) == len(set(out))
+
+    def test_no_tracks(self):
+        assert list(merges([])) == [()]
+
+
+class TestExplorer:
+    def _trivial_scenario(self):
+        def factory():
+            db = Database(pages_per_partition=[8], policy="general")
+            track = [
+                lambda: db.execute(PhysicalWrite(PageId(0, 0), "a")),
+                lambda: db.execute(PhysicalWrite(PageId(0, 1), "b")),
+            ]
+
+            def finish(database):
+                database.checkpoint()
+                database.start_backup(steps=2)
+                return database.run_backup()
+
+            return db, [track, [lambda: None]], finish
+
+        return factory
+
+    def test_counts_and_recovers(self):
+        explorer = InterleavingExplorer(self._trivial_scenario())
+        result = explorer.explore()
+        assert result.interleavings == 3  # C(3,1)
+        assert result.all_recovered
+
+    def test_max_interleavings_cap(self):
+        explorer = InterleavingExplorer(self._trivial_scenario())
+        result = explorer.explore(max_interleavings=2)
+        assert result.interleavings == 2
+
+    def test_exceptions_recorded_as_failures(self):
+        def factory():
+            db = Database(pages_per_partition=[8], policy="general")
+            track = [lambda: (_ for _ in ()).throw(RuntimeError("boom"))]
+
+            def finish(database):
+                return None
+
+            return db, [track], finish
+
+        result = InterleavingExplorer(factory).explore()
+        assert not result.all_recovered
+        assert "RuntimeError" in result.failures[0][1]

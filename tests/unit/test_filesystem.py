@@ -1,0 +1,90 @@
+"""Unit tests for the recoverable filesystem domain."""
+
+import pytest
+
+from repro.appfs.filesystem import FileSystem
+from repro.db import Database
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def db():
+    return Database(pages_per_partition=[16], policy="general")
+
+
+@pytest.fixture
+def fs(db):
+    return FileSystem(db)
+
+
+class TestNamespace:
+    def test_create_and_lookup(self, fs):
+        page = fs.create("a")
+        assert fs.lookup("a") == page
+        assert fs.lookup("missing") is None
+        assert fs.listdir() == ["a"]
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("a")
+        with pytest.raises(ReproError):
+            fs.create("a")
+
+    def test_remove_frees_slot(self, fs):
+        fs.create("a")
+        fs.remove("a")
+        assert fs.listdir() == []
+        fs.create("b")  # reuses the slot
+
+    def test_full_filesystem(self, fs):
+        for i in range(15):
+            fs.create(f"f{i}")
+        with pytest.raises(ReproError):
+            fs.create("one-too-many")
+
+    def test_directory_is_recoverable(self, db, fs):
+        fs.create("a")
+        fs.create("b")
+        db.crash()
+        outcome = db.recover()
+        assert outcome.ok
+        fresh = FileSystem(db)
+        assert fresh.listdir() == ["a", "b"]
+
+
+class TestFileOps:
+    def test_write_and_read(self, fs):
+        fs.create("a")
+        fs.write("a", ((1, "x"),))
+        assert fs.read("a") == ((1, "x"),)
+
+    def test_append_record(self, fs):
+        fs.create("a")
+        fs.append_record("a", 2, "b")
+        fs.append_record("a", 1, "a")
+        assert fs.read("a") == ((1, "a"), (2, "b"))
+
+    def test_copy_creates_target(self, fs):
+        fs.create("src")
+        fs.write("src", ((1, "v"),))
+        fs.copy("src", "dst")
+        assert fs.read("dst") == ((1, "v"),)
+
+    def test_sort(self, fs):
+        fs.create("in")
+        fs.write("in", ((3, "c"), (1, "a"), (2, "b")))
+        fs.sort("in", "out")
+        assert fs.read("out") == ((1, "a"), (2, "b"), (3, "c"))
+
+    def test_missing_file_rejected(self, fs):
+        with pytest.raises(ReproError):
+            fs.read("nope")
+
+    def test_copy_logs_identifiers_not_data(self, db, fs):
+        fs.create("src")
+        fs.write("src", tuple((k, "x" * 50) for k in range(20)))
+        before = db.log.bytes_logged()
+        fs.copy("src", "dst")
+        copy_cost = db.log.bytes_logged() - before
+        # Directory insert + file format + copy op: far below the 1000+
+        # bytes the data itself would occupy.
+        assert copy_cost < 200

@@ -1,0 +1,48 @@
+"""Unit tests for identifier types."""
+
+import pytest
+
+from repro.ids import NULL_LSN, AppId, PageId, page_range
+
+
+class TestPageId:
+    def test_ordering_is_lexicographic(self):
+        assert PageId(0, 5) < PageId(0, 6)
+        assert PageId(0, 99) < PageId(1, 0)
+
+    def test_equality_and_hash(self):
+        assert PageId(1, 2) == PageId(1, 2)
+        assert len({PageId(1, 2), PageId(1, 2), PageId(1, 3)}) == 2
+
+    def test_negative_partition_rejected(self):
+        with pytest.raises(ValueError):
+            PageId(-1, 0)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            PageId(0, -1)
+
+    def test_repr_compact(self):
+        assert repr(PageId(2, 7)) == "P2:7"
+
+
+class TestAppId:
+    def test_ordering_by_name(self):
+        assert AppId("a") < AppId("b")
+
+    def test_hashable(self):
+        assert len({AppId("x"), AppId("x")}) == 1
+
+
+class TestPageRange:
+    def test_yields_consecutive_slots(self):
+        pages = list(page_range(1, 3, start=5))
+        assert pages == [PageId(1, 5), PageId(1, 6), PageId(1, 7)]
+
+    def test_empty_range(self):
+        assert list(page_range(0, 0)) == []
+
+
+def test_null_lsn_sorts_first():
+    assert NULL_LSN == 0
+    assert NULL_LSN < 1

@@ -1,0 +1,106 @@
+"""Unit tests for installation graphs (section 2.2)."""
+
+from repro.ids import PageId
+from repro.ops.logical import CopyOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.recovery.installation_graph import InstallationGraph
+from repro.wal.log_manager import LogManager
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+def log_ops(*ops):
+    log = LogManager()
+    return [log.append(op) for op in ops]
+
+
+class TestReadWriteEdges:
+    def test_copy_then_overwrite_source(self):
+        """copy(X, Y) then write(X): the copy must install first."""
+        records = log_ops(
+            CopyOp(pid(0), pid(1)),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        graph = InstallationGraph(records)
+        assert graph.successors(1) == {2}
+        assert graph.predecessors(2) == {1}
+
+    def test_write_read_is_not_an_edge(self):
+        """write(X) then copy(X, Y): no installation edge (section 2.2)."""
+        records = log_ops(
+            PhysicalWrite(pid(0), 1),
+            CopyOp(pid(0), pid(1)),
+        )
+        graph = InstallationGraph(records)
+        assert graph.successors(1) == frozenset()
+
+    def test_reader_conflicts_with_every_later_writer(self):
+        """The definition has no adjacency restriction: a read conflicts
+        with EVERY later write of the page (readset(O) ∩ writeset(P))."""
+        records = log_ops(
+            CopyOp(pid(0), pid(1)),            # reads X
+            PhysicalWrite(pid(0), 1),          # overwrites X
+            PhysicalWrite(pid(0), 2),          # overwrites X again
+        )
+        graph = InstallationGraph(records)
+        assert graph.successors(1) == {2, 3}
+        assert graph.predecessors(3) == {1}
+
+    def test_physiological_self_conflict_with_next_writer(self):
+        records = log_ops(
+            PhysiologicalWrite(pid(0), "increment"),
+            PhysicalWrite(pid(0), 9),
+        )
+        graph = InstallationGraph(records)
+        assert graph.successors(1) == {2}
+
+
+class TestWriteWriteEdges:
+    def test_excluded_by_default(self):
+        records = log_ops(PhysicalWrite(pid(0), 1), PhysicalWrite(pid(0), 2))
+        graph = InstallationGraph(records)
+        assert graph.edges == []
+
+    def test_included_on_request(self):
+        records = log_ops(PhysicalWrite(pid(0), 1), PhysicalWrite(pid(0), 2))
+        graph = InstallationGraph(records, include_write_write=True)
+        assert [(e.src, e.dst, e.kind) for e in graph.edges] == [
+            (1, 2, "write-write")
+        ]
+
+
+class TestPrefix:
+    def _graph(self):
+        return InstallationGraph(
+            log_ops(
+                CopyOp(pid(0), pid(1)),
+                PhysiologicalWrite(pid(0), "increment"),
+                CopyOp(pid(0), pid(2)),
+                PhysiologicalWrite(pid(0), "increment"),
+            )
+        )
+
+    def test_empty_and_full_are_prefixes(self):
+        graph = self._graph()
+        assert graph.is_prefix([])
+        assert graph.is_prefix([1, 2, 3, 4])
+
+    def test_valid_partial_prefix(self):
+        graph = self._graph()
+        assert graph.is_prefix([1])
+        assert graph.is_prefix([1, 2, 3])
+
+    def test_installed_without_predecessor_is_not_prefix(self):
+        graph = self._graph()
+        # op 2 overwrites X read by op 1: installing 2 without 1 breaks it.
+        assert not graph.is_prefix([2])
+        assert graph.prefix_violations([2]) == [(1, 2)]
+
+    def test_independent_op_can_install_alone(self):
+        graph = self._graph()
+        # op 3 reads X (after op 2's write) and writes a fresh page: no
+        # predecessor, because write-read conflicts are not edges.
+        assert graph.is_prefix([3])

@@ -1,0 +1,72 @@
+"""Unit tests for the backup latch."""
+
+import pytest
+
+from repro.core.latch import BackupLatch
+from repro.errors import LatchError
+
+
+@pytest.fixture
+def latch():
+    return BackupLatch(partition=0)
+
+
+class TestSharedMode:
+    def test_multiple_shared_holders(self, latch):
+        latch.acquire_shared()
+        latch.acquire_shared()
+        assert latch.held_shared
+        latch.release_shared()
+        latch.release_shared()
+        assert not latch.held_shared
+
+    def test_release_without_hold(self, latch):
+        with pytest.raises(LatchError):
+            latch.release_shared()
+
+    def test_shared_blocked_by_exclusive(self, latch):
+        latch.acquire_exclusive()
+        with pytest.raises(LatchError):
+            latch.acquire_shared()
+
+
+class TestExclusiveMode:
+    def test_exclusive_blocked_by_shared(self, latch):
+        latch.acquire_shared()
+        with pytest.raises(LatchError):
+            latch.acquire_exclusive()
+
+    def test_exclusive_blocked_by_exclusive(self, latch):
+        latch.acquire_exclusive()
+        with pytest.raises(LatchError):
+            latch.acquire_exclusive()
+
+    def test_release_without_hold(self, latch):
+        with pytest.raises(LatchError):
+            latch.release_exclusive()
+
+
+class TestContextManagers:
+    def test_shared_scope(self, latch):
+        with latch.shared():
+            assert latch.held_shared
+        assert not latch.held_shared
+
+    def test_exclusive_scope(self, latch):
+        with latch.exclusive():
+            assert latch.held_exclusive
+        assert not latch.held_exclusive
+
+    def test_released_on_exception(self, latch):
+        with pytest.raises(RuntimeError):
+            with latch.exclusive():
+                raise RuntimeError("boom")
+        assert not latch.held_exclusive
+
+    def test_acquisition_counters(self, latch):
+        with latch.shared():
+            pass
+        with latch.exclusive():
+            pass
+        assert latch.shared_acquisitions == 1
+        assert latch.exclusive_acquisitions == 1

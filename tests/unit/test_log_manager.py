@@ -1,0 +1,114 @@
+"""Unit tests for the log manager and WAL rule."""
+
+import pytest
+
+from repro.errors import LogTruncatedError, WALViolationError
+from repro.ids import PageId
+from repro.ops.physical import PhysicalWrite
+from repro.wal.log_manager import LogManager
+from repro.wal.records import RecordFlag
+
+
+def wp(slot, value=0):
+    return PhysicalWrite(PageId(0, slot), value)
+
+
+class TestAppend:
+    def test_lsns_monotone_from_one(self):
+        log = LogManager()
+        assert log.append(wp(0)).lsn == 1
+        assert log.append(wp(1)).lsn == 2
+        assert log.end_lsn == 2
+        assert log.next_lsn == 3
+
+    def test_auto_force_default(self):
+        log = LogManager()
+        log.append(wp(0))
+        assert log.flushed_lsn == 1
+
+    def test_manual_force(self):
+        log = LogManager(auto_force=False)
+        log.append(wp(0))
+        log.append(wp(1))
+        assert log.flushed_lsn == 0
+        log.force(1)
+        assert log.flushed_lsn == 1
+        log.force()
+        assert log.flushed_lsn == 2
+
+    def test_force_never_regresses(self):
+        log = LogManager(auto_force=False)
+        log.append(wp(0))
+        log.force()
+        log.force(0)
+        assert log.flushed_lsn == 1
+
+    def test_append_listener_invoked(self):
+        log = LogManager()
+        seen = []
+        log.on_append(seen.append)
+        record = log.append(wp(0))
+        assert seen == [record]
+
+
+class TestWAL:
+    def test_flush_ahead_of_log_rejected(self):
+        log = LogManager(auto_force=False)
+        record = log.append(wp(0))
+        with pytest.raises(WALViolationError):
+            log.assert_wal(PageId(0, 0), record.lsn)
+
+    def test_flush_behind_log_ok(self):
+        log = LogManager(auto_force=False)
+        record = log.append(wp(0))
+        log.force()
+        log.assert_wal(PageId(0, 0), record.lsn)
+
+
+class TestScan:
+    def test_scan_range(self):
+        log = LogManager()
+        for i in range(5):
+            log.append(wp(i))
+        assert [r.lsn for r in log.scan(2, 4)] == [2, 3, 4]
+        assert [r.lsn for r in log.scan()] == [1, 2, 3, 4, 5]
+
+    def test_durable_scan_stops_at_flushed(self):
+        log = LogManager(auto_force=False)
+        log.append(wp(0))
+        log.append(wp(1))
+        log.force(1)
+        log.append(wp(2))
+        assert [r.lsn for r in log.durable_scan()] == [1]
+
+    def test_record_at(self):
+        log = LogManager()
+        log.append(wp(0))
+        assert log.record_at(1).lsn == 1
+        with pytest.raises(LogTruncatedError):
+            log.record_at(2)
+
+    def test_discard_unflushed(self):
+        log = LogManager(auto_force=False)
+        log.append(wp(0))
+        log.force()
+        log.append(wp(1))
+        log.append(wp(2))
+        assert log.discard_unflushed() == 2
+        assert log.end_lsn == 1
+        # New appends continue from the surviving prefix.
+        assert log.append(wp(3)).lsn == 2
+
+
+class TestStatistics:
+    def test_count_with_predicate(self):
+        log = LogManager()
+        log.append(wp(0), RecordFlag.CM_INJECTED | RecordFlag.IWOF)
+        log.append(wp(1))
+        assert log.count() == 2
+        assert log.iwof_count() == 1
+
+    def test_bytes_logged_positive(self):
+        log = LogManager()
+        log.append(wp(0, "payload"))
+        assert log.bytes_logged() > len("payload")

@@ -1,0 +1,46 @@
+"""Unit tests for the media-log view and record flags."""
+
+from repro.ids import PageId
+from repro.ops.identity import IdentityWrite
+from repro.ops.physical import PhysicalWrite
+from repro.wal.log_manager import LogManager
+from repro.wal.media_log import MediaLogView
+from repro.wal.records import RecordFlag
+
+
+def test_media_log_is_suffix_view():
+    log = LogManager()
+    for i in range(6):
+        log.append(PhysicalWrite(PageId(0, i), i))
+    view = MediaLogView(log, scan_start_lsn=4)
+    assert [r.lsn for r in view.scan()] == [4, 5, 6]
+    assert view.record_count() == 3
+
+
+def test_media_log_sees_iwof_records():
+    log = LogManager()
+    log.append(PhysicalWrite(PageId(0, 0), 1))
+    log.append(
+        IdentityWrite(PageId(0, 0), 1),
+        RecordFlag.CM_INJECTED | RecordFlag.IWOF,
+    )
+    view = MediaLogView(log, scan_start_lsn=1)
+    assert view.iwof_count() == 1
+    assert view.iwof_bytes() > 0
+    assert view.bytes_total() >= view.iwof_bytes()
+
+
+def test_record_flags():
+    log = LogManager()
+    plain = log.append(PhysicalWrite(PageId(0, 0), 1))
+    injected = log.append(
+        IdentityWrite(PageId(0, 0), 1), RecordFlag.CM_INJECTED
+    )
+    iwof = log.append(
+        IdentityWrite(PageId(0, 0), 1),
+        RecordFlag.CM_INJECTED | RecordFlag.IWOF,
+    )
+    assert not plain.is_cm_injected and not plain.is_iwof
+    assert injected.is_cm_injected and not injected.is_iwof
+    assert iwof.is_cm_injected and iwof.is_iwof
+    assert "*" in repr(iwof)

@@ -1,0 +1,189 @@
+"""Unit tests for the operation model (all forms of Table 1)."""
+
+import pytest
+
+from repro.errors import OperationError
+from repro.ids import PageId
+from repro.ops import (
+    CopyOp,
+    GeneralLogicalOp,
+    IdentityWrite,
+    MovRec,
+    PhysicalWrite,
+    PhysiologicalWrite,
+    RmvRec,
+    WriteNew,
+    is_tree_operation,
+)
+from repro.ops.base import OperationKind, estimate_value_size
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+class TestPhysicalWrite:
+    def test_blind_single_target(self):
+        op = PhysicalWrite(pid(0), ("v",))
+        assert op.readset == frozenset()
+        assert op.writeset == {pid(0)}
+        assert op.is_blind
+        assert op.is_page_oriented
+
+    def test_compute_uses_logged_value(self):
+        op = PhysicalWrite(pid(0), 42)
+        assert op.apply({}) == {pid(0): 42}
+
+    def test_log_size_includes_value(self):
+        small = PhysicalWrite(pid(0), "x")
+        large = PhysicalWrite(pid(0), "x" * 1000)
+        assert large.log_record_size() > small.log_record_size() + 900
+
+    def test_mutable_value_rejected(self):
+        with pytest.raises(TypeError):
+            PhysicalWrite(pid(0), [1, 2])
+
+
+class TestPhysiologicalWrite:
+    def test_reads_and_writes_same_page(self):
+        op = PhysiologicalWrite(pid(1), "increment", (3,))
+        assert op.readset == op.writeset == {pid(1)}
+        assert not op.is_blind
+        assert op.is_page_oriented
+
+    def test_compute_transition(self):
+        op = PhysiologicalWrite(pid(1), "increment", (3,))
+        assert op.apply({pid(1): 4}) == {pid(1): 7}
+
+    def test_unknown_transform_fails_at_construction(self):
+        with pytest.raises(OperationError):
+            PhysiologicalWrite(pid(1), "no_such_transform")
+
+    def test_missing_read_rejected(self):
+        op = PhysiologicalWrite(pid(1), "increment")
+        with pytest.raises(OperationError):
+            op.apply({})
+
+    def test_log_size_excludes_page_value(self):
+        op = PhysiologicalWrite(pid(1), "insert_record", (1, "x" * 100))
+        # Args are logged but the page value is not; the record should be
+        # header + id + tag + args only.
+        assert op.log_record_size() < 200
+
+
+class TestCopyOp:
+    def test_reads_src_writes_dst(self):
+        op = CopyOp(pid(0), pid(1))
+        assert op.readset == {pid(0)}
+        assert op.writeset == {pid(1)}
+        assert not op.is_page_oriented
+
+    def test_compute_copies(self):
+        op = CopyOp(pid(0), pid(1))
+        assert op.apply({pid(0): ("data",)}) == {pid(1): ("data",)}
+
+    def test_self_copy_rejected(self):
+        with pytest.raises(OperationError):
+            CopyOp(pid(0), pid(0))
+
+    def test_identifier_only_logging(self):
+        op = CopyOp(pid(0), pid(1))
+        assert op.log_record_size() < 64
+
+
+class TestGeneralLogicalOp:
+    def test_multi_read_multi_write(self):
+        op = GeneralLogicalOp(
+            [pid(0), pid(1)], [pid(2), pid(3)], "concat_sorted"
+        )
+        result = op.apply({pid(0): ((1, "a"),), pid(1): ((2, "b"),)})
+        assert result[pid(2)] == result[pid(3)] == ((1, "a"), (2, "b"))
+
+    def test_single_source_unwrapped(self):
+        op = GeneralLogicalOp([pid(0)], [pid(1)], "sort_records")
+        result = op.apply({pid(0): ((2, "b"), (1, "a"))})
+        assert result[pid(1)] == ((1, "a"), (2, "b"))
+
+    def test_must_write_something(self):
+        with pytest.raises(OperationError):
+            GeneralLogicalOp([pid(0)], [], "copy_value")
+
+
+class TestTreeOps:
+    def test_write_new_shape(self):
+        op = WriteNew(pid(0), pid(1), "copy_value")
+        assert op.readset == {pid(0)}
+        assert op.writeset == {pid(1)}
+        assert op.kind is OperationKind.TREE_WRITE_NEW
+        assert op.successor_pairs() == ((pid(1), pid(0)),)
+
+    def test_write_new_must_differ(self):
+        with pytest.raises(OperationError):
+            WriteNew(pid(0), pid(0))
+
+    def test_movrec_moves_high_records(self):
+        op = MovRec(pid(0), 2, pid(1))
+        records = ((1, "a"), (2, "b"), (3, "c"), (4, "d"))
+        assert op.apply({pid(0): records}) == {pid(1): ((3, "c"), (4, "d"))}
+
+    def test_rmvrec_keeps_low_records(self):
+        op = RmvRec(pid(0), 2)
+        records = ((1, "a"), (2, "b"), (3, "c"))
+        assert op.apply({pid(0): records}) == {pid(0): ((1, "a"), (2, "b"))}
+
+    def test_split_pair_composes(self):
+        """MovRec then RmvRec partitions the records exactly."""
+        records = tuple((k, f"v{k}") for k in range(10))
+        moved = MovRec(pid(0), 4, pid(1)).apply({pid(0): records})[pid(1)]
+        kept = RmvRec(pid(0), 4).apply({pid(0): records})[pid(0)]
+        assert tuple(sorted(moved + kept)) == records
+        assert all(k > 4 for k, _ in moved)
+        assert all(k <= 4 for k, _ in kept)
+
+    def test_movrec_logs_no_record_data(self):
+        op = MovRec(pid(0), 4, pid(1))
+        assert op.log_record_size() < 64
+
+    def test_tree_class_membership(self):
+        assert is_tree_operation(PhysicalWrite(pid(0), 1))
+        assert is_tree_operation(PhysiologicalWrite(pid(0), "increment"))
+        assert is_tree_operation(IdentityWrite(pid(0), 1))
+        assert is_tree_operation(WriteNew(pid(0), pid(1)))
+        assert not is_tree_operation(CopyOp(pid(0), pid(1)))
+        assert not is_tree_operation(
+            GeneralLogicalOp([pid(0)], [pid(1), pid(2)], "copy_value")
+        )
+
+
+class TestIdentityWrite:
+    def test_is_blind_physical_form(self):
+        op = IdentityWrite(pid(0), ("current",))
+        assert op.is_blind
+        assert op.kind is OperationKind.IDENTITY
+        assert op.apply({}) == {pid(0): ("current",)}
+
+    def test_logs_the_value(self):
+        op = IdentityWrite(pid(0), "x" * 500)
+        assert op.log_record_size() > 500
+
+
+class TestResultValidation:
+    def test_wrong_writeset_detected(self):
+        class BadOp(PhysicalWrite):
+            def compute(self, reads):
+                return {pid(9): 1}
+
+        with pytest.raises(OperationError):
+            BadOp(pid(0), 1).apply({})
+
+
+class TestEstimateValueSize:
+    @pytest.mark.parametrize(
+        "value,minimum",
+        [(None, 1), (True, 1), (7, 8), (2.5, 8), ("abcd", 4), (b"ab", 2)],
+    )
+    def test_scalars(self, value, minimum):
+        assert estimate_value_size(value) >= minimum
+
+    def test_nested(self):
+        assert estimate_value_size((("k", "v"),)) >= 2

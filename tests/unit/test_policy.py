@@ -1,0 +1,113 @@
+"""Unit tests for the flush policies (sections 3.5, 4.2, Figure 4)."""
+
+import pytest
+
+from repro.core.policy import (
+    GeneralOpsPolicy,
+    PageOrientedPolicy,
+    TreeOpsPolicy,
+)
+from repro.core.progress import BackupRegion, PartitionProgress
+from repro.core.tree_meta import TreeMeta
+
+
+@pytest.fixture
+def progress():
+    """Mid-backup frontier: Done < 30, Doubt [30, 60), Pend >= 60."""
+    p = PartitionProgress(0, 100)
+    p.begin(30)
+    p.advance(60)
+    return p
+
+
+@pytest.fixture
+def idle():
+    return PartitionProgress(0, 100)
+
+
+class TestPageOrientedPolicy:
+    def test_never_logs(self, progress):
+        policy = PageOrientedPolicy()
+        for pos in (0, 45, 99):
+            assert not policy.decide(pos, progress, TreeMeta()).needs_iwof
+
+
+class TestGeneralOpsPolicy:
+    def test_pend_flushes_plainly(self, progress):
+        decision = GeneralOpsPolicy().decide(80, progress, TreeMeta())
+        assert not decision.needs_iwof
+        assert decision.region is BackupRegion.PEND
+
+    def test_done_logs(self, progress):
+        decision = GeneralOpsPolicy().decide(10, progress, TreeMeta())
+        assert decision.needs_iwof
+        assert decision.region is BackupRegion.DONE
+
+    def test_doubt_logs(self, progress):
+        assert GeneralOpsPolicy().decide(45, progress, TreeMeta()).needs_iwof
+
+    def test_idle_partition_never_logs(self, idle):
+        for pos in (0, 50, 99):
+            assert not GeneralOpsPolicy().decide(pos, idle, TreeMeta()).needs_iwof
+
+
+class TestTreeOpsPolicy:
+    def test_pend_x_never_logs(self, progress):
+        meta = TreeMeta(max_succ=95, violation=True)
+        assert not TreeOpsPolicy().decide(80, progress, meta).needs_iwof
+
+    def test_done_successors_never_log(self, progress):
+        """Done(S(X)): successors already copied; their later updates
+        flush after X and cannot reach B."""
+        meta = TreeMeta(max_succ=5)
+        for pos in (10, 45):
+            assert not TreeOpsPolicy().decide(pos, progress, meta).needs_iwof
+
+    def test_no_successors_is_done(self, progress):
+        meta = TreeMeta()  # MAX = MIN_POS
+        assert not TreeOpsPolicy().decide(45, progress, meta).needs_iwof
+
+    def test_done_x_with_doubt_successor_logs(self, progress):
+        meta = TreeMeta(max_succ=45, violation=True)
+        assert TreeOpsPolicy().decide(10, progress, meta).needs_iwof
+
+    def test_doubt_x_with_pending_successor_logs(self, progress):
+        meta = TreeMeta(max_succ=80, violation=True)
+        assert TreeOpsPolicy().decide(45, progress, meta).needs_iwof
+
+    def test_doubt_doubt_dagger_holds(self, progress):
+        """Both in doubt, successor earlier in backup order: † holds."""
+        meta = TreeMeta(max_succ=35, violation=False)
+        assert not TreeOpsPolicy().decide(50, progress, meta).needs_iwof
+
+    def test_doubt_doubt_violation_logs(self, progress):
+        meta = TreeMeta(max_succ=55, violation=True)
+        assert TreeOpsPolicy().decide(40, progress, meta).needs_iwof
+
+    def test_idle_partition_never_logs(self, idle):
+        meta = TreeMeta(max_succ=99, violation=True)
+        assert not TreeOpsPolicy().decide(0, idle, meta).needs_iwof
+
+
+class TestIncrementalWillBeCopied:
+    def test_pend_outside_copy_set_treated_as_done(self, progress):
+        """A pending page an incremental backup will not copy gives no
+        guarantee: the policy must log it."""
+        policy = GeneralOpsPolicy()
+        decision = policy.decide(80, progress, TreeMeta(), will_be_copied=False)
+        assert decision.needs_iwof
+        assert decision.region is BackupRegion.DONE
+
+    def test_done_region_unaffected_by_flag(self, progress):
+        decision = GeneralOpsPolicy().decide(
+            10, progress, TreeMeta(), will_be_copied=False
+        )
+        assert decision.needs_iwof
+
+
+class TestDecisionMetadata:
+    def test_reason_strings_present(self, progress):
+        decision = GeneralOpsPolicy().decide(10, progress, TreeMeta())
+        assert decision.reason
+        decision = TreeOpsPolicy().decide(80, progress, TreeMeta())
+        assert decision.successor_region is not None

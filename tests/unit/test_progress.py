@@ -1,0 +1,123 @@
+"""Unit tests for backup progress tracking (section 3.4, Figure 3)."""
+
+import pytest
+
+from repro.core.progress import BackupRegion, PartitionProgress
+from repro.errors import BackupError
+
+
+@pytest.fixture
+def progress():
+    return PartitionProgress(partition=0, size=100)
+
+
+class TestIdleState:
+    def test_everything_pending_between_backups(self, progress):
+        assert not progress.active
+        for pos in (0, 50, 99):
+            assert progress.classify(pos) is BackupRegion.PEND
+
+    def test_position_bounds_checked(self, progress):
+        with pytest.raises(BackupError):
+            progress.classify(-1)
+        with pytest.raises(BackupError):
+            progress.classify(100)
+
+
+class TestStepProtocol:
+    def test_begin_opens_first_doubt_region(self, progress):
+        progress.begin(25)
+        assert progress.active
+        assert progress.classify(0) is BackupRegion.DOUBT
+        assert progress.classify(24) is BackupRegion.DOUBT
+        assert progress.classify(25) is BackupRegion.PEND
+
+    def test_advance_moves_both_bounds(self, progress):
+        progress.begin(25)
+        progress.advance(50)
+        assert progress.classify(10) is BackupRegion.DONE
+        assert progress.classify(30) is BackupRegion.DOUBT
+        assert progress.classify(60) is BackupRegion.PEND
+
+    def test_figure3_full_walk(self, progress):
+        """Done/Doubt/Pend counts evolve exactly as Figure 3 shows."""
+        progress.begin(25)
+        for boundary in (50, 75, 100):
+            done = sum(
+                progress.classify(p) is BackupRegion.DONE for p in range(100)
+            )
+            doubt = sum(
+                progress.classify(p) is BackupRegion.DOUBT for p in range(100)
+            )
+            pend = sum(
+                progress.classify(p) is BackupRegion.PEND for p in range(100)
+            )
+            assert done + doubt + pend == 100
+            assert doubt == 25
+            progress.advance(boundary)
+        # Last step: nothing pending.
+        assert progress.classify(99) is BackupRegion.DOUBT
+        assert progress.classify(74) is BackupRegion.DONE
+        progress.finish()
+        assert not progress.active
+        assert progress.classify(99) is BackupRegion.PEND
+
+    def test_one_step_backup_knows_only_active(self, progress):
+        """N=1 degenerates to an in-progress flag (section 3.4)."""
+        progress.begin(100)
+        for pos in (0, 99):
+            assert progress.classify(pos) is BackupRegion.DOUBT
+        progress.finish()
+
+
+class TestProtocolErrors:
+    def test_begin_twice_rejected(self, progress):
+        progress.begin(25)
+        with pytest.raises(BackupError):
+            progress.begin(25)
+
+    def test_advance_without_begin(self, progress):
+        with pytest.raises(BackupError):
+            progress.advance(10)
+
+    def test_boundaries_must_increase(self, progress):
+        progress.begin(25)
+        with pytest.raises(BackupError):
+            progress.advance(25)
+        with pytest.raises(BackupError):
+            progress.advance(10)
+
+    def test_boundary_beyond_size_rejected(self, progress):
+        progress.begin(25)
+        with pytest.raises(BackupError):
+            progress.advance(101)
+
+    def test_finish_requires_last_step(self, progress):
+        progress.begin(25)
+        with pytest.raises(BackupError):
+            progress.finish()
+
+    def test_abort_resets(self, progress):
+        progress.begin(25)
+        progress.abort()
+        assert not progress.active
+
+
+class TestSuccessorClassification:
+    def test_empty_successor_set_is_done(self, progress):
+        """MIN_POS (no successors) classifies Done even at D=0."""
+        progress.begin(25)
+        assert progress.classify_successor_max(-1) is BackupRegion.DONE
+
+    def test_successor_regions(self, progress):
+        progress.begin(25)
+        progress.advance(50)
+        assert progress.classify_successor_max(10) is BackupRegion.DONE
+        assert progress.classify_successor_max(30) is BackupRegion.DOUBT
+        assert progress.classify_successor_max(70) is BackupRegion.PEND
+
+    def test_counters(self, progress):
+        progress.begin(25)
+        progress.advance(50)
+        assert progress.steps_taken == 2
+        assert progress.backups_seen == 1

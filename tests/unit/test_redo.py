@@ -1,0 +1,98 @@
+"""Unit tests for the LSN redo test and replayer."""
+
+from repro.ids import NULL_LSN, PageId
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.recovery.redo import POISON, RedoReplayer, surviving_poison
+from repro.storage.page import PageVersion
+from repro.wal.log_manager import LogManager
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+def logged(*ops):
+    log = LogManager()
+    return [log.append(op) for op in ops]
+
+
+class TestRedoTest:
+    def test_stale_target_replayed(self):
+        records = logged(PhysicalWrite(pid(0), "v"))
+        state = {}
+        stats = RedoReplayer().replay(records, state)
+        assert stats.ops_replayed == 1
+        assert state[pid(0)].value == "v"
+        assert state[pid(0)].page_lsn == 1
+
+    def test_fresh_target_skipped(self):
+        records = logged(PhysicalWrite(pid(0), "old"))
+        state = {pid(0): PageVersion("newer", 5)}
+        stats = RedoReplayer().replay(records, state)
+        assert stats.ops_skipped == 1
+        assert state[pid(0)].value == "newer"
+
+    def test_state_never_reset(self):
+        """LSN-based recovery never rolls a page backward."""
+        records = logged(
+            PhysicalWrite(pid(0), "first"),
+            PhysicalWrite(pid(0), "second"),
+        )
+        state = {pid(0): PageVersion("second", 2)}
+        RedoReplayer().replay(records, state)
+        assert state[pid(0)].value == "second"
+
+    def test_partial_replay_of_multi_write_op(self):
+        records = logged(
+            GeneralLogicalOp([pid(5)], [pid(0), pid(1)], "copy_value")
+        )
+        # pid(0) already carries the effect; pid(1) does not.
+        state = {
+            pid(5): PageVersion("src", NULL_LSN),
+            pid(0): PageVersion("src", 1),
+        }
+        stats = RedoReplayer().replay(records, state)
+        assert stats.partial_replays == 1
+        assert state[pid(1)].value == "src"
+
+    def test_replay_in_order_reconstructs_chain(self):
+        records = logged(
+            PhysicalWrite(pid(0), "seed"),
+            CopyOp(pid(0), pid(1)),
+            CopyOp(pid(1), pid(2)),
+        )
+        state = {}
+        RedoReplayer().replay(records, state)
+        assert state[pid(2)].value == "seed"
+
+
+class TestPoison:
+    def test_raising_transform_poisons_targets(self):
+        class ExplodingOp(PhysiologicalWrite):
+            def compute(self, reads):
+                raise RuntimeError("garbage input")
+
+        records = logged(ExplodingOp(pid(0), "increment"))
+        state = {}
+        stats = RedoReplayer().replay(records, state)
+        assert stats.poisoned == [pid(0)]
+        assert surviving_poison(state) == [pid(0)]
+
+    def test_later_physical_record_cures_poison(self):
+        class ExplodingOp(PhysiologicalWrite):
+            def compute(self, reads):
+                raise RuntimeError("garbage input")
+
+        records = logged(
+            ExplodingOp(pid(0), "increment"),
+            PhysicalWrite(pid(0), "cured"),
+        )
+        state = {}
+        RedoReplayer().replay(records, state)
+        assert surviving_poison(state) == []
+        assert state[pid(0)].value == "cured"
+
+    def test_poison_singleton(self):
+        assert POISON is type(POISON)()

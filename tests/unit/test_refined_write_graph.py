@@ -1,0 +1,193 @@
+"""Unit tests for the refined / dynamic write graph rW (section 2.4)."""
+
+import pytest
+
+from repro.errors import FlushOrderError
+from repro.ids import PageId
+from repro.ops.identity import IdentityWrite
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.recovery.refined_write_graph import (
+    DynamicWriteGraph,
+    build_refined_graph,
+)
+from repro.wal.log_manager import LogManager
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+def logged(*ops):
+    log = LogManager()
+    return [log.append(op) for op in ops]
+
+
+class TestFigure2:
+    """The paper's Figure 2: a blind write makes X unexposed.
+
+    Operation A writes {X, Y}; operation C blindly writes X.  In W, one
+    node holds {X, Y} atomically.  In rW, X moves to C's node and is
+    removed from node 1's vars, leaving vars(1) = {Y}.
+    """
+
+    def test_blind_write_removes_object_from_flush_set(self):
+        X, Y, src = pid(0), pid(1), pid(5)
+        records = logged(
+            GeneralLogicalOp([src], [X, Y], "copy_value"),  # A
+            PhysicalWrite(X, 42),  # C: blind write of X
+        )
+        graph = build_refined_graph(records)
+        nodes = graph.nodes()
+        assert len(nodes) == 2
+        node_a = next(n for n in nodes if n.op_lsns == [1])
+        node_c = next(n for n in nodes if n.op_lsns == [2])
+        assert node_a.vars == {Y}          # X removed: unexposed
+        assert node_c.vars == {X}
+
+    def test_contrast_with_w(self):
+        """Same log in W: a single {X, Y} atomic node (see
+        test_write_graph.TestW_GrowsMonotonically)."""
+        from repro.recovery.write_graph import build_intersecting_writes_graph
+
+        X, Y, src = pid(0), pid(1), pid(5)
+        records = logged(
+            GeneralLogicalOp([src], [X, Y], "copy_value"),
+            PhysicalWrite(X, 42),
+        )
+        w_nodes = build_intersecting_writes_graph(records)
+        rw = build_refined_graph(records)
+        assert len(w_nodes) == 1 and w_nodes[0].vars == {X, Y}
+        assert max(len(n.vars) for n in rw.nodes()) == 1
+
+
+class TestInverseWriteReadEdges:
+    def test_reader_must_install_before_blind_writer(self):
+        X, A = pid(0), pid(1)
+        records = logged(
+            CopyOp(X, A),           # reads X's value v
+            PhysicalWrite(X, 99),   # blindly overwrites v
+        )
+        graph = build_refined_graph(records)
+        reader = graph.holder_of(A)
+        writer = graph.holder_of(X)
+        assert reader.node_id in writer.preds
+
+    def test_identity_write_adds_no_edges_and_keeps_readers(self):
+        X, A, B = pid(0), pid(1), pid(2)
+        records = logged(
+            CopyOp(X, A),             # reads X
+            IdentityWrite(X, "same"),  # value unchanged: no edge
+            PhysicalWrite(X, 99),      # real overwrite: edge from reader
+        )
+        graph = build_refined_graph(records)
+        identity_node = next(
+            n for n in graph.nodes() if n.op_lsns == [2]
+        )
+        assert not identity_node.preds
+        writer = graph.holder_of(X)
+        reader = graph.holder_of(A)
+        assert reader.node_id in writer.preds
+
+
+class TestMergingAndCycles:
+    def test_intersecting_writes_merge(self):
+        records = logged(
+            PhysiologicalWrite(pid(0), "increment"),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        graph = build_refined_graph(records)
+        assert len(graph) == 1
+        assert graph.nodes()[0].op_lsns == [1, 2]
+
+    def test_cycle_collapses(self):
+        """copy(X,Y); copy(Y,X); stamp(Y) closes a cycle (see the W test
+        of the same name) — rW must collapse it too."""
+        records = logged(
+            CopyOp(pid(0), pid(1)),
+            CopyOp(pid(1), pid(0)),
+            PhysiologicalWrite(pid(1), "stamp", ("t",)),
+        )
+        graph = build_refined_graph(records)
+        assert len(graph) == 1
+        assert graph.nodes()[0].vars == {pid(0), pid(1)}
+
+    def test_path_between_merged_nodes_collapses_region(self):
+        """Merging endpoints of a path must absorb the middle node."""
+        X, Y, Z, W = pid(0), pid(1), pid(2), pid(3)
+        records = logged(
+            CopyOp(X, Y),    # node1 holds Y, reads X
+            CopyOp(Y, Z),    # node2 holds Z, reads Y  (edge n1? no)
+            PhysiologicalWrite(X, "increment"),   # node3 holds X; n1 -> n3
+            PhysiologicalWrite(Y, "increment"),   # merges with n1; n2 -> n1'
+            GeneralLogicalOp([W], [Z, X], "copy_value"),  # writes Z and X
+        )
+        graph = build_refined_graph(records)
+        graph.check_acyclic()
+        assert graph.vars_are_disjoint()
+
+    def test_graph_always_acyclic_and_disjoint(self):
+        import random
+
+        rng = random.Random(4)
+        log = LogManager()
+        graph = DynamicWriteGraph()
+        pages = [pid(i) for i in range(10)]
+        for _ in range(300):
+            roll = rng.random()
+            if roll < 0.4:
+                src, dst = rng.sample(pages, 2)
+                op = CopyOp(src, dst)
+            elif roll < 0.7:
+                op = PhysiologicalWrite(rng.choice(pages), "increment")
+            elif roll < 0.9:
+                op = PhysicalWrite(rng.choice(pages), rng.randrange(100))
+            else:
+                reads = rng.sample(pages, 2)
+                writes = rng.sample(pages, 2)
+                op = GeneralLogicalOp(reads, writes, "concat_sorted")
+            graph.add_operation(log.append(op))
+            graph.check_acyclic()
+            assert graph.vars_are_disjoint()
+
+
+class TestInstalling:
+    def test_install_requires_no_predecessors(self):
+        records = logged(
+            CopyOp(pid(0), pid(1)),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        graph = build_refined_graph(records)
+        blocked = graph.holder_of(pid(0))
+        with pytest.raises(FlushOrderError):
+            graph.install_node(blocked)
+
+    def test_install_releases_successors(self):
+        records = logged(
+            CopyOp(pid(0), pid(1)),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        graph = build_refined_graph(records)
+        first = graph.holder_of(pid(1))
+        vars_ = graph.install_node(first)
+        assert vars_ == {pid(1)}
+        second = graph.holder_of(pid(0))
+        assert graph.is_installable(second)
+
+    def test_installable_nodes_sorted_by_lsn(self):
+        records = logged(
+            PhysicalWrite(pid(3), 1),
+            PhysicalWrite(pid(1), 1),
+            PhysicalWrite(pid(2), 1),
+        )
+        graph = build_refined_graph(records)
+        lsns = [n.ops[0].lsn for n in graph.installable_nodes()]
+        assert lsns == [1, 2, 3]
+
+    def test_holder_cleared_after_install(self):
+        records = logged(PhysicalWrite(pid(0), 1))
+        graph = build_refined_graph(records)
+        graph.install_node(graph.holder_of(pid(0)))
+        assert graph.holder_of(pid(0)) is None
+        assert len(graph) == 0

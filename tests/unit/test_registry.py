@@ -1,0 +1,94 @@
+"""Unit tests for the transform registry."""
+
+import pytest
+
+from repro.errors import OperationError
+from repro.ops.registry import (
+    TransformRegistry,
+    as_records,
+    default_registry,
+    delete_record,
+    insert_record,
+    split_high,
+    split_low,
+)
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        reg = TransformRegistry()
+        reg.register("double", lambda v: v * 2)
+        assert reg.resolve("double")(3) == 6
+        assert "double" in reg
+
+    def test_duplicate_rejected(self):
+        reg = TransformRegistry()
+        reg.register("f", lambda v: v)
+        with pytest.raises(OperationError):
+            reg.register("f", lambda v: v)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(OperationError):
+            TransformRegistry().resolve("missing")
+
+    def test_default_registry_has_core_transforms(self):
+        for name in (
+            "increment",
+            "insert_record",
+            "delete_record",
+            "remove_high",
+            "take_high",
+            "copy_value",
+            "sort_records",
+            "concat_sorted",
+        ):
+            assert name in default_registry
+
+
+class TestRecordHelpers:
+    def test_as_records_defensive(self):
+        assert as_records(None) == ()
+        assert as_records("garbage") == ()
+        assert as_records((1, 2, 3)) == ()
+        assert as_records(((1, "a"),)) == ((1, "a"),)
+
+    def test_insert_overwrites_key(self):
+        records = insert_record(((1, "a"),), 1, "b")
+        assert records == ((1, "b"),)
+
+    def test_insert_keeps_sorted(self):
+        records = insert_record(((1, "a"), (3, "c")), 2, "b")
+        assert records == ((1, "a"), (2, "b"), (3, "c"))
+
+    def test_delete(self):
+        assert delete_record(((1, "a"), (2, "b")), 1) == ((2, "b"),)
+
+    def test_split_partitions(self):
+        records = tuple((k, k) for k in range(6))
+        high, low = split_high(records, 2), split_low(records, 2)
+        assert tuple(sorted(high + low)) == records
+        assert all(k > 2 for k, _ in high)
+        assert all(k <= 2 for k, _ in low)
+
+
+class TestBuiltinTransforms:
+    def test_increment_handles_none(self):
+        assert default_registry.resolve("increment")(None, 5) == 5
+
+    def test_append(self):
+        assert default_registry.resolve("append")((1,), 2) == (1, 2)
+        assert default_registry.resolve("append")(None, 2) == (2,)
+
+    def test_sort_records(self):
+        fn = default_registry.resolve("sort_records")
+        assert fn(((2, "b"), (1, "a"))) == ((1, "a"), (2, "b"))
+
+    def test_concat_sorted_merges_by_page(self):
+        from repro.ids import PageId
+
+        fn = default_registry.resolve("concat_sorted")
+        reads = {
+            PageId(0, 1): ((3, "c"),),
+            PageId(0, 0): ((1, "a"),),
+        }
+        assert fn(reads) == ((1, "a"), (3, "c"))

@@ -1,0 +1,35 @@
+"""Unit tests for the text reporting helpers."""
+
+from repro.harness.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: every line same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_floats_formatted(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(["h"], [["wide-content-here"]])
+        assert "wide-content-here" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert out.splitlines()[0].split() == ["a", "b"]
+
+
+class TestFormatSeries:
+    def test_titled_pairs(self):
+        out = format_series("curve", [(1, 0.5), (2, 0.25)])
+        lines = out.splitlines()
+        assert lines[0] == "curve"
+        assert "0.5000" in lines[1]
+        assert "0.2500" in lines[2]

@@ -1,0 +1,107 @@
+"""Unit tests for simulation support: oracle, metrics, failure, runner."""
+
+import pytest
+
+from repro.db import Database
+from repro.ids import PageId
+from repro.ops.logical import CopyOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.sim.failure import CrashPlan, FailureInjector
+from repro.sim.metrics import Metrics
+from repro.sim.oracle import oracle_state_at
+from repro.sim.runner import InterleavedRun
+from repro.errors import ReproError
+from repro.workloads import page_oriented_workload
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+class TestOracle:
+    def test_tracks_logical_state(self):
+        db = Database(pages_per_partition=[8])
+        db.execute(PhysicalWrite(pid(0), "a"))
+        db.execute(CopyOp(pid(0), pid(1)))
+        assert db.oracle.value(pid(1)) == "a"
+        assert db.oracle.applied_through == 2
+
+    def test_oracle_state_at_historic_lsn(self):
+        db = Database(pages_per_partition=[8])
+        db.execute(PhysicalWrite(pid(0), "a"))
+        db.execute(PhysicalWrite(pid(0), "b"))
+        assert oracle_state_at(db.log, 1)[pid(0)] == "a"
+        assert oracle_state_at(db.log, 2)[pid(0)] == "b"
+
+    def test_rebuild_after_lost_tail(self):
+        db = Database(pages_per_partition=[8], auto_force_log=False)
+        db.execute(PhysicalWrite(pid(0), "kept"))
+        db.log.force()
+        db.execute(PhysicalWrite(pid(0), "lost"))
+        db.crash()
+        assert db.oracle.value(pid(0)) == "kept"
+
+
+class TestMetrics:
+    def test_extra_logging_fraction(self):
+        metrics = Metrics()
+        assert metrics.extra_logging_fraction == 0.0
+        metrics.record_decision("done", True)
+        metrics.record_decision("pend", False)
+        assert metrics.extra_logging_fraction == pytest.approx(0.5)
+        assert metrics.decisions_by_region == {"done": 1, "pend": 1}
+        assert metrics.iwof_by_region == {"done": 1}
+
+    def test_snapshot_keys(self):
+        snapshot = Metrics().snapshot()
+        assert "extra_logging_fraction" in snapshot
+        assert "backup_pages_copied" in snapshot
+
+
+class TestFailureInjection:
+    def test_crash_plan_fires_once(self):
+        db = Database(pages_per_partition=[8])
+        injector = FailureInjector(db, [CrashPlan(at_tick=2, kind="crash")])
+        assert injector.check(0) is None
+        assert injector.check(2) is not None
+        assert injector.check(3) is None
+        assert len(injector.fired) == 1
+
+    def test_media_plan(self):
+        db = Database(pages_per_partition=[8])
+        injector = FailureInjector(db, [CrashPlan(0, kind="media")])
+        injector.check(0)
+        assert db.stable.failed
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ReproError):
+            CrashPlan(0, kind="gremlins")
+
+
+class TestInterleavedRun:
+    def test_run_completes_backup(self):
+        db = Database(pages_per_partition=[64], policy="general")
+        workload = page_oriented_workload(db.layout, seed=1, count=None)
+        run = InterleavedRun(db, workload, backup_steps=4)
+        result = run.run(max_ticks=1000)
+        assert result.backup is not None
+        assert result.backup.is_complete
+        assert result.ops_executed > 0
+
+    def test_deterministic_given_seed(self):
+        def go():
+            db = Database(pages_per_partition=[64], policy="general")
+            workload = page_oriented_workload(db.layout, seed=1, count=None)
+            result = InterleavedRun(db, workload, seed=3).run(1000)
+            return (result.ticks, result.ops_executed, db.log.end_lsn)
+
+        assert go() == go()
+
+    def test_injected_crash_stops_run(self):
+        db = Database(pages_per_partition=[64], policy="general")
+        workload = page_oriented_workload(db.layout, seed=1, count=None)
+        injector = FailureInjector(db, [CrashPlan(at_tick=3)])
+        result = InterleavedRun(db, workload, injector=injector).run(1000)
+        assert result.crashed
+        assert result.ticks == 4

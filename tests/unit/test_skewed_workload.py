@@ -1,0 +1,58 @@
+"""Unit tests for the hotspot workload generator."""
+
+import itertools
+
+import pytest
+
+from repro.ops.base import OperationKind
+from repro.storage.layout import Layout
+from repro.workloads.skewed import hotspot_workload
+
+
+def take(it, n):
+    return list(itertools.islice(it, n))
+
+
+class TestHotspotWorkload:
+    def test_respects_count(self):
+        layout = Layout([64])
+        ops = list(hotspot_workload(layout, seed=1, count=50))
+        assert len(ops) == 50
+
+    def test_updates_concentrate_on_hot_set(self):
+        layout = Layout([64])
+        ops = take(
+            hotspot_workload(
+                layout, seed=1, hot_pages=4, hot_fraction=0.9,
+                copy_fraction=0.0,
+            ),
+            600,
+        )
+        hot_slots = {0, 1, 2, 3}
+        hot_hits = sum(
+            1
+            for op in ops
+            if next(iter(op.writeset)).slot in hot_slots
+        )
+        assert hot_hits / len(ops) == pytest.approx(0.9, abs=0.06)
+
+    def test_copies_read_hot_write_cold(self):
+        layout = Layout([64])
+        ops = take(
+            hotspot_workload(layout, seed=2, copy_fraction=1.0), 50
+        )
+        for op in ops:
+            assert op.kind is OperationKind.LOGICAL
+            assert next(iter(op.readset)).slot < 4
+            assert next(iter(op.writeset)).slot >= 4
+
+    def test_hot_set_must_fit(self):
+        layout = Layout([4])
+        with pytest.raises(ValueError):
+            next(hotspot_workload(layout, hot_pages=4))
+
+    def test_deterministic(self):
+        layout = Layout([64])
+        a = [repr(op) for op in take(hotspot_workload(layout, seed=3), 40)]
+        b = [repr(op) for op in take(hotspot_workload(layout, seed=3), 40)]
+        assert a == b

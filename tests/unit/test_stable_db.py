@@ -1,0 +1,92 @@
+"""Unit tests for the stable database S."""
+
+import pytest
+
+from repro.errors import MediaFailureError, PageNotFoundError
+from repro.ids import PageId
+from repro.storage.layout import Layout
+from repro.storage.page import PageVersion
+from repro.storage.stable_db import StableDatabase
+
+
+@pytest.fixture
+def stable():
+    return StableDatabase(Layout([8]), initial_value=())
+
+
+class TestReadsAndWrites:
+    def test_initial_value(self, stable):
+        assert stable.read_page(PageId(0, 0)).value == ()
+
+    def test_write_then_read(self, stable):
+        stable.write_page(PageId(0, 1), ("v",), 5)
+        version = stable.read_page(PageId(0, 1))
+        assert version.value == ("v",)
+        assert version.page_lsn == 5
+
+    def test_unknown_page(self, stable):
+        with pytest.raises(PageNotFoundError):
+            stable.read_page(PageId(0, 99))
+
+    def test_write_count_tracked(self, stable):
+        stable.write_page(PageId(0, 0), 1, 1)
+        stable.write_page(PageId(0, 1), 2, 2)
+        assert stable.page_writes == 2
+
+    def test_contains_and_len(self, stable):
+        assert PageId(0, 3) in stable
+        assert PageId(0, 9) not in stable
+        assert len(stable) == 8
+
+
+class TestAtomicMultiPageWrites:
+    def test_installs_all_pages(self, stable):
+        stable.write_pages_atomically(
+            {
+                PageId(0, 0): PageVersion("a", 3),
+                PageId(0, 1): PageVersion("b", 3),
+            }
+        )
+        assert stable.read_page(PageId(0, 0)).value == "a"
+        assert stable.read_page(PageId(0, 1)).value == "b"
+        assert stable.multi_page_flushes == 1
+
+    def test_all_or_nothing_on_bad_page(self, stable):
+        before = stable.snapshot()
+        with pytest.raises(PageNotFoundError):
+            stable.write_pages_atomically(
+                {
+                    PageId(0, 0): PageVersion("a", 3),
+                    PageId(0, 99): PageVersion("b", 3),
+                }
+            )
+        assert stable.snapshot() == before
+
+    def test_single_page_does_not_count_as_multi(self, stable):
+        stable.install_version(PageId(0, 0), PageVersion("x", 1))
+        assert stable.multi_page_flushes == 0
+
+
+class TestMediaFailure:
+    def test_reads_fail_after_media_failure(self, stable):
+        stable.fail_media()
+        with pytest.raises(MediaFailureError):
+            stable.read_page(PageId(0, 0))
+
+    def test_writes_fail_after_media_failure(self, stable):
+        stable.fail_media()
+        with pytest.raises(MediaFailureError):
+            stable.write_page(PageId(0, 0), 1, 1)
+
+    def test_restore_clears_failure(self, stable):
+        stable.write_page(PageId(0, 2), "keep", 4)
+        image = {PageId(0, 2): PageVersion("keep", 4)}
+        stable.fail_media()
+        stable.restore_from(image, initial_value=())
+        assert stable.read_page(PageId(0, 2)).value == "keep"
+        # Pages absent from the image are re-formatted.
+        assert stable.read_page(PageId(0, 0)).value == ()
+
+    def test_iter_pages_in_layout_order(self, stable):
+        pages = [pid for pid, _ in stable.iter_pages()]
+        assert pages == list(stable.layout.all_pages())

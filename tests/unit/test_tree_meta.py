@@ -1,0 +1,85 @@
+"""Unit tests for tree-operation successor metadata (section 4.2)."""
+
+import pytest
+
+from repro.core.tree_meta import TreeMeta, TreeOpTracker
+from repro.ids import PageId
+from repro.ops.physiological import PhysiologicalWrite
+from repro.ops.tree import MovRec, WriteNew
+from repro.storage.layout import MIN_POS, Layout
+from repro.wal.log_manager import LogManager
+
+
+def pid(slot, partition=0):
+    return PageId(partition, slot)
+
+
+@pytest.fixture
+def tracker():
+    return TreeOpTracker(Layout([64, 64]))
+
+
+def observe(tracker, op):
+    log = LogManager()
+    tracker.observe(log.append(op))
+
+
+class TestSuccessorTracking:
+    def test_untracked_page_has_no_successors(self, tracker):
+        meta = tracker.meta(pid(5))
+        assert meta.max_succ == MIN_POS
+        assert not meta.violation
+        assert not meta.has_successors
+
+    def test_write_new_records_old_as_successor(self, tracker):
+        observe(tracker, WriteNew(pid(30), pid(10)))
+        meta = tracker.meta(pid(10))
+        assert meta.max_succ == 30
+        assert meta.has_successors
+
+    def test_violation_when_new_precedes_old(self, tracker):
+        """#new < #old means the † property cannot hold."""
+        observe(tracker, WriteNew(pid(30), pid(10)))
+        assert tracker.meta(pid(10)).violation
+
+    def test_no_violation_when_new_follows_old(self, tracker):
+        observe(tracker, WriteNew(pid(10), pid(30)))
+        meta = tracker.meta(pid(30))
+        assert meta.max_succ == 10
+        assert not meta.violation
+
+    def test_max_propagates_transitively(self, tracker):
+        """MAX(X) = max(#Y, MAX(Y)) — incremental computation."""
+        observe(tracker, WriteNew(pid(50), pid(40)))   # S(40) = {50}
+        observe(tracker, WriteNew(pid(40), pid(30)))   # S(30) ∋ 40, MAX(40)=50
+        assert tracker.meta(pid(30)).max_succ == 50
+
+    def test_violation_propagates_from_successor(self, tracker):
+        observe(tracker, WriteNew(pid(20), pid(10)))   # violation(10)
+        observe(tracker, WriteNew(pid(10), pid(60)))   # 60 > 10 but v(10) set
+        assert tracker.meta(pid(60)).violation
+
+    def test_movrec_is_tracked(self, tracker):
+        observe(tracker, MovRec(pid(5), 3, pid(40)))
+        assert tracker.meta(pid(40)).max_succ == 5
+
+    def test_page_oriented_ops_ignored(self, tracker):
+        observe(tracker, PhysiologicalWrite(pid(7), "increment"))
+        assert not tracker.meta(pid(7)).has_successors
+        assert tracker.tracked_count() == 0
+
+
+class TestCrossPartition:
+    def test_cross_partition_is_conservative(self, tracker):
+        observe(tracker, WriteNew(pid(5, partition=1), pid(10, partition=0)))
+        meta = tracker.meta(pid(10, partition=0))
+        assert meta.violation
+        assert meta.max_succ == 64  # the partition's Max sentinel
+
+
+class TestClearing:
+    def test_clear_on_install(self, tracker):
+        observe(tracker, WriteNew(pid(10), pid(30)))
+        tracker.clear(pid(30))
+        assert not tracker.meta(pid(30)).has_successors
+        assert tracker.tracked_count() == 0

@@ -1,0 +1,51 @@
+"""Unit tests for recLSN / truncation tracking."""
+
+from repro.ids import PageId
+from repro.wal.truncation import RecLSNTracker
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+class TestRecLSN:
+    def test_empty_tracker_truncates_past_end(self):
+        tracker = RecLSNTracker()
+        assert tracker.truncation_point(end_lsn=10) == 11
+
+    def test_mark_dirty_keeps_oldest(self):
+        tracker = RecLSNTracker()
+        tracker.mark_dirty(pid(0), 5)
+        tracker.mark_dirty(pid(0), 9)
+        assert tracker.rec_lsn(pid(0)) == 5
+
+    def test_truncation_point_is_min_rec_lsn(self):
+        tracker = RecLSNTracker()
+        tracker.mark_dirty(pid(0), 5)
+        tracker.mark_dirty(pid(1), 3)
+        assert tracker.truncation_point(10) == 3
+
+    def test_install_advances_truncation(self):
+        tracker = RecLSNTracker()
+        tracker.mark_dirty(pid(0), 5)
+        tracker.mark_dirty(pid(1), 3)
+        tracker.mark_installed(pid(1))
+        assert tracker.truncation_point(10) == 5
+
+    def test_redirtied_restarts_rec_lsn(self):
+        """The Iw/oF effect: an identity write advances the page's rLSN
+        exactly the way flushing does (section 3.2)."""
+        tracker = RecLSNTracker()
+        tracker.mark_dirty(pid(0), 2)
+        tracker.mark_redirtied(pid(0), 8)
+        assert tracker.rec_lsn(pid(0)) == 8
+        assert tracker.truncation_point(10) == 8
+
+    def test_dirty_bookkeeping(self):
+        tracker = RecLSNTracker()
+        tracker.mark_dirty(pid(0), 1)
+        tracker.mark_dirty(pid(1), 2)
+        assert tracker.dirty_count() == 2
+        assert tracker.dirty_pages() == {pid(0), pid(1)}
+        tracker.mark_installed(pid(0))
+        assert tracker.dirty_count() == 1

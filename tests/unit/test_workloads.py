@@ -1,0 +1,90 @@
+"""Unit tests for workload generators."""
+
+import itertools
+
+from repro.ops.base import OperationKind
+from repro.ops.tree import is_tree_operation
+from repro.storage.layout import Layout
+from repro.workloads import (
+    copy_chain_workload,
+    fresh_copy_workload,
+    mixed_logical_workload,
+    page_oriented_workload,
+    tree_split_workload,
+)
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+class TestPageOriented:
+    def test_all_ops_page_oriented(self):
+        layout = Layout([32])
+        ops = take(page_oriented_workload(layout, seed=1), 100)
+        assert all(op.is_page_oriented for op in ops)
+
+    def test_count_respected(self):
+        layout = Layout([32])
+        assert len(list(page_oriented_workload(layout, 1, count=17))) == 17
+
+    def test_deterministic(self):
+        layout = Layout([32])
+        a = [repr(op) for op in page_oriented_workload(layout, 5, count=20)]
+        b = [repr(op) for op in page_oriented_workload(layout, 5, count=20)]
+        assert a == b
+
+
+class TestFreshCopy:
+    def test_general_mode_emits_copies(self):
+        layout = Layout([64])
+        ops = take(fresh_copy_workload(layout, seed=1), 40)
+        kinds = {op.kind for op in ops}
+        assert OperationKind.LOGICAL in kinds
+
+    def test_tree_mode_emits_write_new(self):
+        layout = Layout([64])
+        ops = take(fresh_copy_workload(layout, seed=1, tree_ops=True), 40)
+        assert all(is_tree_operation(op) for op in ops)
+
+    def test_targets_unique_until_recycled(self):
+        layout = Layout([64])
+        ops = take(fresh_copy_workload(layout, seed=1), 56)
+        targets = [
+            next(iter(op.writeset))
+            for op in ops
+            if op.kind is OperationKind.LOGICAL
+        ]
+        assert len(targets) == len(set(targets))
+
+
+class TestCopyChain:
+    def test_produces_flush_dependencies(self):
+        layout = Layout([32])
+        ops = list(copy_chain_workload(layout, seed=1, count=30))
+        assert len(ops) == 30
+        logical = [op for op in ops if op.kind is OperationKind.LOGICAL]
+        assert logical
+
+
+class TestMixed:
+    def test_exercises_every_form(self):
+        layout = Layout([32])
+        ops = list(mixed_logical_workload(layout, seed=2, count=300))
+        kinds = {op.kind for op in ops}
+        assert OperationKind.PHYSICAL in kinds
+        assert OperationKind.PHYSIOLOGICAL in kinds
+        assert OperationKind.LOGICAL in kinds
+
+
+class TestTreeSplit:
+    def test_all_tree_class(self):
+        layout = Layout([64])
+        ops = list(tree_split_workload(layout, seed=3, count=150))
+        assert all(is_tree_operation(op) for op in ops)
+
+    def test_contains_splits(self):
+        layout = Layout([64])
+        ops = list(tree_split_workload(layout, seed=3, count=300))
+        moves = [op for op in ops if op.kind is OperationKind.TREE_WRITE_NEW]
+        assert moves, "workload should reach split threshold"

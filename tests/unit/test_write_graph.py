@@ -1,0 +1,130 @@
+"""Unit tests for the intersecting-writes write graph W (section 2.4)."""
+
+from repro.ids import PageId
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.recovery.write_graph import (
+    build_intersecting_writes_graph,
+    topological_flush_order,
+)
+from repro.wal.log_manager import LogManager
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+def log_ops(*ops):
+    log = LogManager()
+    return [log.append(op) for op in ops]
+
+
+def node_holding(nodes, page):
+    for node in nodes:
+        if page in node.vars:
+            return node
+    raise AssertionError(f"no node holds {page!r}")
+
+
+class TestFirstCollapse:
+    def test_page_oriented_ops_get_degenerate_graph(self):
+        """Page-oriented logs: every node has one var and no edges."""
+        records = log_ops(
+            PhysicalWrite(pid(0), 1),
+            PhysiologicalWrite(pid(1), "increment"),
+            PhysicalWrite(pid(2), 2),
+        )
+        nodes = build_intersecting_writes_graph(records)
+        assert len(nodes) == 3
+        assert all(len(n.vars) == 1 for n in nodes)
+        assert all(not n.preds and not n.succs for n in nodes)
+
+    def test_intersecting_writes_merge(self):
+        records = log_ops(
+            PhysicalWrite(pid(0), 1),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        nodes = build_intersecting_writes_graph(records)
+        assert len(nodes) == 1
+        assert nodes[0].ops == {1, 2}
+
+    def test_multi_object_op_creates_multi_var_node(self):
+        records = log_ops(
+            GeneralLogicalOp([pid(0)], [pid(1), pid(2)], "copy_value")
+        )
+        nodes = build_intersecting_writes_graph(records)
+        assert len(nodes) == 1
+        assert nodes[0].vars == {pid(1), pid(2)}
+
+
+class TestEdgesAndSecondCollapse:
+    def test_copy_dependency_edge(self):
+        records = log_ops(
+            CopyOp(pid(0), pid(1)),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        nodes = build_intersecting_writes_graph(records)
+        src = node_holding(nodes, pid(1))
+        dst = node_holding(nodes, pid(0))
+        assert dst.node_id in src.succs
+        assert src.node_id in dst.preds
+
+    def test_two_copies_are_not_a_cycle(self):
+        """copy(X,Y); copy(Y,X) has only ONE installation edge — the
+        second conflict is write-read, which is not an edge (§2.2)."""
+        records = log_ops(
+            CopyOp(pid(0), pid(1)),
+            CopyOp(pid(1), pid(0)),
+        )
+        nodes = build_intersecting_writes_graph(records)
+        assert len(nodes) == 2
+        src = node_holding(nodes, pid(1))
+        dst = node_holding(nodes, pid(0))
+        assert dst.node_id in src.succs
+
+    def test_cycle_collapsed_into_atomic_flush_set(self):
+        """A genuine cycle: copy(X,Y); copy(Y,X); stamp(Y).
+
+        Edges: op1→op2 (op1 read X, op2 wrote X) and op2→op3 (op2 read
+        Y, op3 wrote Y); op3 shares a write set with op1, closing the
+        cycle between the two first-collapse classes.  The second
+        collapse must merge them into one atomic flush set."""
+        records = log_ops(
+            CopyOp(pid(0), pid(1)),
+            CopyOp(pid(1), pid(0)),
+            PhysiologicalWrite(pid(1), "stamp", ("t",)),
+        )
+        nodes = build_intersecting_writes_graph(records)
+        assert len(nodes) == 1
+        assert nodes[0].vars == {pid(0), pid(1)}
+
+    def test_flush_order_is_topological(self):
+        records = log_ops(
+            CopyOp(pid(0), pid(1)),
+            PhysiologicalWrite(pid(0), "increment"),
+            CopyOp(pid(0), pid(2)),
+            PhysiologicalWrite(pid(0), "increment"),
+        )
+        nodes = build_intersecting_writes_graph(records)
+        order = topological_flush_order(nodes)
+        position = {n.node_id: i for i, n in enumerate(order)}
+        for node in nodes:
+            for succ in node.succs:
+                assert position[node.node_id] < position[succ]
+
+
+class TestW_GrowsMonotonically:
+    def test_vars_never_shrink_in_w(self):
+        """The paper's complaint: in W the atomic flush sets only grow.
+
+        A blind write of X does NOT remove X from its node in W (it
+        merges, since write sets intersect) — contrast with rW.
+        """
+        records = log_ops(
+            GeneralLogicalOp([pid(5)], [pid(0), pid(1)], "copy_value"),
+            PhysicalWrite(pid(0), 42),  # blind write of X
+        )
+        nodes = build_intersecting_writes_graph(records)
+        assert len(nodes) == 1
+        assert nodes[0].vars == {pid(0), pid(1)}
