@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Standalone entry point for the SIM-PERF baseline driver.
+
+Equivalent to ``python -m repro bench``; exists so the benchmark suite
+can be driven without installing the package::
+
+    python benchmarks/run_bench.py --rounds 40 --label after
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "src"),
+)
+
+from repro.harness.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,27 +128,36 @@ class CacheManager:
         source: str = "",
     ) -> LogRecord:
         """Run one operation: read pages, log it, apply to the cache."""
-        reads = {pid: self.read_page(pid) for pid in op.readset}
+        cache = self._cache
+        metrics = self.metrics
+        reads = {}
+        for pid in op.readset:
+            page = cache.get(pid)
+            if page is not None:
+                metrics.cache_hits += 1
+                reads[pid] = page.value
+            else:
+                reads[pid] = self.read_page(pid)
         record = self.log.append(op, flags, source=source)
         result = op.apply(reads)
+        lsn = record.lsn
+        rec = self.rec
         for pid, value in result.items():
-            self._write_cached(pid, value, record.lsn)
+            # Inlined _write_cached: one call per executed operation.
+            page = cache.get(pid)
+            if page is None:
+                # Blind write of an uncached page: no read needed.
+                cache[pid] = CachedPage(value, lsn, dirty=True)
+                rec.mark_dirty(pid, lsn)
+                continue
+            if not page.dirty:
+                rec.mark_dirty(pid, lsn)
+            page.value = value
+            page.page_lsn = lsn
+            page.dirty = True
         self.graph.add_operation(record)
         self.tree.observe(record)
         return record
-
-    def _write_cached(self, page_id: PageId, value: Any, lsn: LSN) -> None:
-        page = self._cache.get(page_id)
-        if page is None:
-            # Blind write of an uncached page: no read needed.
-            self._cache[page_id] = CachedPage(value, lsn, dirty=True)
-            self.rec.mark_dirty(page_id, lsn)
-            return
-        if not page.dirty:
-            self.rec.mark_dirty(page_id, lsn)
-        page.value = value
-        page.page_lsn = lsn
-        page.dirty = True
 
     # ----------------------------------------------------------- installing
 
@@ -174,7 +183,10 @@ class CacheManager:
             self._advance_truncation()
             return
 
-        partitions = sorted({pid.partition for pid in vars_snapshot})
+        if len(vars_snapshot) == 1:
+            partitions = [vars_snapshot[0].partition]
+        else:
+            partitions = sorted({pid.partition for pid in vars_snapshot})
         for partition in partitions:
             self.latches[partition].acquire_shared()
         try:
@@ -186,6 +198,7 @@ class CacheManager:
                 for pid in iwof_pages
             ]
             self.log.force()
+            cached_pages = []
             versions: Dict[PageId, PageVersion] = {}
             for pid in vars_snapshot:
                 page = self._cache.get(pid)
@@ -195,6 +208,7 @@ class CacheManager:
                         "is not cached"
                     )
                 self.log.assert_wal(pid, page.page_lsn)
+                cached_pages.append((pid, page))
                 versions[pid] = PageVersion(page.value, page.page_lsn)
             self.stable.write_pages_atomically(versions)
         finally:
@@ -209,8 +223,7 @@ class CacheManager:
             resolved = self.graph.holder_of(next(iter(identity_node.vars)))
             if resolved is not None and resolved.node_id == identity_node.node_id:
                 self.graph.install_node(resolved)
-        for pid in vars_snapshot:
-            page = self._cache[pid]
+        for pid, page in cached_pages:
             page.dirty = False
             self.rec.mark_installed(pid)
             self.tree.clear(pid)
@@ -226,8 +239,13 @@ class CacheManager:
         iwof: List[PageId] = []
         for pid in pages:
             progress = self.progress[pid.partition]
+            if not progress.active:
+                # Idle partition: D == P == 0, so every page classifies
+                # Pend and "Pend means flush plainly" under every policy
+                # (see repro.core.progress) — skip the policy consult.
+                continue
             will_copy = True
-            if self.copy_set_filter is not None and progress.active:
+            if self.copy_set_filter is not None:
                 will_copy = self.copy_set_filter(pid)
             decision = self.policy.decide(
                 self.layout.position(pid),
@@ -235,12 +253,11 @@ class CacheManager:
                 self.tree.meta(pid),
                 will_be_copied=will_copy,
             )
-            if progress.active:
-                self.metrics.record_decision(
-                    decision.region.value,
-                    decision.needs_iwof,
-                    step=progress.steps_taken,
-                )
+            self.metrics.record_decision(
+                decision.region.value,
+                decision.needs_iwof,
+                step=progress.steps_taken,
+            )
             if decision.needs_iwof:
                 iwof.append(pid)
         return iwof
@@ -284,15 +301,29 @@ class CacheManager:
         return record
 
     def _drain_empty_nodes(self) -> None:
-        """Auto-install nodes whose vars emptied and predecessors cleared."""
-        changed = True
-        while changed:
-            changed = False
-            for node in self.graph.installable_nodes():
-                if not node.vars:
-                    self.graph.install_node(node)
-                    self.metrics.node_installs += 1
-                    changed = True
+        """Auto-install nodes whose vars emptied and predecessors cleared.
+
+        The graph maintains the set of empty installable nodes
+        incrementally, so each pass touches only the nodes actually
+        drained (installing one may release successors into the set,
+        hence the outer loop) — no rescan of the live graph.
+        """
+        if not self.graph._ready_empty:  # common case: nothing to drain
+            return
+        while True:
+            empties = self.graph.installable_empty_nodes()
+            if not empties:
+                break
+            drained = 0
+            for node in empties:
+                live = self._live(node.node_id)
+                if live is None or live.vars:
+                    continue
+                self.graph.install_node(live)
+                self.metrics.node_installs += 1
+                drained += 1
+            if not drained:
+                break
 
     def _advance_truncation(self) -> None:
         self.stable_truncation_point = self.rec.truncation_point(
@@ -304,7 +335,7 @@ class CacheManager:
     def _live(self, node_id: int) -> Optional[DynamicNode]:
         """The live node for ``node_id``, or None if already installed."""
         resolved = self.graph._resolve(node_id)
-        return None if resolved is None else self.graph.node(resolved)
+        return None if resolved is None else self.graph._nodes[resolved]
 
     def flush_page(self, page_id: PageId, cascade: bool = True) -> bool:
         """Install the node holding ``page_id`` (and, with ``cascade``,

@@ -6,7 +6,9 @@ Commands
 ``fig5``      one Figure 5 measurement (``--kind``, ``--steps``, …);
 ``demo``      the quickstart flow with narration;
 ``selftest``  a fast end-to-end correctness pass (Figure 1 both ways,
-              crash + media recovery on a mixed workload).
+              crash + media recovery on a mixed workload);
+``bench``     the SIM-PERF hot-path benchmarks, appended to a persisted
+              baseline file (``BENCH_hotpath.json``).
 """
 
 from __future__ import annotations
@@ -17,6 +19,18 @@ import sys
 from repro.core import analysis
 from repro.harness import experiments
 from repro.harness.reporting import format_table
+
+
+def cmd_bench(args) -> int:
+    from repro.harness import bench
+
+    kwargs = {"label": args.label, "only": args.only}
+    if args.rounds is not None:
+        kwargs["rounds"] = args.rounds
+    if args.output is not None:
+        kwargs["output"] = args.output
+    bench.run_suite(**kwargs)
+    return 0
 
 
 def cmd_fig5(args) -> int:
@@ -159,6 +173,18 @@ def main(argv=None) -> int:
 
     selftest = sub.add_parser("selftest", help="fast end-to-end checks")
     selftest.set_defaults(fn=cmd_selftest)
+
+    from repro.harness.bench import BENCHMARKS
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the SIM-PERF hot-path benchmarks into a baseline file",
+    )
+    bench.add_argument("--rounds", type=int, default=None)
+    bench.add_argument("--label", default="current")
+    bench.add_argument("--output", default=None)
+    bench.add_argument("--only", action="append", choices=sorted(BENCHMARKS))
+    bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

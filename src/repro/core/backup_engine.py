@@ -38,12 +38,18 @@ class BackupRun:
         steps: int,
         update_set: Optional[Set[PageId]] = None,
         dynamic_extend: bool = True,
+        batched: bool = True,
     ):
         self.cm = cm
         self.backup = backup
         self.steps = steps
         self.layout = cm.layout
         self.dynamic_extend = dynamic_extend
+        # Batched sweeps copy contiguous runs of pages per partition with
+        # one bulk read per run; the serial path copies page-at-a-time in
+        # strict round-robin order.  Both produce the same backup content
+        # (only the copy *order* differs within a single copy_some call).
+        self.batched = batched
         # None means full backup: copy everything.
         self.copy_set: Optional[Set[PageId]] = (
             set(update_set) if update_set is not None else None
@@ -52,6 +58,10 @@ class BackupRun:
         self._boundaries: Dict[int, List[int]] = {}
         self._step_index: Dict[int, int] = {}
         self._cursor: Dict[int, int] = {}
+        # Pages (copied or skipped) the frontier has yet to pass, summed
+        # over all partitions — makes ``finished_copying`` O(1) instead of
+        # a per-call scan over every partition cursor.
+        self._remaining_total = self.layout.total_pages()
         self._sealed = False
         for partition in range(self.layout.num_partitions):
             boundaries = self.layout.step_boundaries(partition, steps)
@@ -91,22 +101,36 @@ class BackupRun:
 
     @property
     def finished_copying(self) -> bool:
-        return all(
-            self._cursor[p] >= self.layout.partition_size(p)
-            for p in self._cursor
-        )
+        return self._remaining_total <= 0
 
-    def copy_some(self, pages: int = 1) -> int:
-        """Copy up to ``pages`` pages, round-robin across partitions.
+    def copy_some(self, pages: int = 1, batched: Optional[bool] = None) -> int:
+        """Copy up to ``pages`` pages of the sweep.
 
         Returns the number of pages actually copied (skipped pages — those
         outside an incremental copy set — do not count but do advance the
         frontier).
+
+        The batched path (the run's default, overridable per call) copies
+        the same page set a serial round-robin sweep would, but as
+        contiguous per-partition runs with one bulk read and one step
+        check per run; step boundaries still move D/P under the exclusive
+        latch at exactly the same frontier positions.  Use
+        ``batched=False`` for strict page-at-a-time round-robin order
+        (e.g. when exploring interleavings).
         """
         if self._sealed:
             raise BackupError("backup already sealed")
+        use_batched = self.batched if batched is None else batched
+        if use_batched:
+            return self._copy_batched(pages)
+        return self._copy_serial(pages)
+
+    # -------------------------------------------------------- serial copying
+
+    def _copy_serial(self, pages: int) -> int:
+        """Page-at-a-time round-robin sweep (the paper's Figure 3 loop)."""
         copied = 0
-        while copied < pages and not self.finished_copying:
+        while copied < pages and self._remaining_total > 0:
             advanced = False
             for partition in range(self.layout.num_partitions):
                 if copied >= pages:
@@ -139,7 +163,145 @@ class BackupRun:
         else:
             self.skipped_pages += 1
         self._cursor[partition] = cursor + 1
+        self._remaining_total -= 1
         return True
+
+    # ------------------------------------------------------- batched copying
+
+    def _copy_batched(self, pages: int) -> int:
+        """Copy the same page set as ``_copy_serial`` via bulk runs.
+
+        Planning first reproduces the serial round-robin schedule with
+        pure integer arithmetic (advancing cursors and step boundaries at
+        identical frontier positions), accumulating contiguous
+        per-partition spans; the pages are then copied with one bulk
+        stable read and one bulk backup record per span.  No cache
+        manager activity can interleave inside a single call, so the
+        resulting backup content is identical to the serial path's.
+        """
+        spans: List[tuple] = []
+        if self.copy_set is None:
+            copied = self._plan_full(pages, spans)
+        else:
+            copied = self._plan_filtered(pages, spans)
+        if not spans:
+            return copied
+        stable = self.cm.stable
+        backup = self.backup
+        metrics = self.cm.metrics
+        for partition, start, stop in spans:
+            entries = stable.read_pages(
+                [PageId(partition, slot) for slot in range(start, stop)]
+            )
+            backup.record_pages(entries)
+            metrics.backup_pages_copied += stop - start
+            metrics.backup_bulk_reads += 1
+        return copied
+
+    def _plan_full(self, budget: int, spans: List[tuple]) -> int:
+        """Plan a full-backup batch: round-robin budget split, O(steps).
+
+        A serial sweep deals the budget one page per active partition per
+        round, partitions dropping out as they exhaust; the final partial
+        round favours lower-numbered partitions.  That allocation is
+        computed here in closed form per phase, never per page.
+        """
+        capacity: Dict[int, int] = {}
+        for partition in range(self.layout.num_partitions):
+            cap = self.layout.partition_size(partition) - self._cursor[partition]
+            if cap > 0:
+                capacity[partition] = cap
+        active = sorted(capacity)
+        allocation: Dict[int, int] = {}
+        remaining = budget
+        while remaining > 0 and active:
+            rounds = min(
+                remaining // len(active),
+                min(capacity[p] for p in active),
+            )
+            if rounds:
+                for p in active:
+                    allocation[p] = allocation.get(p, 0) + rounds
+                    capacity[p] -= rounds
+                remaining -= rounds * len(active)
+                active = [p for p in active if capacity[p] > 0]
+                continue
+            # Partial final round: one page each, lowest partitions first.
+            for p in active[:remaining]:
+                allocation[p] = allocation.get(p, 0) + 1
+            remaining = 0
+        copied = 0
+        for partition in sorted(allocation):
+            count = allocation[partition]
+            copied += count
+            self._remaining_total -= count
+            self._append_runs(partition, count, spans)
+        return copied
+
+    def _append_runs(
+        self, partition: int, count: int, spans: List[tuple]
+    ) -> None:
+        """Split ``count`` pages from the partition's cursor into spans,
+        advancing D/P under the exclusive latch exactly where the serial
+        sweep would (whenever the frontier meets the pending boundary)."""
+        pos = self._cursor[partition]
+        progress = self.cm.progress[partition]
+        left = count
+        while left > 0:
+            if pos >= progress.pending:
+                self._advance_step(partition)
+            run = min(left, progress.pending - pos)
+            spans.append((partition, pos, pos + run))
+            pos += run
+            left -= run
+        self._cursor[partition] = pos
+
+    def _plan_filtered(self, budget: int, spans: List[tuple]) -> int:
+        """Plan an incremental batch: the serial schedule page by page.
+
+        Membership in the copy set must be tested per page, so the plan
+        walks the round-robin schedule exactly — but only with integer
+        work, coalescing consecutive copied pages into spans for the bulk
+        read/record stage.
+        """
+        num_partitions = self.layout.num_partitions
+        sizes = [
+            self.layout.partition_size(p) for p in range(num_partitions)
+        ]
+        progress_map = self.cm.progress
+        copy_set = self.copy_set
+        open_spans: Dict[int, List[int]] = {}
+        copied = 0
+        while copied < budget and self._remaining_total > 0:
+            advanced = False
+            for partition in range(num_partitions):
+                if copied >= budget:
+                    break
+                pos = self._cursor[partition]
+                if pos >= sizes[partition]:
+                    continue
+                progress = progress_map[partition]
+                if pos >= progress.pending:
+                    self._advance_step(partition)
+                if PageId(partition, pos) in copy_set:
+                    span = open_spans.get(partition)
+                    if span is not None and span[1] == pos:
+                        span[1] = pos + 1
+                    else:
+                        if span is not None:
+                            spans.append((partition, span[0], span[1]))
+                        open_spans[partition] = [pos, pos + 1]
+                    copied += 1
+                else:
+                    self.skipped_pages += 1
+                self._cursor[partition] = pos + 1
+                self._remaining_total -= 1
+                advanced = True
+            if not advanced:
+                break
+        for partition, span in open_spans.items():
+            spans.append((partition, span[0], span[1]))
+        return copied
 
     def _advance_step(self, partition: int) -> None:
         index = self._step_index[partition] + 1
@@ -195,6 +357,7 @@ class BackupEngine:
         update_set: Optional[Set[PageId]] = None,
         base_backup: Optional[BackupDatabase] = None,
         dynamic_extend: bool = True,
+        batched: bool = True,
     ) -> BackupRun:
         if self.active is not None and not self.active.is_sealed:
             raise BackupInProgressError("a backup is already in progress")
@@ -213,6 +376,7 @@ class BackupEngine:
             steps,
             update_set=update_set,
             dynamic_extend=dynamic_extend,
+            batched=batched,
         )
         self.active = run
         return run

@@ -162,12 +162,14 @@ class Database:
 
     def start_backup(
         self, steps: int = 8, incremental: bool = False,
-        dynamic_extend: bool = True,
+        dynamic_extend: bool = True, batched: bool = True,
     ) -> BackupRun:
         """Begin an online backup; drive it with :meth:`backup_step`.
 
         With ``incremental=True`` only pages updated since the previous
         completed backup are copied (requires a prior backup as base).
+        ``batched=False`` forces page-at-a-time round-robin copying (see
+        :meth:`BackupRun.copy_some`).
         """
         if incremental:
             base = self.engine.latest_backup()
@@ -180,9 +182,10 @@ class Database:
                 update_set=set(self.updated_since_backup),
                 base_backup=base,
                 dynamic_extend=dynamic_extend,
+                batched=batched,
             )
         else:
-            run = self.engine.start_backup(steps=steps)
+            run = self.engine.start_backup(steps=steps, batched=batched)
         self.updated_since_backup = set()
         return run
 

@@ -1,0 +1,293 @@
+"""SIM-PERF benchmark driver with a persisted baseline file.
+
+Runs the hot-path benchmark suite (the same scenarios as
+``benchmarks/test_simulator_performance.py``) with a plain
+``perf_counter`` harness and appends one labelled entry to a JSON
+baseline file (default ``BENCH_hotpath.json``).  Each entry records the
+environment, the git revision, and per-benchmark timing statistics;
+entries after the first also record their speedup relative to the
+*first* entry in the file, so committing a seed ("before") entry and a
+current ("after") entry documents an optimization's effect.
+
+Usage::
+
+    python -m repro bench --rounds 40 --label after
+    python benchmarks/run_bench.py --label seed --output BENCH_hotpath.json
+
+Speedups are computed on the per-benchmark *minimum* round time — the
+standard robust statistic for microbenchmarks, insensitive to GC pauses
+and scheduler noise that inflate means.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+DEFAULT_OUTPUT = "BENCH_hotpath.json"
+DEFAULT_ROUNDS = 40
+WARMUP_ROUNDS = 3
+
+
+# --------------------------------------------------------------- benchmarks
+#
+# Each factory performs one-time setup and returns the callable timed per
+# round.  The scenarios deliberately mirror the pytest-benchmark suite in
+# benchmarks/test_simulator_performance.py so numbers are comparable.
+
+
+def _bench_copy_chain_checkpoint() -> Callable[[], object]:
+    from repro.db import Database
+    from repro.workloads import copy_chain_workload
+
+    db = Database(pages_per_partition=[256], policy="general")
+
+    def run() -> int:
+        for op in copy_chain_workload(
+            db.layout, seed=2, count=150, chain_length=8
+        ):
+            db.execute(op)
+        return db.checkpoint()
+
+    return run
+
+
+def _bench_backup_sweep() -> Callable[[], object]:
+    from repro.db import Database
+
+    db = Database(pages_per_partition=[4096], policy="general")
+
+    def run() -> int:
+        db.engine.completed.clear()
+        db.start_backup(steps=8)
+        backup = db.run_backup(pages_per_tick=256)
+        if backup.copied_count() != 4096:
+            raise AssertionError("sweep did not copy every page")
+        return backup.copied_count()
+
+    return run
+
+
+def _bench_mixed_execute() -> Callable[[], object]:
+    from repro.db import Database
+    from repro.workloads import mixed_logical_workload
+
+    db = Database(pages_per_partition=[512], policy="general")
+    source = mixed_logical_workload(db.layout, seed=1, count=10**9)
+
+    def run() -> int:
+        for _ in range(200):
+            db.execute(next(source))
+        return db.checkpoint()
+
+    return run
+
+
+def _bench_replay() -> Callable[[], object]:
+    from repro.db import Database
+    from repro.recovery.crash_recovery import run_crash_recovery
+    from repro.workloads import mixed_logical_workload
+
+    db = Database(pages_per_partition=[256], policy="general")
+    for op in mixed_logical_workload(db.layout, seed=3, count=3000):
+        db.execute(op)
+    db.crash()
+
+    def run() -> object:
+        outcome = run_crash_recovery(
+            db.stable, db.log, scan_start_lsn=1, apply_to_stable=False
+        )
+        if outcome.replayed + outcome.skipped != 3000:
+            raise AssertionError("replay missed records")
+        return outcome
+
+    return run
+
+
+BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
+    "copy_chain_checkpoint": _bench_copy_chain_checkpoint,
+    "backup_sweep": _bench_backup_sweep,
+    "mixed_execute": _bench_mixed_execute,
+    "replay": _bench_replay,
+}
+
+
+# ------------------------------------------------------------------- timing
+
+
+def time_benchmark(
+    factory: Callable[[], Callable[[], object]],
+    rounds: int,
+    warmup: int = WARMUP_ROUNDS,
+) -> Dict[str, float]:
+    """Time ``rounds`` calls of the factory's callable; stats in ms."""
+    run = factory()
+    for _ in range(warmup):
+        run()
+    timings: List[float] = []
+    perf_counter = time.perf_counter
+    for _ in range(rounds):
+        start = perf_counter()
+        run()
+        timings.append(perf_counter() - start)
+    timings_ms = [t * 1000.0 for t in timings]
+    return {
+        "rounds": rounds,
+        "min_ms": round(min(timings_ms), 4),
+        "median_ms": round(statistics.median(timings_ms), 4),
+        "mean_ms": round(statistics.fmean(timings_ms), 4),
+        "stdev_ms": round(
+            statistics.stdev(timings_ms) if rounds > 1 else 0.0, 4
+        ),
+    }
+
+
+# -------------------------------------------------------------- environment
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def collect_environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_revision": _git_revision(),
+    }
+
+
+# ------------------------------------------------------------- persistence
+
+
+def _load(path: str) -> Dict:
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"{path} is not a benchmark baseline file")
+        return data
+    return {
+        "benchmark": "SIM-PERF hot paths",
+        "statistic": "speedups computed on min_ms",
+        "entries": [],
+    }
+
+
+def _speedups(baseline: Dict, current: Dict) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for name, stats in current.items():
+        base = baseline.get(name)
+        if base and base.get("min_ms") and stats.get("min_ms"):
+            out[name] = round(base["min_ms"] / stats["min_ms"], 2)
+    return out
+
+
+def run_suite(
+    rounds: int = DEFAULT_ROUNDS,
+    label: str = "current",
+    output: str = DEFAULT_OUTPUT,
+    only: Optional[List[str]] = None,
+    quiet: bool = False,
+) -> Dict:
+    """Run the suite, append an entry to ``output``, return the entry."""
+    names = list(BENCHMARKS) if not only else list(only)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {unknown}")
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        if not quiet:
+            print(f"  {name} ... ", end="", flush=True)
+        results[name] = time_benchmark(BENCHMARKS[name], rounds)
+        if not quiet:
+            print(
+                f"min {results[name]['min_ms']} ms, "
+                f"median {results[name]['median_ms']} ms"
+            )
+    data = _load(output)
+    entry: Dict = {
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": collect_environment(),
+        "results": results,
+    }
+    if data["entries"]:
+        first = data["entries"][0]
+        entry["baseline_label"] = first["label"]
+        entry["speedup_vs_baseline"] = _speedups(
+            first.get("results", {}), results
+        )
+    data["entries"].append(entry)
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    if not quiet:
+        if "speedup_vs_baseline" in entry:
+            print(
+                f"speedup vs '{entry['baseline_label']}':",
+                json.dumps(entry["speedup_vs_baseline"]),
+            )
+        print(f"wrote entry '{label}' to {output}")
+    return entry
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the SIM-PERF hot-path benchmarks and append the "
+        "results to a persisted baseline file.",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_ROUNDS,
+        help=f"timed rounds per benchmark (default {DEFAULT_ROUNDS})",
+    )
+    parser.add_argument(
+        "--label", default="current",
+        help="label for this entry (e.g. 'seed', 'after')",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"baseline JSON file to append to (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--only", action="append", choices=sorted(BENCHMARKS),
+        help="run only this benchmark (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    run_suite(
+        rounds=args.rounds,
+        label=args.label,
+        output=args.output,
+        only=args.only,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ log sequence number, so a page that has never been written has
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter as _itemgetter
 from typing import Union
 
 # Log sequence numbers are plain ints; the first record appended gets LSN 1.
@@ -20,25 +21,36 @@ LSN = int
 NULL_LSN: LSN = 0
 
 
-@dataclass(frozen=True, order=True)
-class PageId:
+class PageId(tuple):
     """Physical address of a recoverable page: (partition, slot).
 
     Ordering is lexicographic (partition, slot), which is also the default
     backup order used by :class:`repro.storage.layout.Layout`.
+
+    PageId is the dict key on every cache, holder-map, and backup-progress
+    lookup, so it subclasses ``tuple``: hashing, equality and ordering run
+    at C speed with no Python-level dispatch (hashing dominates those
+    lookups otherwise).  ``partition``/``slot`` are itemgetter properties
+    over the two elements.
     """
 
-    partition: int
-    slot: int
+    __slots__ = ()
 
-    def __post_init__(self):
-        if self.partition < 0:
-            raise ValueError(f"partition must be >= 0, got {self.partition}")
-        if self.slot < 0:
-            raise ValueError(f"slot must be >= 0, got {self.slot}")
+    def __new__(cls, partition: int, slot: int):
+        if partition < 0:
+            raise ValueError(f"partition must be >= 0, got {partition}")
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        return tuple.__new__(cls, (partition, slot))
+
+    partition = property(_itemgetter(0), doc="Partition index.")
+    slot = property(_itemgetter(1), doc="Slot within the partition.")
+
+    def __getnewargs__(self):
+        return tuple(self)
 
     def __repr__(self):
-        return f"P{self.partition}:{self.slot}"
+        return f"P{self[0]}:{self[1]}"
 
 
 @dataclass(frozen=True, order=True)

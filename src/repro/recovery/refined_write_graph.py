@@ -16,6 +16,16 @@ maintains during normal execution:
 * installing a node with no predecessors removes it, releasing its
   successors.
 
+The graph keeps an incrementally maintained **ready queue**: the set of
+node ids with no live predecessors (and the subset of those whose
+``vars`` are empty, i.e. drainable without a flush).  Every mutation —
+edge addition, merge, install, var removal by a blind write — updates
+the queue, so :meth:`installable_nodes` is O(ready · log ready) and a
+full drain is O(nodes + edges) instead of rescanning all live nodes on
+every call.  A companion invariant makes that sound: ``preds``/``succs``
+of live nodes only ever contain live node ids (merges and installs fix
+their neighbours eagerly), so emptiness of ``preds`` *is* readiness.
+
 ``build_refined_graph`` replays a record sequence through a
 ``DynamicWriteGraph`` without installing anything, yielding the static rW
 of a log — this is what the Figure 2 test compares against W.
@@ -24,8 +34,7 @@ of a log — this is what the Figure 2 test compares against W.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import FlushOrderError, WriteGraphError
 from repro.ids import LSN, PageId
@@ -33,19 +42,40 @@ from repro.ops.base import OperationKind
 from repro.wal.records import LogRecord
 
 
-@dataclass
 class DynamicNode:
-    """A live write-graph node: uninstalled ops and the vars to flush."""
+    """A live write-graph node: uninstalled ops and the vars to flush.
 
-    node_id: int
-    ops: List[LogRecord] = field(default_factory=list)
-    vars: Set[PageId] = field(default_factory=set)
-    preds: Set[int] = field(default_factory=set)
-    succs: Set[int] = field(default_factory=set)
+    Slotted (not a dataclass): nodes are created on every logged
+    operation, so construction and attribute access are hot.  ``reads``
+    mirrors the graph's ``_readers`` index so installing the node
+    touches only its own entries instead of scanning every reader set.
+    """
+
+    __slots__ = ("node_id", "ops", "vars", "preds", "succs", "reads")
+
+    def __init__(
+        self,
+        node_id: int,
+        ops: Optional[List[LogRecord]] = None,
+        vars: Optional[Set[PageId]] = None,
+        preds: Optional[Set[int]] = None,
+        succs: Optional[Set[int]] = None,
+        reads: Optional[Set[PageId]] = None,
+    ):
+        self.node_id = node_id
+        self.ops = [] if ops is None else ops
+        self.vars = set() if vars is None else vars
+        self.preds = set() if preds is None else preds
+        self.succs = set() if succs is None else succs
+        self.reads = set() if reads is None else reads
 
     @property
     def op_lsns(self) -> List[LSN]:
         return [r.lsn for r in self.ops]
+
+    @property
+    def first_lsn(self) -> LSN:
+        return self.ops[0].lsn if self.ops else 0
 
     def writes(self) -> Set[PageId]:
         out: Set[PageId] = set()
@@ -70,16 +100,23 @@ class DynamicWriteGraph:
         self._readers: Dict[PageId, Set[int]] = {}
         # Alias map for merged nodes (union-find style path compression).
         self._alias: Dict[int, int] = {}
+        # Ready queue: live node ids with no predecessors, and the subset
+        # of those whose vars are empty (installable without flushing).
+        self._ready: Set[int] = set()
+        self._ready_empty: Set[int] = set()
 
     # -------------------------------------------------------------- plumbing
 
     def _resolve(self, node_id: int) -> Optional[int]:
+        alias = self._alias
+        if node_id not in alias:  # live or gone, never aliased: no chase
+            return node_id if node_id in self._nodes else None
         seen = []
-        while node_id in self._alias:
+        while node_id in alias:
             seen.append(node_id)
-            node_id = self._alias[node_id]
+            node_id = alias[node_id]
         for s in seen:
-            self._alias[s] = node_id
+            alias[s] = node_id
         return node_id if node_id in self._nodes else None
 
     def _resolve_set(self, ids: Iterable[int]) -> Set[int]:
@@ -113,6 +150,29 @@ class DynamicWriteGraph:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    # ------------------------------------------------------------ ready queue
+
+    def _refresh_ready(self, node: DynamicNode) -> None:
+        """Re-derive one live node's membership in the ready sets."""
+        if node.preds:
+            self._ready.discard(node.node_id)
+            self._ready_empty.discard(node.node_id)
+        else:
+            self._ready.add(node.node_id)
+            if node.vars:
+                self._ready_empty.discard(node.node_id)
+            else:
+                self._ready_empty.add(node.node_id)
+
+    def _unready(self, node_id: int) -> None:
+        self._ready.discard(node_id)
+        self._ready_empty.discard(node_id)
+
+    def _vars_shrunk(self, node: DynamicNode) -> None:
+        """Called after pages were removed from a live node's vars."""
+        if not node.vars and node.node_id in self._ready:
+            self._ready_empty.add(node.node_id)
+
     # ---------------------------------------------------------- construction
 
     def add_operation(self, record: LogRecord) -> DynamicNode:
@@ -122,28 +182,54 @@ class DynamicWriteGraph:
         return self._add_general(record)
 
     def _new_node(self, record: LogRecord, vars_: Set[PageId]) -> DynamicNode:
-        node = DynamicNode(next(self._ids), ops=[record], vars=set(vars_))
-        self._nodes[node.node_id] = node
+        # Takes ownership of ``vars_`` (callers pass a fresh set).  Built
+        # via __new__ + direct slot stores: one node per logged operation
+        # makes even the constructor's default-argument branches visible.
+        node = DynamicNode.__new__(DynamicNode)
+        node_id = next(self._ids)
+        node.node_id = node_id
+        node.ops = [record]
+        node.vars = vars_
+        node.preds = set()
+        node.succs = set()
+        node.reads = set()
+        self._nodes[node_id] = node
+        # A fresh node has no predecessors: immediately ready.
+        self._ready.add(node_id)
+        if not vars_:
+            self._ready_empty.add(node_id)
         return node
 
     def _add_general(self, record: LogRecord) -> DynamicNode:
         op = record.op
-        node = self._new_node(record, set(op.writeset))
+        writeset = op.writeset
+        node = self._new_node(record, set(writeset))
 
         # First collapse: merge with nodes already holding written pages.
         # Merging nodes with a pre-existing path between them would close
         # a cycle through the intermediate nodes, so the whole region
         # between them is collapsed as well (the second collapse applied
         # incrementally).
-        to_merge = self._resolve_set(
-            self._holder[p] for p in op.writeset if p in self._holder
-        )
+        holder = self._holder
+        nodes = self._nodes
+        to_merge: Set[int] = set()
+        for page in writeset:
+            holder_id = holder.get(page)
+            if holder_id is None:
+                continue
+            if holder_id in nodes:  # common case: entry already live
+                to_merge.add(holder_id)
+                continue
+            resolved = self._resolve(holder_id)
+            if resolved is not None:
+                to_merge.add(resolved)
         to_merge.discard(node.node_id)
         for other_id in to_merge:
             node = self._merge_collapsing(node.node_id, other_id)
 
-        for page in op.writeset:
-            self._holder[page] = node.node_id
+        node_id = node.node_id
+        for page in writeset:
+            holder[page] = node_id
 
         # Read-write edges: every *uninstalled* reader of the page must
         # install before this node.  Readers stay registered until their
@@ -151,17 +237,28 @@ class DynamicWriteGraph:
         # adjacency restriction (readset(O) ∩ writeset(P) for ANY O < P),
         # and a later flush of the page destroys the value those readers'
         # replay needs just as surely as the first one does.
+        readers_index = self._readers
         pending_edges: List[int] = []
-        for page in op.writeset:
-            for reader in self._resolve_set(self._readers.get(page, ())):
-                if reader != node.node_id:
-                    pending_edges.append(reader)
+        for page in writeset:
+            if page in readers_index:
+                for reader in self._live_readers(page):
+                    if reader != node.node_id:
+                        pending_edges.append(reader)
+        # _add_edge_collapsing always returns the live (post-collapse)
+        # destination node, so no re-resolution is needed afterwards.
         for src in pending_edges:
             node = self._add_edge_collapsing(src, node.node_id)
 
         # Register this operation's reads against the current values.
+        node_id = node.node_id
+        node_reads = node.reads
         for page in op.readset:
-            self._readers.setdefault(page, set()).add(node.node_id)
+            entry = readers_index.get(page)
+            if entry is None:
+                readers_index[page] = {node_id}
+            else:
+                entry.add(node_id)
+            node_reads.add(page)
         return node
 
     def _add_blind(self, record: LogRecord) -> DynamicNode:
@@ -172,6 +269,7 @@ class DynamicWriteGraph:
         previous = self.holder_of(target)
         if previous is not None:
             previous.vars.discard(target)
+            self._vars_shrunk(previous)
         node = self._new_node(record, {target})
         self._holder[target] = node.node_id
         if record.op.kind is OperationKind.IDENTITY:
@@ -183,10 +281,30 @@ class DynamicWriteGraph:
         # Inverse write-read edges: every uninstalled operation that read
         # any still-needed value of the target must install before this
         # blind write flushes over it.
-        for reader in self._resolve_set(self._readers.get(target, ())):
+        for reader in self._live_readers(target):
             if reader != node.node_id:
                 node = self._add_edge_collapsing(reader, node.node_id)
         return node
+
+    def _live_readers(self, page: PageId):
+        """Live node ids registered as readers of ``page``.
+
+        Compacts the stored set in place, so aliases of merged nodes do
+        not accumulate across a long run.  Returns an iterable the caller
+        must not mutate (a shared empty tuple when there are no readers).
+        """
+        readers = self._readers.get(page)
+        if not readers:
+            return ()
+        nodes = self._nodes
+        for node_id in readers:
+            if node_id not in nodes:
+                break
+        else:
+            return readers
+        resolved = self._resolve_set(readers)
+        self._readers[page] = set(resolved)
+        return resolved
 
     # ----------------------------------------------------- edges and merging
 
@@ -196,7 +314,13 @@ class DynamicWriteGraph:
         dst = self._resolve(dst)
         if src is None or dst is None or src == dst:
             return self._nodes[dst] if dst is not None else None
-        if self._reachable(dst, src):
+        dst_node = self._nodes[dst]
+        if src in dst_node.preds:
+            return dst_node
+        # A cycle needs a path dst ⇝ src, which requires dst to have
+        # successors and src predecessors — skip the DFS when either is
+        # trivially impossible (the common case for freshly added nodes).
+        if dst_node.succs and self._nodes[src].preds and self._reachable(dst, src):
             # Adding src → dst closes a cycle: collapse everything on a
             # path dst ⇝ src together with src and dst (second collapse).
             region = self._nodes_between(dst, src)
@@ -207,16 +331,20 @@ class DynamicWriteGraph:
                 merged = self._merge(merged, other).node_id
             return self._nodes[merged]
         self._nodes[src].succs.add(dst)
-        self._nodes[dst].preds.add(src)
-        return self._nodes[dst]
+        dst_node.preds.add(src)
+        self._unready(dst)
+        return dst_node
 
     def _reachable(self, start: int, goal: int) -> bool:
+        # preds/succs of live nodes only contain live ids (merges and
+        # installs fix neighbours eagerly), so no alias resolution here.
         stack, seen = [start], {start}
+        nodes = self._nodes
         while stack:
             current = stack.pop()
             if current == goal:
                 return True
-            for succ in self._resolve_set(self._nodes[current].succs):
+            for succ in nodes[current].succs:
                 if succ not in seen:
                     seen.add(succ)
                     stack.append(succ)
@@ -230,11 +358,12 @@ class DynamicWriteGraph:
         return forward & backward
 
     def _closure(self, start: int, neighbours) -> Set[int]:
+        # Neighbour sets of live nodes hold only live ids; no resolution.
         seen = {start}
         stack = [start]
         while stack:
             current = stack.pop()
-            for nxt in self._resolve_set(neighbours(current)):
+            for nxt in neighbours(current):
                 if nxt not in seen:
                     seen.add(nxt)
                     stack.append(nxt)
@@ -246,14 +375,23 @@ class DynamicWriteGraph:
         other_id = self._resolve(other_id)
         if keep_id == other_id:
             return self._nodes[keep_id]
+        # Early-exit reachability probes before computing path regions:
+        # in the common case the two nodes are unrelated and the region
+        # is just the pair itself.  A path a ⇝ b needs a.succs and
+        # b.preds to be non-empty, so most probes are skipped outright.
+        keep, other = self._nodes[keep_id], self._nodes[other_id]
         region = {keep_id, other_id}
-        region |= self._nodes_between(keep_id, other_id)
-        region |= self._nodes_between(other_id, keep_id)
+        if keep.succs and other.preds and self._reachable(keep_id, other_id):
+            region |= self._nodes_between(keep_id, other_id)
+        if other.succs and keep.preds and self._reachable(other_id, keep_id):
+            region |= self._nodes_between(other_id, keep_id)
         it = iter(region)
         merged = next(it)
         for node_id in it:
+            # _merge returns the live surviving node, so ``merged`` never
+            # needs re-resolution between (or after) iterations.
             merged = self._merge(merged, node_id).node_id
-        return self._nodes[self._resolve(merged)]
+        return self._nodes[merged]
 
     def _merge(self, keep_id: int, other_id: int) -> DynamicNode:
         keep_id = self._resolve(keep_id)
@@ -261,16 +399,32 @@ class DynamicWriteGraph:
         if keep_id == other_id:
             return self._nodes[keep_id]
         keep, other = self._nodes[keep_id], self._nodes[other_id]
-        keep.ops.extend(other.ops)
-        keep.ops.sort(key=lambda r: r.lsn)
+        # Splice the (individually sorted) op lists; fall back to a sort
+        # only when the LSN ranges actually interleave.
+        if not keep.ops:
+            keep.ops = other.ops
+        elif other.ops:
+            if other.ops[0].lsn > keep.ops[-1].lsn:
+                keep.ops.extend(other.ops)
+            elif keep.ops[0].lsn > other.ops[-1].lsn:
+                keep.ops[:0] = other.ops
+            else:
+                keep.ops.extend(other.ops)
+                keep.ops.sort(key=lambda r: r.lsn)
         keep.vars |= other.vars
         keep.preds |= other.preds
         keep.succs |= other.succs
+        keep.reads |= other.reads
         del self._nodes[other_id]
         self._alias[other_id] = keep_id
-        # Re-resolve and strip self references.
-        keep.preds = self._resolve_set(keep.preds) - {keep_id}
-        keep.succs = self._resolve_set(keep.succs) - {keep_id}
+        self._unready(other_id)
+        # Strip the merged pair's self references.  Neighbour sets of
+        # live nodes only hold live ids, so after discarding the two
+        # merged ids no alias resolution is needed.
+        keep.preds.discard(keep_id)
+        keep.preds.discard(other_id)
+        keep.succs.discard(keep_id)
+        keep.succs.discard(other_id)
         for pred in keep.preds:
             self._nodes[pred].succs.discard(other_id)
             self._nodes[pred].succs.add(keep_id)
@@ -279,22 +433,41 @@ class DynamicWriteGraph:
             self._nodes[succ].preds.add(keep_id)
         for page in keep.vars:
             self._holder[page] = keep_id
+        self._refresh_ready(keep)
         return keep
 
     # ------------------------------------------------------------ installing
 
     def predecessors(self, node: DynamicNode) -> Set[int]:
+        if not node.preds:
+            return node.preds
         node.preds = self._resolve_set(node.preds) - {node.node_id}
+        if node.node_id in self._nodes:
+            # Keep the ready queue honest if compaction emptied preds.
+            self._refresh_ready(node)
         return node.preds
 
     def is_installable(self, node: DynamicNode) -> bool:
         return not self.predecessors(node)
 
     def installable_nodes(self) -> List[DynamicNode]:
-        """Nodes with no predecessors, in increasing first-op LSN order."""
-        out = [n for n in self._nodes.values() if self.is_installable(n)]
-        out.sort(key=lambda n: n.ops[0].lsn if n.ops else 0)
+        """Nodes with no predecessors, in increasing first-op LSN order.
+
+        Served from the incrementally maintained ready queue: O(ready ·
+        log ready), independent of the number of live nodes.
+        """
+        out = [self._nodes[nid] for nid in self._ready]
+        out.sort(key=lambda n: n.first_lsn)
         return out
+
+    def installable_empty_nodes(self) -> List[DynamicNode]:
+        """Ready nodes with empty ``vars``: installable without a flush.
+
+        The cache manager drains these eagerly after every install — the
+        set is maintained incrementally, so the drain never rescans the
+        graph.
+        """
+        return [self._nodes[nid] for nid in self._ready_empty]
 
     def install_node(self, node: DynamicNode) -> Set[PageId]:
         """Remove an installable node; returns the pages that were its vars.
@@ -311,15 +484,28 @@ class DynamicWriteGraph:
                 f"node {node_id} has uninstalled predecessors "
                 f"{sorted(self.predecessors(node))}"
             )
-        for succ in self._resolve_set(node.succs):
-            self._nodes[succ].preds.discard(node_id)
-        for page in list(node.vars):
-            if self._holder.get(page) == node_id:
-                del self._holder[page]
-        for page, readers in list(self._readers.items()):
-            readers.discard(node_id)
+        for succ in node.succs:
+            succ_node = self._nodes.get(succ)
+            if succ_node is None:
+                continue
+            succ_node.preds.discard(node_id)
+            if not succ_node.preds:
+                self._refresh_ready(succ_node)
+        holder = self._holder
+        for page in node.vars:
+            if holder.get(page) == node_id:
+                del holder[page]
+        for page in node.reads:
+            readers = self._readers.get(page)
+            if readers is not None:
+                readers.discard(node_id)
+                if not readers:
+                    del self._readers[page]
         del self._nodes[node_id]
-        return set(node.vars)
+        self._unready(node_id)
+        # The node is gone from the graph; its vars set can be handed to
+        # the caller without copying.
+        return node.vars
 
     # ------------------------------------------------------------ inspection
 

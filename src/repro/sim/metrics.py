@@ -31,6 +31,7 @@ class Metrics:
 
     # Backup engines.
     backup_pages_copied: int = 0
+    backup_bulk_reads: int = 0  # contiguous runs copied by the batched sweep
     backups_completed: int = 0
     backups_aborted: int = 0
     linked_flushes: int = 0

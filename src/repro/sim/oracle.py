@@ -28,19 +28,26 @@ class Oracle:
         log.on_append(self.apply_record)
 
     def apply_record(self, record: LogRecord) -> None:
-        op = record.op
-        if record.lsn != self._applied_through + 1:
+        lsn = record.lsn
+        if lsn != self._applied_through + 1:
             raise AssertionError(
-                f"oracle saw LSN {record.lsn}, expected "
-                f"{self._applied_through + 1}"
+                f"oracle saw LSN {lsn}, expected {self._applied_through + 1}"
             )
-        reads = {
-            pid: self._state.get(pid, self._initial) for pid in op.readset
-        }
-        result = op.apply(reads)
-        for pid, value in result.items():
-            self._state[pid] = value
-        self._applied_through = record.lsn
+        op = record.op
+        readset = op.readset
+        state = self._state
+        if readset:
+            get = state.get
+            initial = self._initial
+            reads = {pid: get(pid, initial) for pid in readset}
+        else:
+            reads = {}
+        # ``compute`` directly rather than the checked ``apply``: the reads
+        # dict is built from op.readset above (check_reads is vacuous), and
+        # the cache manager validated this same record's operation against
+        # its read/write sets when it executed it.
+        state.update(op.compute(reads))
+        self._applied_through = lsn
 
     def rebuild(self, log: LogManager) -> None:
         """Recompute the oracle from the log's current contents.

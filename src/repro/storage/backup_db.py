@@ -58,6 +58,29 @@ class BackupDatabase:
         self._versions[page_id] = version
         self._copy_order.append(page_id)
 
+    def record_pages(self, entries) -> None:
+        """Bulk variant of :meth:`record_page` for the batched sweep.
+
+        ``entries`` is an iterable of ``(page_id, version)`` pairs; the
+        status is checked once for the whole batch, the double-copy check
+        still applies per page.
+        """
+        if self._status is not BackupStatus.IN_PROGRESS:
+            raise BackupError(
+                f"backup {self.backup_id} is {self._status.value}; "
+                "cannot record pages"
+            )
+        versions = self._versions
+        order = self._copy_order
+        for page_id, version in entries:
+            if page_id in versions:
+                raise BackupError(
+                    f"page {page_id!r} copied twice into backup "
+                    f"{self.backup_id}"
+                )
+            versions[page_id] = version
+            order.append(page_id)
+
     def complete(self, completion_lsn: LSN) -> None:
         if self._status is not BackupStatus.IN_PROGRESS:
             raise BackupError(f"backup {self.backup_id} already sealed")

@@ -46,13 +46,14 @@ class LogManager:
         flags: RecordFlag = RecordFlag.NONE,
         source: str = "",
     ) -> LogRecord:
-        record = LogRecord(lsn=self.next_lsn, op=op, flags=flags,
-                           source=source)
+        lsn = self._first_lsn + len(self._records)
+        record = LogRecord(lsn, op, flags, source)
         self._records.append(record)
         if self.auto_force:
-            self._flushed_lsn = record.lsn
-        for listener in self._append_listeners:
-            listener(record)
+            self._flushed_lsn = lsn
+        if self._append_listeners:
+            for listener in self._append_listeners:
+                listener(record)
         return record
 
     def on_append(self, listener: Callable[[LogRecord], None]) -> None:

@@ -10,8 +10,6 @@ logging-economy arguments are about.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet
 
 from repro.ids import LSN
 from repro.ops.base import Operation, OperationKind
@@ -26,14 +24,24 @@ class RecordFlag(enum.Flag):
     IWOF = enum.auto()
 
 
-@dataclass(frozen=True)
 class LogRecord:
-    lsn: LSN
-    op: Operation
-    flags: RecordFlag = RecordFlag.NONE
-    # Who logged this operation (transaction / application name); used by
-    # selective redo (§6.3) to identify a corrupting source.
-    source: str = ""
+    """One log record; slotted, one is built per executed operation."""
+
+    __slots__ = ("lsn", "op", "flags", "source")
+
+    def __init__(
+        self,
+        lsn: LSN,
+        op: Operation,
+        flags: RecordFlag = RecordFlag.NONE,
+        source: str = "",
+    ):
+        self.lsn = lsn
+        self.op = op
+        self.flags = flags
+        # Who logged this operation (transaction / application name); used
+        # by selective redo (§6.3) to identify a corrupting source.
+        self.source = source
 
     @property
     def is_cm_injected(self) -> bool:

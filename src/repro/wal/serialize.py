@@ -194,18 +194,32 @@ def record_from_spec(spec: Dict[str, Any]) -> LogRecord:
 
 
 def save_log(log: LogManager, path: str) -> int:
-    """Serialize the retained, durable portion of a log to a file."""
-    envelope = {
-        "format": FORMAT_VERSION,
-        "first_lsn": log.first_retained_lsn,
-        "flushed_lsn": log.flushed_lsn,
-        "records": [
-            record_to_spec(record)
-            for record in log.durable_scan(log.first_retained_lsn)
-        ],
-    }
+    """Serialize the retained, durable portion of a log to a file.
+
+    Streams one record spec at a time rather than materializing the spec
+    list for the whole log, so peak memory is a single record regardless
+    of log length.  The bytes written are identical to a single
+    ``json.dumps`` of the full envelope with ``separators=(",", ":")``.
+    """
+    dumps = json.dumps
     with open(path, "w") as handle:
-        handle.write(json.dumps(envelope, separators=(",", ":")))
+        write = handle.write
+        write(
+            '{"format":%s,"first_lsn":%s,"flushed_lsn":%s,"records":['
+            % (
+                dumps(FORMAT_VERSION),
+                dumps(log.first_retained_lsn),
+                dumps(log.flushed_lsn),
+            )
+        )
+        first = True
+        for record in log.durable_scan(log.first_retained_lsn):
+            if first:
+                first = False
+            else:
+                write(",")
+            write(dumps(record_to_spec(record), separators=(",", ":")))
+        write("]}")
     return os.path.getsize(path)
 
 

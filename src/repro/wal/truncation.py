@@ -12,11 +12,19 @@ in the same way that flushing does".
 * ``mark_dirty(page, lsn)`` when a clean page is first updated;
 * ``mark_installed(page)`` when the page's operations are installed —
   either by an actual flush or by Iw/oF logging of its value.
+
+``truncation_point`` is consulted on every install (the cache manager
+advances its conceptual checkpoint record), so the minimum recLSN is
+served from a lazy-deletion min-heap rather than a scan of the dirty
+table: entries are pushed on (re)dirty and simply left stale on
+install, and lookups pop stale heads until a live minimum surfaces —
+amortized O(log dirty) per operation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 from repro.ids import LSN, PageId
 
@@ -24,10 +32,15 @@ from repro.ids import LSN, PageId
 class RecLSNTracker:
     def __init__(self):
         self._rec_lsn: Dict[PageId, LSN] = {}
+        # Min-heap of (lsn, page) with lazy deletion: an entry is live
+        # iff it matches the dirty table exactly.
+        self._heap: List[Tuple[LSN, PageId]] = []
 
     def mark_dirty(self, page_id: PageId, lsn: LSN) -> None:
         """Record the first update of a clean page (keeps the oldest LSN)."""
-        self._rec_lsn.setdefault(page_id, lsn)
+        if page_id not in self._rec_lsn:
+            self._rec_lsn[page_id] = lsn
+            heapq.heappush(self._heap, (lsn, page_id))
 
     def mark_installed(self, page_id: PageId) -> None:
         """The page's pending updates are now recoverable without the log
@@ -37,6 +50,7 @@ class RecLSNTracker:
     def mark_redirtied(self, page_id: PageId, lsn: LSN) -> None:
         """A page updated again after installation restarts its recLSN."""
         self._rec_lsn[page_id] = lsn
+        heapq.heappush(self._heap, (lsn, page_id))
 
     def rec_lsn(self, page_id: PageId) -> Optional[LSN]:
         return self._rec_lsn.get(page_id)
@@ -47,9 +61,23 @@ class RecLSNTracker:
         Recovery scans from this LSN; everything before it may be
         discarded from the (crash) log.
         """
-        if not self._rec_lsn:
+        rec_lsn = self._rec_lsn
+        if not rec_lsn:
+            if self._heap:
+                self._heap.clear()
             return end_lsn + 1
-        return min(self._rec_lsn.values())
+        heap = self._heap
+        while heap:
+            lsn, page_id = heap[0]
+            if rec_lsn.get(page_id) == lsn:
+                return lsn
+            heapq.heappop(heap)
+        # Defensive: every dirty entry was pushed when recorded, so the
+        # heap cannot run dry while the table is non-empty — but rebuild
+        # rather than misreport if the invariant is ever broken.
+        heap[:] = [(lsn, pid) for pid, lsn in rec_lsn.items()]
+        heapq.heapify(heap)
+        return heap[0][0]
 
     def dirty_count(self) -> int:
         return len(self._rec_lsn)

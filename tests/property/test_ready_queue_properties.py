@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the incremental ready queue.
+
+The dynamic write graph maintains ``_ready`` (live nodes with no live
+predecessors) and ``_ready_empty`` (the ready subset with empty ``vars``)
+incrementally across every mutation — edge additions, merges, blind-write
+var removal, installs.  These tests recompute both sets by brute force
+after every step and require exact agreement.
+
+The brute-force comparator deliberately avoids ``graph.predecessors()``:
+that method compacts ``preds`` and *repairs* the ready queue as a side
+effect, which would mask incremental-maintenance bugs.  It walks the
+alias map read-only instead.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import Database
+from repro.ids import PageId
+from repro.ops.identity import IdentityWrite
+from repro.ops.logical import CopyOp, GeneralLogicalOp
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.recovery.refined_write_graph import DynamicWriteGraph
+from repro.wal.log_manager import LogManager
+
+N_PAGES = 8
+
+
+def pid(slot):
+    return PageId(0, slot)
+
+
+slots = st.integers(min_value=0, max_value=N_PAGES - 1)
+
+
+@st.composite
+def operations(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return PhysicalWrite(pid(draw(slots)), draw(st.integers(0, 99)))
+    if kind == 1:
+        return PhysiologicalWrite(pid(draw(slots)), "increment")
+    if kind == 2:
+        src = draw(slots)
+        dst = draw(slots.filter(lambda s: s != src))
+        return CopyOp(pid(src), pid(dst))
+    if kind == 3:
+        return IdentityWrite(pid(draw(slots)), draw(st.integers(0, 99)))
+    reads = draw(st.sets(slots, min_size=1, max_size=3))
+    writes = draw(st.sets(slots, min_size=1, max_size=2))
+    return GeneralLogicalOp(
+        [pid(s) for s in reads], [pid(s) for s in writes], "concat_sorted"
+    )
+
+
+# A script step: (action roll, operation).  The roll decides between
+# adding the operation and installing a ready node (when one exists).
+scripts = st.lists(
+    st.tuples(st.integers(0, 4), operations()), min_size=1, max_size=50
+)
+
+
+def brute_force_ready(graph):
+    """Recompute (ready, ready_empty) from first principles.
+
+    A node is ready iff no *live* node is among its predecessors after
+    resolving merged aliases.  The alias map is walked without path
+    compression and ``preds`` is never mutated, so this cannot repair
+    the incremental state it is checking.
+    """
+    alias = graph._alias
+    nodes = graph._nodes
+    ready, ready_empty = set(), set()
+    for node_id, node in nodes.items():
+        has_live_pred = False
+        for pred in node.preds:
+            current = pred
+            while current in alias:
+                current = alias[current]
+            if current in nodes and current != node_id:
+                has_live_pred = True
+                break
+        if not has_live_pred:
+            ready.add(node_id)
+            if not node.vars:
+                ready_empty.add(node_id)
+    return ready, ready_empty
+
+
+def assert_queue_consistent(graph):
+    expected_ready, expected_empty = brute_force_ready(graph)
+    assert graph._ready == expected_ready
+    assert graph._ready_empty == expected_empty
+    listed = graph.installable_nodes()
+    assert {n.node_id for n in listed} == expected_ready
+    first_lsns = [n.first_lsn for n in listed]
+    assert first_lsns == sorted(first_lsns)
+
+
+class TestReadyQueueMatchesBruteForce:
+    @given(scripts)
+    @settings(max_examples=150, deadline=None)
+    def test_graph_level_adds_and_installs(self, script):
+        graph = DynamicWriteGraph()
+        log = LogManager()
+        for roll, op in script:
+            if roll == 0 and graph._ready:
+                graph.install_node(graph.installable_nodes()[0])
+            else:
+                graph.add_operation(log.append(op))
+            assert_queue_consistent(graph)
+        # Drain completely: the queue must stay exact to the last node.
+        while len(graph):
+            nodes = graph.installable_nodes()
+            assert nodes, "acyclic graph must have a ready node"
+            graph.install_node(nodes[0])
+            assert_queue_consistent(graph)
+        assert graph._ready == set() and graph._ready_empty == set()
+
+    @given(scripts, st.integers(0, 2**16))
+    @settings(max_examples=75, deadline=None)
+    def test_database_level_mixed_workload(self, script, seed):
+        """The queue stays exact through the full cache-manager path:
+        executes, partial installs, checkpoints, and crashes."""
+        db = Database(pages_per_partition=[N_PAGES], policy="general")
+        rng = random.Random(seed)
+        for roll, op in script:
+            if roll == 0:
+                db.install_some(2, rng)
+            elif roll == 1 and rng.random() < 0.3:
+                db.crash()
+                db.recover()
+            else:
+                db.execute(op)
+            assert_queue_consistent(db.cm.graph)
+        db.checkpoint()
+        assert_queue_consistent(db.cm.graph)
+        assert len(db.cm.graph) == 0
