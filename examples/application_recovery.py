@@ -16,6 +16,7 @@ Run:  python examples/application_recovery.py
 
 import random
 
+from repro import BackupConfig
 from repro import Database, PhysiologicalWrite
 from repro.appfs import ApplicationManager
 from repro.ids import PageId
@@ -35,7 +36,7 @@ def run(at_end, seed=5):
     for page in data_pages:
         db.execute(PhysiologicalWrite(page, "increment", (1,)))
 
-    db.start_backup(steps=8)
+    db.start_backup(BackupConfig(steps=8))
     while db.backup_in_progress():
         db.backup_step(2)
         for _ in range(2):

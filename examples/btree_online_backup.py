@@ -17,6 +17,7 @@ Run:  python examples/btree_online_backup.py
 
 import random
 
+from repro import BackupConfig
 from repro import Database
 from repro.btree import BTree
 
@@ -33,7 +34,7 @@ def insert_with_online_backup(policy, logging, keys, seed=7):
     for _ in range(keys // 4):
         key = next(source)
         tree.insert(key, ("payload", key))
-    db.start_backup(steps=8)
+    db.start_backup(BackupConfig(steps=8))
     while db.backup_in_progress():
         db.backup_step(8)
         for _ in range(4):

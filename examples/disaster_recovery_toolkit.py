@@ -16,6 +16,7 @@ section, all on one database:
 Run:  python examples/disaster_recovery_toolkit.py
 """
 
+from repro import BackupConfig
 from repro import CopyOp, Database, PhysicalWrite, PhysiologicalWrite
 from repro.ids import PageId
 
@@ -37,16 +38,16 @@ def main():
     seed(db)
 
     print("=== 1. full + incremental backup (§6.1) ===")
-    db.start_backup(steps=4)
-    full = db.run_backup(pages_per_tick=16)
+    db.start_backup(BackupConfig(steps=4))
+    full = db.run_backup(BackupConfig(pages_per_tick=16))
     print(f"  full backup: {full.copied_count()} pages")
     for slot in (1, 5, 9):
         db.execute(
             PhysiologicalWrite(PageId(0, slot), "stamp", ("evening",)),
             source="app",
         )
-    db.start_backup(steps=4, incremental=True)
-    incremental = db.run_backup(pages_per_tick=16)
+    db.start_backup(BackupConfig(steps=4, incremental=True))
+    incremental = db.run_backup(BackupConfig(pages_per_tick=16))
     print(f"  incremental: {incremental.copied_count()} pages "
           f"(only the updated ones)")
     db.media_failure()
@@ -56,8 +57,8 @@ def main():
 
     print("\n=== 2. partition-level media recovery (§6.3) ===")
     # Keep operations partition-confined from here on.
-    db.start_backup(steps=4)
-    backup = db.run_backup(pages_per_tick=16)
+    db.start_backup(BackupConfig(steps=4))
+    backup = db.run_backup(BackupConfig(pages_per_tick=16))
     db.execute(
         PhysiologicalWrite(PageId(1, 7), "stamp", ("late",)), source="app"
     )
@@ -72,8 +73,8 @@ def main():
     print("  partition 1 rolled forward to the current state ✓")
 
     print("\n=== 3. selective redo past a corrupting application (§6.3) ===")
-    db.start_backup(steps=4)
-    clean_backup = db.run_backup(pages_per_tick=16)
+    db.start_backup(BackupConfig(steps=4))
+    clean_backup = db.run_backup(BackupConfig(pages_per_tick=16))
     # The intruder writes garbage; an innocent app copies it onward.
     db.execute(PhysicalWrite(PageId(0, 2), "!!corrupt!!"), source="intruder")
     db.execute(CopyOp(PageId(0, 2), PageId(0, 30)), source="app")
@@ -85,8 +86,8 @@ def main():
     analysis = result.analysis
     print(f"  excluded {len(analysis.directly_corrupt)} corrupt and "
           f"{len(analysis.collateral)} collateral operation(s)")
-    print(f"  {result.outcome.summary()}")
-    assert result.outcome.ok
+    print(f"  {result.summary()}")
+    assert result.ok
     assert db.read(PageId(0, 2)) == ("base", 0, 2)      # corruption gone
     assert db.read(PageId(0, 30)) == ("base", 0, 30)    # collateral gone
     assert db.read(PageId(0, 4))[1] == "innocent"       # kept op present

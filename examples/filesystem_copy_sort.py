@@ -14,6 +14,7 @@ The paper's file-system example (section 1.1): ``copy(X, Y)`` and
 Run:  python examples/filesystem_copy_sort.py
 """
 
+from repro import BackupConfig
 from repro import Database
 from repro.appfs import FileSystem
 from repro.ids import PageId
@@ -62,7 +63,7 @@ def main():
         else:
             backup = straddling_copy(
                 db, fs,
-                lambda: db.start_backup(steps=4), db.backup_step,
+                lambda: db.start_backup(BackupConfig(steps=4)), db.backup_step,
                 db.run_backup,
             )
         db.media_failure()
@@ -76,7 +77,7 @@ def main():
     print("\n=== full filesystem session with online backup ===")
     db = Database(pages_per_partition=[16], policy="general")
     fs = build_fs(db)
-    db.start_backup(steps=4)
+    db.start_backup(BackupConfig(steps=4))
     while db.backup_in_progress():
         db.backup_step(2)
         fs.append_record("measurements", 20 + db.log.end_lsn % 10, "late")

@@ -11,6 +11,7 @@ Run:  python examples/kv_service.py
 
 import random
 
+from repro import BackupConfig
 from repro.ids import PageId
 from repro.kvstore import KVStore
 from repro.ops.physical import PhysicalWrite
@@ -29,7 +30,7 @@ def main():
           f"height {store.tree.height()}")
 
     print("\n=== online backup while serving ===")
-    store.db.start_backup(steps=8)
+    store.db.start_backup(BackupConfig(steps=8))
     key = 100
     while store.db.backup_in_progress():
         store.db.backup_step(4)

@@ -9,6 +9,7 @@ the backup plus the media recovery log.
 Run:  python examples/quickstart.py
 """
 
+from repro import BackupConfig
 from repro import CopyOp, Database, PhysicalWrite, PhysiologicalWrite
 from repro.ids import PageId
 
@@ -23,7 +24,7 @@ def main():
         db.execute(PhysicalWrite(PageId(0, slot), ("record", slot)))
 
     # Start an online backup in 4 steps, interleaved with updates.
-    db.start_backup(steps=4)
+    db.start_backup(BackupConfig(steps=4))
     slot = 8
     while db.backup_in_progress():
         db.backup_step(pages=4)  # the backup copies a few pages...

@@ -11,6 +11,7 @@ Run:  python examples/reproduce_figures.py          (full, ~1 min)
 
 import sys
 
+from repro import BackupConfig
 from repro.core import analysis
 from repro.core.progress import BackupRegion
 from repro.db import Database
@@ -57,7 +58,7 @@ def fig2():
 def fig3():
     print("\n## FIG3 — backup progress (D, P) and region sizes")
     db = Database(pages_per_partition=[128], policy="general")
-    db.start_backup(steps=4)
+    db.start_backup(BackupConfig(steps=4))
     progress = db.cm.progress[0]
     rows = []
 

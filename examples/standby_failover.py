@@ -16,6 +16,7 @@ Run:  python examples/standby_failover.py
 
 import random
 
+from repro import BackupConfig
 from repro.core.standby import StandbyReplica
 from repro.db import Database
 from repro.workloads import mixed_logical_workload
@@ -30,7 +31,7 @@ def main():
     for _ in range(60):
         primary.execute(next(workload))
         primary.install_some(1, rng)
-    primary.start_backup(steps=8)
+    primary.start_backup(BackupConfig(steps=8))
     while primary.backup_in_progress():
         primary.backup_step(8)
         primary.execute(next(workload))
@@ -70,8 +71,8 @@ def main():
     for _ in range(40):
         promoted.execute(next(new_workload))
         promoted.install_some(1, rng)
-    promoted.start_backup(steps=8)
-    promoted.run_backup(pages_per_tick=16)
+    promoted.start_backup(BackupConfig(steps=8))
+    promoted.run_backup(BackupConfig(pages_per_tick=16))
     promoted.media_failure()
     outcome = promoted.media_recover()
     print(f"  new backup + media recovery on the new primary: "

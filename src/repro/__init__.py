@@ -5,17 +5,45 @@ Public API highlights:
 
 * :class:`~repro.db.Database` — the full system: stable store, WAL, cache
   manager with write-graph flush ordering, online backup engine, crash
-  and media recovery.
+  and media recovery.  Backups are configured with
+  :class:`~repro.core.config.BackupConfig`; every recovery entry point
+  returns a :class:`~repro.recovery.explain.RecoveryOutcome`.
 * Operation constructors in :mod:`repro.ops` — physical, physiological,
   general logical, tree (``MovRec``/``RmvRec``), and identity writes.
+* Fault injection in :mod:`repro.sim.faults` — a
+  :class:`~repro.sim.faults.FaultPlane` of :class:`FaultSpec`\\ s
+  injecting torn writes, transient I/O errors, and crashes at every
+  I/O boundary; tick-level schedules via
+  :class:`~repro.sim.failure.CrashPlan` /
+  :class:`~repro.sim.failure.IOFaultPlan`.
 * Flush policies in :mod:`repro.core.policy` — general (section 3.5),
   tree (section 4.2), page-oriented (the conventional baseline).
 * :mod:`repro.core.analysis` — the closed-form extra-logging model of
   section 5 (the curves of Figure 5).
+
+``from repro import *`` exposes exactly ``__all__`` (checked by a
+doctest in the test suite):
+
+>>> import repro
+>>> namespace = {}
+>>> exec("from repro import *", namespace)
+>>> sorted(k for k in namespace if k != "__builtins__") == sorted(
+...     repro.__all__)
+True
 """
 
+from repro.core.config import BackupConfig
 from repro.db import Database
+from repro.errors import (
+    FaultInjectionError,
+    ReproError,
+    SimulatedCrash,
+    TornWriteError,
+    TransientIOError,
+    UnrecoverableError,
+)
 from repro.ids import LSN, PageId
+from repro.kvstore import KVStore
 from repro.ops import (
     CopyOp,
     GeneralLogicalOp,
@@ -26,16 +54,27 @@ from repro.ops import (
     RmvRec,
     WriteNew,
 )
-from repro.errors import ReproError, UnrecoverableError
-from repro.kvstore import KVStore
+from repro.recovery.explain import RecoveryOutcome
+from repro.sim.failure import CrashPlan, FailureInjector, IOFaultPlan
+from repro.sim.faults import (
+    FaultKind,
+    FaultPlane,
+    FaultSpec,
+    IOPoint,
+    RetryPolicy,
+)
 from repro.txn import Transaction, TransactionManager
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # The system
     "Database",
+    "BackupConfig",
+    "RecoveryOutcome",
     "PageId",
     "LSN",
+    # Operations
     "PhysicalWrite",
     "PhysiologicalWrite",
     "GeneralLogicalOp",
@@ -44,10 +83,25 @@ __all__ = [
     "MovRec",
     "RmvRec",
     "IdentityWrite",
+    # Layers on top
     "KVStore",
     "Transaction",
     "TransactionManager",
+    # Fault injection
+    "FaultPlane",
+    "FaultSpec",
+    "FaultKind",
+    "IOPoint",
+    "RetryPolicy",
+    "CrashPlan",
+    "IOFaultPlan",
+    "FailureInjector",
+    # Errors
     "ReproError",
     "UnrecoverableError",
+    "FaultInjectionError",
+    "TransientIOError",
+    "TornWriteError",
+    "SimulatedCrash",
     "__version__",
 ]

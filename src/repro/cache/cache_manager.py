@@ -35,6 +35,7 @@ from repro.ids import LSN, PageId
 from repro.ops.base import Operation
 from repro.ops.identity import IdentityWrite
 from repro.recovery.refined_write_graph import DynamicNode, DynamicWriteGraph
+from repro.sim.faults import with_retries
 from repro.sim.metrics import Metrics
 from repro.storage.layout import Layout
 from repro.storage.page import PageVersion
@@ -94,7 +95,9 @@ class CacheManager:
             self.metrics.cache_hits += 1
             return page.value
         self.metrics.cache_misses += 1
-        version = self.stable.read_page(page_id)
+        version = with_retries(
+            lambda: self.stable.read_page(page_id), metrics=self.metrics
+        )
         self._cache[page_id] = CachedPage(
             version.value, version.page_lsn, dirty=False
         )
@@ -138,7 +141,10 @@ class CacheManager:
                 reads[pid] = page.value
             else:
                 reads[pid] = self.read_page(pid)
-        record = self.log.append(op, flags, source=source)
+        record = with_retries(
+            lambda: self.log.append(op, flags, source=source),
+            metrics=metrics,
+        )
         result = op.apply(reads)
         lsn = record.lsn
         rec = self.rec
@@ -197,7 +203,7 @@ class CacheManager:
                 )
                 for pid in iwof_pages
             ]
-            self.log.force()
+            with_retries(self.log.force, metrics=self.metrics)
             cached_pages = []
             versions: Dict[PageId, PageVersion] = {}
             for pid in vars_snapshot:
@@ -210,7 +216,10 @@ class CacheManager:
                 self.log.assert_wal(pid, page.page_lsn)
                 cached_pages.append((pid, page))
                 versions[pid] = PageVersion(page.value, page.page_lsn)
-            self.stable.write_pages_atomically(versions)
+            with_retries(
+                lambda: self.stable.write_pages_atomically(versions),
+                metrics=self.metrics,
+            )
         finally:
             for partition in reversed(partitions):
                 self.latches[partition].release_shared()
@@ -269,7 +278,9 @@ class CacheManager:
         if page is None:
             raise CacheError(f"identity write of uncached page {page_id!r}")
         op = IdentityWrite(page_id, page.value)
-        record = self.log.append(op, flags)
+        record = with_retries(
+            lambda: self.log.append(op, flags), metrics=self.metrics
+        )
         identity_node = self.graph.add_operation(record)
         page.page_lsn = record.lsn
         # The page's pending updates are now recoverable from this record:

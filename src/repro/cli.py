@@ -8,7 +8,11 @@ Commands
 ``selftest``  a fast end-to-end correctness pass (Figure 1 both ways,
               crash + media recovery on a mixed workload);
 ``bench``     the SIM-PERF hot-path benchmarks, appended to a persisted
-              baseline file (``BENCH_hotpath.json``).
+              baseline file (``BENCH_hotpath.json``);
+``faultsweep``  the storage-fault recoverability matrix: torn writes,
+              transient I/O errors, and crash-at-every-I/O-point sweeps
+              (``--seed``, ``--stride``, ``--quick``); exits non-zero if
+              any scenario fails to recover.
 """
 
 from __future__ import annotations
@@ -31,6 +35,30 @@ def cmd_bench(args) -> int:
         kwargs["output"] = args.output
     bench.run_suite(**kwargs)
     return 0
+
+
+def cmd_faultsweep(args) -> int:
+    from repro.harness.faultsweep import run_faultsweep
+
+    report = run_faultsweep(
+        seed=args.seed, stride=args.stride, quick=args.quick, log=print
+    )
+    print(
+        format_table(
+            ["scenario", "recovered", "total", "faults", "retries"],
+            [
+                (r.name, r.recovered, r.total, r.faults_injected,
+                 r.io_retries)
+                for r in report.results
+            ],
+        )
+    )
+    verdict = "PASS" if report.all_recovered else "FAIL"
+    print(
+        f"faultsweep {verdict}: {report.recovered}/{report.total} "
+        f"scenarios recovered (seed={report.seed})"
+    )
+    return 0 if report.all_recovered else 1
 
 
 def cmd_fig5(args) -> int:
@@ -87,14 +115,14 @@ def cmd_figures(args) -> int:
 
 
 def cmd_demo(args) -> int:
-    from repro import CopyOp, Database, PhysicalWrite
+    from repro import BackupConfig, CopyOp, Database, PhysicalWrite
     from repro.ids import PageId
 
     db = Database(pages_per_partition=[64], policy="general")
     print("seeding pages and running logical operations...")
     for slot in range(8):
         db.execute(PhysicalWrite(PageId(0, slot), ("record", slot)))
-    db.start_backup(steps=4)
+    db.start_backup(BackupConfig(steps=4))
     counter = 0
     while db.backup_in_progress():
         db.backup_step(4)
@@ -112,6 +140,7 @@ def cmd_demo(args) -> int:
 def cmd_selftest(args) -> int:
     import random
 
+    from repro.core.config import BackupConfig
     from repro.db import Database
     from repro.workloads import mixed_logical_workload
 
@@ -126,7 +155,7 @@ def cmd_selftest(args) -> int:
     db = Database(pages_per_partition=[64], policy="general")
     rng = random.Random(0)
     source = mixed_logical_workload(db.layout, seed=0, count=100_000)
-    db.start_backup(steps=8)
+    db.start_backup(BackupConfig(steps=8))
     while db.backup_in_progress():
         db.backup_step(4)
         db.execute(next(source))
@@ -136,7 +165,7 @@ def cmd_selftest(args) -> int:
     print(f"[{'ok' if ok else 'FAIL'}] crash recovery (mixed workload)")
     failures += 0 if ok else 1
 
-    db.start_backup(steps=8)
+    db.start_backup(BackupConfig(steps=8))
     backup = db.run_backup()
     db.media_failure()
     ok = db.media_recover(backup=backup).ok
@@ -173,6 +202,21 @@ def main(argv=None) -> int:
 
     selftest = sub.add_parser("selftest", help="fast end-to-end checks")
     selftest.set_defaults(fn=cmd_selftest)
+
+    faultsweep = sub.add_parser(
+        "faultsweep",
+        help="fault-injection recoverability matrix (torn/transient/crash)",
+    )
+    faultsweep.add_argument("--seed", type=int, default=0)
+    faultsweep.add_argument(
+        "--stride", type=int, default=1,
+        help="crash after every Nth I/O in the exhaustive sweep",
+    )
+    faultsweep.add_argument(
+        "--quick", action="store_true",
+        help="thin the crash sweep to ~2 dozen points",
+    )
+    faultsweep.set_defaults(fn=cmd_faultsweep)
 
     from repro.harness.bench import BENCHMARKS
 

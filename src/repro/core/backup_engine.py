@@ -23,8 +23,9 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.cache.cache_manager import CacheManager
-from repro.errors import BackupError, BackupInProgressError
+from repro.errors import BackupError, BackupInProgressError, TornWriteError
 from repro.ids import PageId
+from repro.sim.faults import with_retries
 from repro.storage.backup_db import BackupDatabase
 
 
@@ -157,9 +158,15 @@ class BackupRun:
             self._advance_step(partition)
         page_id = PageId(partition, cursor)
         if self.copy_set is None or page_id in self.copy_set:
-            version = self.cm.stable.read_page(page_id)
-            self.backup.record_page(page_id, version)
-            self.cm.metrics.backup_pages_copied += 1
+            metrics = self.cm.metrics
+            version = with_retries(
+                lambda: self.cm.stable.read_page(page_id), metrics=metrics
+            )
+            with_retries(
+                lambda: self.backup.record_page(page_id, version),
+                metrics=metrics,
+            )
+            metrics.backup_pages_copied += 1
         else:
             self.skipped_pages += 1
         self._cursor[partition] = cursor + 1
@@ -187,16 +194,40 @@ class BackupRun:
         if not spans:
             return copied
         stable = self.cm.stable
-        backup = self.backup
         metrics = self.cm.metrics
         for partition, start, stop in spans:
-            entries = stable.read_pages(
-                [PageId(partition, slot) for slot in range(start, stop)]
+            entries = with_retries(
+                lambda: stable.read_pages(
+                    [PageId(partition, slot) for slot in range(start, stop)]
+                ),
+                metrics=metrics,
             )
-            backup.record_pages(entries)
+            self._record_span(entries)
             metrics.backup_pages_copied += stop - start
             metrics.backup_bulk_reads += 1
         return copied
+
+    def _record_span(self, entries) -> None:
+        """Record one bulk span into B, surviving torn span writes.
+
+        A torn write lands only a prefix (the device reports how much);
+        the remainder is re-issued from the already-read versions — the
+        backup process still holds its copy buffer, so no re-read of S is
+        needed and the span's content is unchanged.
+        """
+        metrics = self.cm.metrics
+        entries = list(entries)
+        start = 0
+        while start < len(entries):
+            try:
+                with_retries(
+                    lambda: self.backup.record_pages(entries[start:]),
+                    metrics=metrics,
+                )
+                return
+            except TornWriteError as tear:
+                start += tear.landed
+                metrics.torn_spans_resumed += 1
 
     def _plan_full(self, budget: int, spans: List[tuple]) -> int:
         """Plan a full-backup batch: round-robin budget split, O(steps).
@@ -350,6 +381,8 @@ class BackupEngine:
         self.completed: List[BackupDatabase] = []
         self.active: Optional[BackupRun] = None
         self._next_id = 1
+        # Optional FaultPlane propagated to every backup image created.
+        self.faults = None
 
     def start_backup(
         self,
@@ -366,6 +399,7 @@ class BackupEngine:
         # additionally never scan later than the backup's own start point.
         scan_start = min(scan_start, self.cm.log.end_lsn + 1)
         backup = BackupDatabase(self._next_id, scan_start)
+        backup.faults = self.faults
         backup.base_backup_id = (
             base_backup.backup_id if base_backup is not None else None
         )

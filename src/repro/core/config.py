@@ -1,0 +1,61 @@
+"""``BackupConfig``: one value object for all backup knobs.
+
+``Database.start_backup`` / ``run_backup`` historically grew a scatter
+of positional/keyword arguments (``steps``, ``incremental``,
+``dynamic_extend``, ``batched``, ``pages_per_tick``) spread across two
+calls.  ``BackupConfig`` gathers them into a single frozen dataclass so
+a backup's shape can be named once, passed around, and compared; the
+legacy keyword signatures remain as deprecated aliases.
+
+>>> from repro.core.config import BackupConfig
+>>> BackupConfig(steps=4, batched=False)
+BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Engine choices: the paper's loosely-coupled engine, the conventional
+#: (broken-under-logical-ops) fuzzy dump, and the linked-flush strawman.
+ENGINES = ("engine", "naive", "linked")
+
+
+@dataclass(frozen=True)
+class BackupConfig:
+    """How a backup is taken.
+
+    ``steps``          — coarse sweep steps per partition (D/P protocol);
+    ``pages_per_tick`` — copy batch size for ``run_backup``;
+    ``incremental``    — copy only pages updated since the last backup;
+    ``dynamic_extend`` — extend an incremental copy set on the fly when a
+                         pending page outside it is flushed;
+    ``batched``        — bulk per-partition spans vs page-at-a-time
+                         round-robin copying;
+    ``engine``         — ``"engine"`` (section 3), ``"naive"`` (§1.2
+                         fuzzy dump) or ``"linked"`` (§1.3 strawman).
+    """
+
+    steps: int = 8
+    pages_per_tick: int = 8
+    incremental: bool = False
+    dynamic_extend: bool = True
+    batched: bool = True
+    engine: str = "engine"
+
+    def __post_init__(self):
+        if self.steps < 1:
+            raise ReproError("BackupConfig.steps must be >= 1")
+        if self.pages_per_tick < 1:
+            raise ReproError("BackupConfig.pages_per_tick must be >= 1")
+        if self.engine not in ENGINES:
+            raise ReproError(
+                f"unknown backup engine {self.engine!r}; choose from "
+                f"{list(ENGINES)}"
+            )
+        if self.incremental and self.engine != "engine":
+            raise ReproError(
+                "incremental backups require the section-3 engine"
+            )

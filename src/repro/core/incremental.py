@@ -111,4 +111,5 @@ def run_media_recovery_chain(
         skipped=stats.ops_skipped,
         poisoned=poisoned,
         diffs=diffs,
+        kind="media-chain",
     )

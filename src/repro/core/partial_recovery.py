@@ -121,4 +121,5 @@ def run_partition_media_recovery(
         skipped=stats.ops_skipped,
         poisoned=poisoned,
         diffs=diffs,
+        kind="partition",
     )

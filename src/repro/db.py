@@ -4,15 +4,15 @@ A ``Database`` wires together the stable store, log manager, cache
 manager, oracle, and backup engine, and exposes the operations a
 downstream user (or an experiment harness) needs:
 
->>> from repro import Database, CopyOp, PhysicalWrite
+>>> from repro import BackupConfig, Database, CopyOp, PhysicalWrite
 >>> from repro.ids import PageId
 >>> db = Database(pages_per_partition=[64])
 >>> db.execute(PhysicalWrite(PageId(0, 3), ("hello",)))   # doctest: +ELLIPSIS
 <LSN 1: W_P(P0:3)>
 >>> db.execute(CopyOp(PageId(0, 3), PageId(0, 40)))       # doctest: +ELLIPSIS
 <LSN 2: copy(P0:3 -> P0:40)>
->>> run = db.start_backup(steps=4)
->>> backup = db.run_backup(pages_per_tick=16)
+>>> run = db.start_backup(BackupConfig(steps=4))
+>>> backup = db.run_backup(BackupConfig(pages_per_tick=16))
 >>> db.media_failure()
 >>> outcome = db.media_recover()
 >>> outcome.ok
@@ -22,10 +22,12 @@ True
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, List, Optional, Sequence, Set, Union
 
 from repro.cache.cache_manager import CacheManager
 from repro.core.backup_engine import BackupEngine, BackupRun
+from repro.core.config import BackupConfig
 from repro.core.linked_flush import LinkedFlushBackup
 from repro.core.naive_backup import NaiveFuzzyDump
 from repro.core.incremental import run_media_recovery_chain
@@ -33,7 +35,8 @@ from repro.core.partial_recovery import run_partition_media_recovery
 from repro.core.retention import LogRetention
 from repro.core.verify_backup import validate_backup
 from repro.recovery.analysis_pass import run_analyzed_crash_recovery
-from repro.recovery.selective_redo import SelectiveRedoResult, run_selective_redo
+from repro.recovery.selective_redo import run_selective_redo
+from repro.sim.faults import FaultPlane
 from repro.wal.checkpoint import CheckpointManager
 from repro.core.policy import (
     FlushPolicy,
@@ -97,6 +100,7 @@ class Database:
         policy: Union[str, FlushPolicy] = "general",
         initial_value: Any = None,
         auto_force_log: bool = True,
+        faults: Optional[FaultPlane] = None,
     ):
         if isinstance(policy, str):
             try:
@@ -127,6 +131,50 @@ class Database:
         # Pages updated since the last completed full/incremental backup,
         # for incremental update-set capture (section 6.1).
         self.updated_since_backup: Set[PageId] = set()
+        # Which engine the active backup belongs to ("engine"/"naive").
+        self._backup_engine_kind = "engine"
+        self.faults: Optional[FaultPlane] = None
+        if faults is not None:
+            self.attach_faults(faults)
+
+    # -------------------------------------------------------- fault injection
+
+    def attach_faults(self, plane: FaultPlane) -> FaultPlane:
+        """Wire a :class:`FaultPlane` into every simulated device.
+
+        The stable database, the log manager, and every backup image the
+        engine creates from now on consult the plane at each I/O
+        boundary; the plane mirrors its injection counters into this
+        database's :class:`~repro.sim.metrics.Metrics`.
+        """
+        self.faults = plane
+        plane.metrics = self.metrics
+        self.stable.faults = plane
+        self.log.faults = plane
+        self.engine.faults = plane
+        return plane
+
+    def ensure_fault_plane(self) -> FaultPlane:
+        """The attached fault plane, creating (and wiring) one if absent."""
+        if self.faults is None:
+            self.attach_faults(FaultPlane())
+        return self.faults
+
+    def _faults_suspended(self):
+        """Context manager: pause injection while recovery itself runs
+        (recovery I/O is driven by the recovery algorithms, not the
+        workload under test)."""
+        if self.faults is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.faults.suspended()
+
+    def _stamp_outcome(self, outcome):
+        """Fill the fault-survival counter on a recovery outcome."""
+        if self.faults is not None:
+            outcome.faults_survived = self.faults.injected_total
+        return outcome
 
     # ---------------------------------------------------------- transactions
 
@@ -160,48 +208,140 @@ class Database:
 
     # ---------------------------------------------------------------- backup
 
+    _LEGACY_BACKUP_KWARGS = (
+        "steps", "incremental", "dynamic_extend", "batched",
+    )
+
+    def _resolve_backup_config(
+        self, config, legacy: dict, method: str
+    ) -> BackupConfig:
+        """Accept a :class:`BackupConfig` or the deprecated keyword/
+        positional shape; normalize to a config."""
+        if isinstance(config, int):
+            # Legacy positional: start_backup(8) meant steps=8.
+            legacy = dict(legacy, steps=config)
+            config = None
+        supplied = {k: v for k, v in legacy.items() if v is not None}
+        if config is not None:
+            if not isinstance(config, BackupConfig):
+                raise ReproError(
+                    f"{method} expects a BackupConfig, got {config!r}"
+                )
+            if supplied:
+                raise ReproError(
+                    f"{method}: pass either a BackupConfig or the legacy "
+                    f"keywords, not both ({sorted(supplied)})"
+                )
+            return config
+        if supplied:
+            warnings.warn(
+                f"Database.{method}({', '.join(sorted(supplied))}=...) is "
+                "deprecated; pass a repro.BackupConfig instead (legacy "
+                "keywords are kept as an alias until 2.0)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return BackupConfig(**supplied)
+
     def start_backup(
-        self, steps: int = 8, incremental: bool = False,
-        dynamic_extend: bool = True, batched: bool = True,
+        self,
+        config: Optional[BackupConfig] = None,
+        *,
+        steps: Optional[int] = None,
+        incremental: Optional[bool] = None,
+        dynamic_extend: Optional[bool] = None,
+        batched: Optional[bool] = None,
     ) -> BackupRun:
         """Begin an online backup; drive it with :meth:`backup_step`.
 
-        With ``incremental=True`` only pages updated since the previous
-        completed backup are copied (requires a prior backup as base).
-        ``batched=False`` forces page-at-a-time round-robin copying (see
-        :meth:`BackupRun.copy_some`).
+        Pass a :class:`~repro.core.config.BackupConfig`; the individual
+        keyword arguments are a deprecated alias.  With
+        ``config.incremental`` only pages updated since the previous
+        completed backup are copied (requires a prior backup as base);
+        ``config.batched=False`` forces page-at-a-time round-robin
+        copying (see :meth:`BackupRun.copy_some`);
+        ``config.engine="naive"`` starts the §1.2 fuzzy-dump baseline
+        instead (``"linked"`` is synchronous — use :meth:`run_backup`).
         """
-        if incremental:
+        cfg = self._resolve_backup_config(
+            config,
+            dict(steps=steps, incremental=incremental,
+                 dynamic_extend=dynamic_extend, batched=batched),
+            "start_backup",
+        )
+        if cfg.engine == "linked":
+            raise ReproError(
+                "the linked-flush strawman is synchronous; call "
+                "run_backup(BackupConfig(engine='linked')) directly"
+            )
+        if cfg.engine == "naive":
+            self._backup_engine_kind = "naive"
+            return self.naive.start_backup()
+        self._backup_engine_kind = "engine"
+        if cfg.incremental:
             base = self.engine.latest_backup()
             if base is None:
                 raise NoBackupError(
                     "incremental backup requires a completed base backup"
                 )
             run = self.engine.start_backup(
-                steps=steps,
+                steps=cfg.steps,
                 update_set=set(self.updated_since_backup),
                 base_backup=base,
-                dynamic_extend=dynamic_extend,
-                batched=batched,
+                dynamic_extend=cfg.dynamic_extend,
+                batched=cfg.batched,
             )
         else:
-            run = self.engine.start_backup(steps=steps, batched=batched)
+            run = self.engine.start_backup(
+                steps=cfg.steps, batched=cfg.batched
+            )
         self.updated_since_backup = set()
         return run
 
     def backup_step(self, pages: int = 8) -> int:
         """Copy some pages of the active backup; returns pages copied."""
+        if self._backup_engine_kind == "naive":
+            return self.naive.copy_some(pages)
         return self.engine.copy_some(pages)
 
-    def run_backup(self, pages_per_tick: int = 8, tick=None) -> BackupDatabase:
+    def run_backup(
+        self,
+        config: Optional[BackupConfig] = None,
+        *,
+        pages_per_tick: Optional[int] = None,
+        tick=None,
+    ) -> BackupDatabase:
         """Drive the active backup to completion (see ``tick`` for
-        interleaving a workload)."""
-        return self.engine.run_to_completion(pages_per_tick, tick=tick)
+        interleaving a workload).
+
+        Accepts a :class:`BackupConfig` (``pages_per_tick`` is the batch
+        size; ``engine="linked"`` takes a complete synchronous
+        linked-flush backup, no :meth:`start_backup` needed).  The bare
+        ``pages_per_tick`` keyword is a deprecated alias.
+        """
+        if isinstance(config, int):
+            config, pages_per_tick = None, config
+        cfg = self._resolve_backup_config(
+            config, dict(pages_per_tick=pages_per_tick), "run_backup"
+        )
+        if not self.backup_in_progress() and cfg.engine == "linked":
+            return self.linked.run()
+        if self._backup_engine_kind == "naive":
+            while self.naive.active is not None:
+                self.naive.copy_some(cfg.pages_per_tick)
+                if tick is not None and self.naive.active is not None:
+                    tick()
+            return self.naive.completed[-1]
+        return self.engine.run_to_completion(cfg.pages_per_tick, tick=tick)
 
     def backup_in_progress(self) -> bool:
+        if self._backup_engine_kind == "naive":
+            return self.naive.active is not None
         return self.engine.active is not None
 
     def latest_backup(self) -> Optional[BackupDatabase]:
+        if self._backup_engine_kind == "naive" and self.naive.completed:
+            return self.naive.completed[-1]
         return self.engine.latest_backup()
 
     # --------------------------------------------------------------- failure
@@ -229,25 +369,26 @@ class Database:
         alone, with no reliance on any surviving bookkeeping — the fully
         self-contained recovery path.
         """
-        if from_log_only:
-            outcome = run_analyzed_crash_recovery(
-                self.stable,
-                self.log,
-                oracle=self.oracle.state() if verify else None,
-                initial_value=self.initial_value,
-            )
-        else:
-            outcome = run_crash_recovery(
-                self.stable,
-                self.log,
-                scan_start_lsn=self.cm.stable_truncation_point,
-                oracle=self.oracle.state() if verify else None,
-                initial_value=self.initial_value,
-            )
+        with self._faults_suspended():
+            if from_log_only:
+                outcome = run_analyzed_crash_recovery(
+                    self.stable,
+                    self.log,
+                    oracle=self.oracle.state() if verify else None,
+                    initial_value=self.initial_value,
+                )
+            else:
+                outcome = run_crash_recovery(
+                    self.stable,
+                    self.log,
+                    scan_start_lsn=self.cm.stable_truncation_point,
+                    oracle=self.oracle.state() if verify else None,
+                    initial_value=self.initial_value,
+                )
         self.cm.reload_after_recovery()
         # After redo, S holds the current state: nothing is dirty.
         self.cm.stable_truncation_point = self.log.end_lsn + 1
-        return outcome
+        return self._stamp_outcome(outcome)
 
     def validate_backup(
         self, backup: Optional[BackupDatabase] = None,
@@ -279,17 +420,20 @@ class Database:
         backup = backup or self.engine.latest_backup()
         if backup is None:
             raise NoBackupError("no completed backup to restore from")
-        outcome = run_media_recovery(
-            self.stable,
-            backup,
-            self.log,
-            to_lsn=to_lsn,
-            oracle=self.oracle.state() if verify and to_lsn is None else None,
-            initial_value=self.initial_value,
-        )
+        with self._faults_suspended():
+            outcome = run_media_recovery(
+                self.stable,
+                backup,
+                self.log,
+                to_lsn=to_lsn,
+                oracle=(
+                    self.oracle.state() if verify and to_lsn is None else None
+                ),
+                initial_value=self.initial_value,
+            )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
-        return outcome
+        return self._stamp_outcome(outcome)
 
     def media_recover_chain(
         self,
@@ -299,16 +443,17 @@ class Database:
         """Restore from a full+incremental chain (section 6.1)."""
         if chain is None:
             chain = self.engine.completed
-        outcome = run_media_recovery_chain(
-            self.stable,
-            list(chain),
-            self.log,
-            oracle=self.oracle.state() if verify else None,
-            initial_value=self.initial_value,
-        )
+        with self._faults_suspended():
+            outcome = run_media_recovery_chain(
+                self.stable,
+                list(chain),
+                self.log,
+                oracle=self.oracle.state() if verify else None,
+                initial_value=self.initial_value,
+            )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
-        return outcome
+        return self._stamp_outcome(outcome)
 
     # ---------------------------------------------- partial failure (§6.3 #2)
 
@@ -334,16 +479,17 @@ class Database:
         backup = backup or self.engine.latest_backup()
         if backup is None:
             raise NoBackupError("no completed backup to restore from")
-        outcome = run_partition_media_recovery(
-            self.stable,
-            partition,
-            backup,
-            self.log,
-            oracle=self.oracle.state() if verify else None,
-            initial_value=self.initial_value,
-        )
+        with self._faults_suspended():
+            outcome = run_partition_media_recovery(
+                self.stable,
+                partition,
+                backup,
+                self.log,
+                oracle=self.oracle.state() if verify else None,
+                initial_value=self.initial_value,
+            )
         self.cm.reload_after_recovery()
-        return outcome
+        return self._stamp_outcome(outcome)
 
     # ----------------------------------------------- selective redo (§6.3 #3)
 
@@ -353,7 +499,7 @@ class Database:
         backup: Optional[BackupDatabase] = None,
         verify: bool = True,
         transactional: bool = False,
-    ) -> SelectiveRedoResult:
+    ) -> RecoveryOutcome:
         """Recover to a state excluding one source's operations and all
         operations tainted by them (section 6.3, direction 3).
 
@@ -369,22 +515,23 @@ class Database:
         backup = backup or self.engine.latest_backup()
         if backup is None:
             raise NoBackupError("no completed backup to restore from")
-        result = run_selective_redo(
-            self.stable,
-            backup,
-            self.log,
-            corrupt=lambda record: record.source == corrupt_source,
-            initial_value=self.initial_value,
-            verify=verify,
-            group_of=(
-                (lambda record: record.source or None)
-                if transactional
-                else None
-            ),
-        )
+        with self._faults_suspended():
+            result = run_selective_redo(
+                self.stable,
+                backup,
+                self.log,
+                corrupt=lambda record: record.source == corrupt_source,
+                initial_value=self.initial_value,
+                verify=verify,
+                group_of=(
+                    (lambda record: record.source or None)
+                    if transactional
+                    else None
+                ),
+            )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
-        return result
+        return self._stamp_outcome(result)
 
     # ------------------------------------------- checkpoints / log retention
 

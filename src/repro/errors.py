@@ -36,6 +36,59 @@ class MediaFailureError(StorageError):
     """
 
 
+class FaultInjectionError(ReproError):
+    """Base class for faults raised by the simulated fault plane."""
+
+
+class TransientIOError(FaultInjectionError):
+    """A transient I/O failure: the same request may succeed if retried.
+
+    Injected by :class:`~repro.sim.faults.FaultPlane`; callers survive it
+    with the bounded :func:`~repro.sim.faults.with_retries` helper.
+    """
+
+    def __init__(self, point: str = "?", io_index: int = 0):
+        super().__init__(f"transient I/O error at {point} (io #{io_index})")
+        self.point = point
+        self.io_index = io_index
+
+
+class TornWriteError(FaultInjectionError):
+    """A multi-part write landed only a prefix before failing.
+
+    ``landed`` counts the parts that reached the device; the caller is
+    responsible for re-issuing the remainder (backup spans) — torn
+    *stable* multi-page installs instead surface as
+    :class:`SimulatedCrash` and are rolled back by the shadow journal at
+    recovery time.
+    """
+
+    def __init__(self, point: str = "?", landed: int = 0, total: int = 0):
+        super().__init__(
+            f"torn write at {point}: {landed}/{total} parts landed"
+        )
+        self.point = point
+        self.landed = landed
+        self.total = total
+
+
+class SimulatedCrash(FaultInjectionError):
+    """The system halted mid-I/O (injected crash-at-I/O-point).
+
+    Harnesses catch this, call ``db.crash()``, run recovery, and assert
+    the oracle state — the fine-grained recoverability check.
+    """
+
+    def __init__(self, point: str = "?", io_index: int = 0, torn: bool = False):
+        detail = " after a torn multi-page write" if torn else ""
+        super().__init__(
+            f"simulated crash at {point} (io #{io_index}){detail}"
+        )
+        self.point = point
+        self.io_index = io_index
+        self.torn = torn
+
+
 class LogError(ReproError):
     """Base class for log-manager failures."""
 

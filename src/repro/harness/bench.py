@@ -59,14 +59,16 @@ def _bench_copy_chain_checkpoint() -> Callable[[], object]:
 
 
 def _bench_backup_sweep() -> Callable[[], object]:
+    from repro.core.config import BackupConfig
     from repro.db import Database
 
     db = Database(pages_per_partition=[4096], policy="general")
+    cfg = BackupConfig(steps=8, pages_per_tick=256)
 
     def run() -> int:
         db.engine.completed.clear()
-        db.start_backup(steps=8)
-        backup = db.run_backup(pages_per_tick=256)
+        db.start_backup(cfg)
+        backup = db.run_backup(cfg)
         if backup.copied_count() != 4096:
             raise AssertionError("sweep did not copy every page")
         return backup.copied_count()

@@ -17,6 +17,7 @@ from repro.core import analysis
 from repro.core.progress import PartitionProgress
 from repro.core.policy import TreeOpsPolicy
 from repro.core.tree_meta import TreeMeta
+from repro.core.config import BackupConfig
 from repro.db import Database
 from repro.appfs import ApplicationManager
 from repro.ids import PageId
@@ -195,7 +196,7 @@ def fig1_scenario(engine_kind: str, pages: int = 32) -> Fig1Outcome:
         copy, finish = db.naive.copy_some, db.naive.run_to_completion
         latest = db.naive.latest_backup
     elif engine_kind == "engine":
-        db.start_backup(steps=4)
+        db.start_backup(BackupConfig(steps=4))
         copy, finish = db.backup_step, db.run_backup
         latest = db.latest_backup
     else:
@@ -312,7 +313,7 @@ def app_read_experiment(
     data = [PageId(0, s) for s in range(10, pages // 2)]
     for page in data:
         db.execute(PhysiologicalWrite(page, "increment", (1,)))
-    db.start_backup(steps=8)
+    db.start_backup(BackupConfig(steps=8))
     while db.backup_in_progress():
         db.backup_step(2)
         for _ in range(2):
@@ -354,15 +355,15 @@ def incremental_experiment(
     for page in all_pages:
         db.execute(PhysicalWrite(page, ("base", page.slot)))
     db.checkpoint()
-    db.start_backup(steps=4)
-    full = db.run_backup(pages_per_tick=16)
+    db.start_backup(BackupConfig(steps=4))
+    full = db.run_backup(BackupConfig(pages_per_tick=16))
 
     # Update a fraction, then take an incremental backup online.
     touched = rng.sample(all_pages, int(pages * update_fraction))
     for page in touched:
         db.execute(PhysiologicalWrite(page, "stamp", ("inc1",)))
     iwof_before = db.metrics.iwof_records
-    db.start_backup(steps=4, incremental=True)
+    db.start_backup(BackupConfig(steps=4, incremental=True))
     while db.backup_in_progress():
         db.backup_step(4)
         # Concurrent updates during the incremental sweep.
@@ -417,7 +418,7 @@ def linked_flush_experiment(
     db_engine = build()
     rng = random.Random(seed)
     extra = mixed_logical_workload(db_engine.layout, seed=seed + 1, count=200)
-    db_engine.start_backup(steps=8)
+    db_engine.start_backup(BackupConfig(steps=8))
     while db_engine.backup_in_progress():
         db_engine.backup_step(8)
         op = next(extra, None)

@@ -1,0 +1,284 @@
+"""The fault sweep: recoverability under storage-level fault injection.
+
+``python -m repro faultsweep`` runs a deterministic scenario matrix over
+the fault plane (:mod:`repro.sim.faults`) and reports, per scenario, how
+many runs recovered to the oracle state.  The matrix covers every fault
+class at every instrumented I/O boundary:
+
+* **transient** — seeded transient ``IOError``\\ s at reads, writes, log
+  appends and forces; the bounded retry machinery must absorb them and
+  the run must still media-recover;
+* **torn backup span** — a bulk backup sweep span lands only partially;
+  the backup process must detect the tear, resume the remainder, and the
+  finished backup must still support media recovery;
+* **torn install** — a multi-page write-graph install lands only
+  partially and the system halts; the doublewrite journal must roll the
+  prefix back and crash recovery must reach the oracle state;
+* **crash sweep** — the exhaustive mode: the same run is repeated with a
+  crash injected at the 1st, (1+stride)th, … I/O operation, and crash
+  recovery must succeed after *every* one;
+* **seeded mix** — a random (but seed-deterministic) schedule of
+  transient and torn faults across all points.
+
+Every scenario is run for both the serial (page-at-a-time) and batched
+(bulk-span) copy engines.  All randomness derives from the single
+``seed`` argument, so a sweep is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.core.config import BackupConfig
+from repro.db import Database
+from repro.errors import SimulatedCrash
+from repro.sim.faults import FaultKind, FaultPlane, FaultSpec, IOPoint
+from repro.sim.failure import FailureInjector, crash_sweep_plans
+from repro.workloads import mixed_logical_workload
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario row of the sweep report."""
+
+    name: str
+    total: int = 0
+    recovered: int = 0
+    faults_injected: int = 0
+    io_retries: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.total > 0 and self.recovered == self.total
+
+
+@dataclass
+class SweepReport:
+    seed: int
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(r.total for r in self.results)
+
+    @property
+    def recovered(self) -> int:
+        return sum(r.recovered for r in self.results)
+
+    @property
+    def all_recovered(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+# --------------------------------------------------------------- scenario core
+
+
+def _fresh_db(pages: int = 48) -> Database:
+    return Database(pages_per_partition=[pages], policy="general")
+
+
+def _drive(
+    db: Database,
+    seed: int,
+    batched: bool,
+    op_count: int = 120,
+) -> Tuple[bool, object]:
+    """Run workload + backup to completion under whatever faults are armed.
+
+    Returns ``(ok, outcome)``: a mid-run :class:`SimulatedCrash` turns
+    the run into a crash-recovery check, a clean finish into a media
+    failure + media recovery check.  Either way ``ok`` means the
+    recovered state matched the oracle.
+    """
+    rng = random.Random(seed)
+    source = mixed_logical_workload(db.layout, seed=seed, count=op_count)
+    try:
+        db.start_backup(BackupConfig(steps=4, batched=batched))
+        exhausted = False
+        while db.backup_in_progress() or not exhausted:
+            if db.backup_in_progress():
+                db.backup_step(4)
+            exhausted = True
+            for _ in range(2):
+                op = next(source, None)
+                if op is None:
+                    break
+                db.execute(op)
+                exhausted = False
+            db.install_some(2, rng)
+    except SimulatedCrash:
+        db.crash()
+        outcome = db.recover()
+        return outcome.ok, outcome
+    db.media_failure()
+    outcome = db.media_recover()
+    return outcome.ok, outcome
+
+
+def _run_one(
+    specs: List[FaultSpec], seed: int, batched: bool
+) -> Tuple[bool, Database]:
+    db = _fresh_db()
+    db.attach_faults(FaultPlane(specs))
+    ok, _ = _drive(db, seed, batched)
+    return ok, db
+
+
+def _measure_io_budget(seed: int, batched: bool) -> Tuple[int, dict]:
+    """One fault-free run with a bare plane, counting every I/O event.
+
+    Returns the global I/O count and the per-point counters (the
+    ``point_budgets`` seeded schedules draw from).
+    """
+    db = _fresh_db()
+    plane = db.attach_faults(FaultPlane())
+    ok, _ = _drive(db, seed, batched)
+    if not ok:
+        raise AssertionError("fault-free baseline run failed to recover")
+    return plane.io_count, dict(plane.count_by_point)
+
+
+# ------------------------------------------------------------------- scenarios
+
+
+def _transient_scenario(seed: int, batched: bool) -> ScenarioResult:
+    """Transient faults at every instrumented point, one run per point."""
+    name = f"transient-{'batched' if batched else 'serial'}"
+    result = ScenarioResult(name)
+    for point in IOPoint.ALL:
+        specs = [FaultSpec(FaultKind.TRANSIENT, point=point, at_io=2,
+                           times=2)]
+        ok, db = _run_one(specs, seed, batched)
+        result.total += 1
+        plane = db.faults
+        # A point the run never reaches (fault never fired) still counts
+        # as recovered — the run is fault-free by construction then.
+        if ok:
+            result.recovered += 1
+        else:
+            result.detail += f" {point}:FAILED"
+        result.faults_injected += plane.injected_total
+        result.io_retries += db.metrics.io_retries
+    return result
+
+
+def _torn_span_scenario(seed: int) -> ScenarioResult:
+    """Torn bulk backup spans: detected, resumed, and still recoverable."""
+    result = ScenarioResult("torn-backup-span")
+    resumed = 0
+    for at_io in (1, 2, 3):
+        specs = [FaultSpec(FaultKind.TORN, point=IOPoint.BACKUP_BULK_RECORD,
+                           at_io=at_io, keep=1)]
+        ok, db = _run_one(specs, seed, batched=True)
+        result.total += 1
+        if ok:
+            result.recovered += 1
+        else:
+            result.detail += f" at_io={at_io}:FAILED"
+        result.faults_injected += db.faults.injected_total
+        result.io_retries += db.metrics.io_retries
+        resumed += db.metrics.torn_spans_resumed
+    result.detail += f" resumed={resumed}"
+    return result
+
+
+def _torn_install_scenario(seed: int, batched: bool) -> ScenarioResult:
+    """Torn multi-page installs: doublewrite rollback + crash recovery."""
+    name = f"torn-install-{'batched' if batched else 'serial'}"
+    result = ScenarioResult(name)
+    repaired = 0
+    for at_io in (1, 2, 4):
+        specs = [FaultSpec(FaultKind.TORN, point=IOPoint.STABLE_MULTI_WRITE,
+                           at_io=at_io, keep=1)]
+        ok, db = _run_one(specs, seed, batched)
+        result.total += 1
+        if ok:
+            result.recovered += 1
+        else:
+            result.detail += f" at_io={at_io}:FAILED"
+        result.faults_injected += db.faults.injected_total
+        repaired += db.metrics.torn_writes_repaired
+    result.detail += f" repaired={repaired}"
+    return result
+
+
+def _crash_sweep_scenario(
+    seed: int, batched: bool, stride: int
+) -> ScenarioResult:
+    """Crash at every Nth I/O point of the deterministic baseline run."""
+    name = f"crash-sweep-{'batched' if batched else 'serial'}"
+    budget, _ = _measure_io_budget(seed, batched)
+    result = ScenarioResult(name, detail=f" io_budget={budget}")
+    for plan in crash_sweep_plans(budget, stride=stride):
+        ok, db = _run_one([plan.to_spec()], seed, batched)
+        result.total += 1
+        if ok:
+            result.recovered += 1
+        else:
+            result.detail += f" at_io={plan.at_io}:FAILED"
+        result.faults_injected += db.faults.injected_total
+    return result
+
+
+def _seeded_mix_scenario(
+    seed: int, batched: bool, rounds: int
+) -> ScenarioResult:
+    """Seeded random transient/torn schedules across all points."""
+    name = f"seeded-mix-{'batched' if batched else 'serial'}"
+    budget, per_point = _measure_io_budget(seed, batched)
+    result = ScenarioResult(name)
+    for round_index in range(rounds):
+        db = _fresh_db()
+        injector = FailureInjector.seeded(
+            db, seed * 1000 + round_index, budget, count=4,
+            point_budgets=per_point,
+        )
+        ok, _ = _drive(db, seed, batched)
+        result.total += 1
+        if ok:
+            result.recovered += 1
+        else:
+            result.detail += f" round={round_index}:FAILED"
+        result.faults_injected += injector.faults_injected
+        result.io_retries += db.metrics.io_retries
+    return result
+
+
+# ------------------------------------------------------------------ the sweep
+
+
+def run_faultsweep(
+    seed: int = 0,
+    stride: int = 1,
+    quick: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Run the full scenario matrix; deterministic in ``seed``.
+
+    ``stride`` thins the exhaustive crash sweep (crash after every
+    ``stride``-th I/O instead of every single one); ``quick`` picks a
+    stride that keeps the whole sweep around a hundred runs.
+    """
+    report = SweepReport(seed=seed)
+
+    def emit(result: ScenarioResult) -> None:
+        report.results.append(result)
+        if log is not None:
+            status = "ok " if result.ok else "FAIL"
+            log(f"[{status}] {result.name}: {result.recovered}/"
+                f"{result.total} recovered{result.detail}")
+
+    if quick:
+        budget, _ = _measure_io_budget(seed, batched=True)
+        stride = max(stride, budget // 24 or 1)
+
+    for batched in (False, True):
+        emit(_transient_scenario(seed, batched))
+        emit(_torn_install_scenario(seed, batched))
+        emit(_crash_sweep_scenario(seed, batched, stride))
+        emit(_seeded_mix_scenario(seed, batched, rounds=2 if quick else 4))
+    emit(_torn_span_scenario(seed))
+    return report

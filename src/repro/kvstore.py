@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Tuple
 
 from repro.btree import BTree
+from repro.core.config import BackupConfig
 from repro.db import Database
 from repro.errors import ReproError
 from repro.recovery.explain import RecoveryOutcome
@@ -95,8 +96,12 @@ class KVStore:
         """Take an online backup to completion; safe to call while the
         store keeps serving (drive manually via ``db`` for interleaved
         use — see the examples)."""
-        self.db.start_backup(steps=steps, incremental=incremental)
-        return self.db.run_backup(pages_per_tick=pages_per_tick)
+        cfg = BackupConfig(
+            steps=steps, pages_per_tick=pages_per_tick,
+            incremental=incremental,
+        )
+        self.db.start_backup(cfg)
+        return self.db.run_backup(cfg)
 
     # -------------------------------------------------------------- failures
 

@@ -32,6 +32,9 @@ def run_crash_recovery(
     written back into S (as a real system's redo pass would), making S
     equal to the recovered current state.
     """
+    # Doublewrite scan first: roll back any torn multi-page install so
+    # redo starts from an atomically consistent stable state.
+    stable.repair_torn()
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
@@ -51,4 +54,5 @@ def run_crash_recovery(
         skipped=stats.ops_skipped,
         poisoned=poisoned,
         diffs=diffs,
+        kind="crash",
     )

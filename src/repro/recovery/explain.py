@@ -18,8 +18,9 @@ Two complementary checkers:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ids import LSN, PageId
 from repro.ops.base import OperationKind
@@ -29,24 +30,63 @@ from repro.wal.records import LogRecord
 
 @dataclass
 class RecoveryOutcome:
-    """Result of a recovery run, as returned by the recovery drivers."""
+    """Result of a recovery run — the one return type of every recovery
+    entry point on :class:`~repro.db.Database` (``recover``,
+    ``media_recover``, ``media_recover_chain``, ``recover_partition``,
+    ``selective_recover``).
+
+    ``kind`` names the recovery flavour (``"crash"``, ``"media"``,
+    ``"media-chain"``, ``"partition"``, ``"selective"``);
+    ``faults_survived`` counts the injected storage/WAL faults (see
+    :mod:`repro.sim.faults`) the run lived through before this recovery
+    verified; ``analysis`` carries the taint analysis for selective
+    recovery, ``None`` otherwise.
+    """
 
     state: Dict[PageId, PageVersion]
     replayed: int
     skipped: int
     poisoned: List[PageId]
     diffs: List[Tuple[PageId, Any, Any]] = field(default_factory=list)
+    kind: str = ""
+    faults_survived: int = 0
+    analysis: Optional[Any] = None  # TaintAnalysis for kind="selective"
 
     @property
     def ok(self) -> bool:
         return not self.diffs and not self.poisoned
 
+    @property
+    def redone(self) -> int:
+        """Operations redone during roll-forward (canonical name for the
+        historical ``replayed`` field, which remains as an alias)."""
+        return self.replayed
+
+    @property
+    def outcome(self) -> "RecoveryOutcome":
+        """Deprecated shim for the pre-unification ``SelectiveRedoResult``
+        shape (``result.outcome.ok`` → ``result.ok``)."""
+        warnings.warn(
+            "RecoveryOutcome.outcome is a deprecation shim; selective "
+            "recovery now returns the RecoveryOutcome directly — drop the "
+            "'.outcome' hop (removal planned for 2.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self
+
     def summary(self) -> str:
         status = "OK" if self.ok else "FAILED"
+        kind = f"{self.kind} " if self.kind else ""
+        faults = (
+            f" faults_survived={self.faults_survived}"
+            if self.faults_survived
+            else ""
+        )
         return (
-            f"recovery {status}: replayed={self.replayed} "
+            f"{kind}recovery {status}: redone={self.replayed} "
             f"skipped={self.skipped} diffs={len(self.diffs)} "
-            f"poisoned={len(self.poisoned)}"
+            f"poisoned={len(self.poisoned)}{faults}"
         )
 
 

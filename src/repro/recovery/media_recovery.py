@@ -71,4 +71,5 @@ def run_media_recovery(
         skipped=stats.ops_skipped,
         poisoned=poisoned,
         diffs=diffs,
+        kind="media",
     )

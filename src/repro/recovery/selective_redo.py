@@ -101,10 +101,12 @@ def compute_taint(
             return analysis
 
 
-@dataclass
-class SelectiveRedoResult:
-    analysis: TaintAnalysis
-    outcome: RecoveryOutcome
+# Selective redo used to return a two-field ``SelectiveRedoResult``
+# wrapper; the recovery API is now unified on ``RecoveryOutcome`` (which
+# carries ``analysis`` and a deprecated ``.outcome`` shim for the old
+# ``result.outcome.ok`` shape).  The name is kept as an alias so existing
+# imports and annotations keep working.
+SelectiveRedoResult = RecoveryOutcome
 
 
 def expected_state_excluding(
@@ -190,11 +192,12 @@ def run_selective_redo(
     for pid, ver in state.items():
         if stable.layout.contains(pid):
             stable.install_version(pid, ver)
-    outcome = RecoveryOutcome(
+    return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,
         skipped=stats.ops_skipped,
         poisoned=poisoned,
         diffs=diffs,
+        kind="selective",
+        analysis=analysis,
     )
-    return SelectiveRedoResult(analysis=analysis, outcome=outcome)

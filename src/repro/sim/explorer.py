@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.db import Database
+from repro.errors import SimulatedCrash
+from repro.sim.faults import FaultSpec
 
 
 @dataclass
@@ -67,10 +69,28 @@ class InterleavingExplorer:
     completes whatever remains (e.g. drains the backup and the cache)
     and may return the BackupDatabase media recovery should restore
     from (None → the engine's latest backup).
+
+    ``fault_specs`` (optional) arms the same storage-level fault
+    schedule (:class:`~repro.sim.faults.FaultSpec`) on every
+    interleaving's database: transient faults must be absorbed by the
+    retry machinery, and a :class:`~repro.errors.SimulatedCrash` fired
+    mid-schedule turns that interleaving into a crash-recovery check
+    instead of the media-recovery one.
     """
 
-    def __init__(self, scenario_factory: Callable):
+    def __init__(
+        self,
+        scenario_factory: Callable,
+        fault_specs: Sequence[FaultSpec] = (),
+    ):
         self.scenario_factory = scenario_factory
+        self.fault_specs = tuple(fault_specs)
+
+    def _make_scenario(self):
+        db, tracks, finish = self.scenario_factory()
+        if self.fault_specs:
+            db.ensure_fault_plane().arm_all(self.fault_specs)
+        return db, tracks, finish
 
     def explore(self, max_interleavings: Optional[int] = None) -> ExplorationResult:
         result = ExplorationResult()
@@ -86,17 +106,22 @@ class InterleavingExplorer:
             ):
                 break
             result.interleavings += 1
-            db, tracks, finish = self.scenario_factory()
+            db, tracks, finish = self._make_scenario()
             actions: Dict[str, Callable] = {}
             for t, track in enumerate(tracks):
                 for i, action in enumerate(track):
                     actions[f"t{t}.{i}"] = action
             try:
-                for label in schedule:
-                    actions[label]()
-                backup = finish(db)
-                db.media_failure()
-                outcome = db.media_recover(backup=backup)
+                try:
+                    for label in schedule:
+                        actions[label]()
+                    backup = finish(db)
+                except SimulatedCrash:
+                    db.crash()
+                    outcome = db.recover()
+                else:
+                    db.media_failure()
+                    outcome = db.media_recover(backup=backup)
                 if outcome.ok:
                     result.recovered += 1
                 else:

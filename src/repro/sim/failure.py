@@ -1,17 +1,32 @@
-"""Failure injection: scheduled crashes and media failures.
+"""Failure injection: scheduled crashes, media failures, and I/O faults.
 
-A :class:`CrashPlan` names a tick at which a failure fires;
-:class:`FailureInjector` applies it to a :class:`~repro.db.Database`
-during an interleaved run.  Integration and property tests sweep the
-tick across a run to validate recoverability at every interleaving point.
+Two granularities:
+
+* :class:`CrashPlan` names a **tick** at which a whole-device failure
+  fires (system crash or media loss); :class:`FailureInjector` applies
+  it to a :class:`~repro.db.Database` during an interleaved run.
+  Integration and property tests sweep the tick across a run to validate
+  recoverability at every interleaving point.
+* :class:`IOFaultPlan` names an **I/O operation** (by global index on
+  the database's :class:`~repro.sim.faults.FaultPlane`) at which a
+  storage-level fault fires — a torn multi-page write, a transient
+  ``IOError`` absorbed by bounded retries, or a crash at that exact I/O
+  point.  The injector arms these on construction, so a single plan
+  list can mix both granularities.
+
+Helpers: :func:`crash_sweep_plans` builds the exhaustive
+"crash after every Nth I/O" schedule; :meth:`FailureInjector.seeded`
+draws a deterministic random fault schedule from a seed.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.sim.faults import FaultKind, FaultSpec, IOPoint, seeded_fault_specs
 
 
 class FailureKind:
@@ -33,14 +48,119 @@ class CrashPlan:
             raise ReproError("at_tick must be >= 0")
 
 
+@dataclass(frozen=True)
+class IOFaultPlan:
+    """Fire a storage-level fault at the ``at_io``-th matching I/O.
+
+    ``kind`` is a :class:`~repro.sim.faults.FaultKind` value; ``point``
+    restricts the plan to one I/O boundary (default: any).  ``times``
+    repeats a transient fault on consecutive attempts; ``keep`` is the
+    landed-prefix size of a torn write.
+    """
+
+    at_io: int
+    kind: str = FaultKind.CRASH
+    point: str = IOPoint.ANY
+    times: int = 1
+    keep: int = 1
+
+    def __post_init__(self):
+        if self.at_io < 1:
+            raise ReproError("at_io must be >= 1 (I/Os are 1-indexed)")
+        # Validation of kind/point/times/keep is delegated to FaultSpec.
+        self.to_spec()
+
+    def to_spec(self) -> FaultSpec:
+        return FaultSpec(
+            kind=self.kind,
+            point=self.point,
+            at_io=self.at_io,
+            times=self.times,
+            keep=self.keep,
+        )
+
+
+AnyPlan = Union[CrashPlan, IOFaultPlan]
+
+
+def crash_sweep_plans(
+    io_budget: int, stride: int = 1, start: int = 1
+) -> List[IOFaultPlan]:
+    """The exhaustive sweep schedule: one crash plan per Nth I/O point.
+
+    Run the scenario once with a bare fault plane to measure
+    ``io_budget`` (``plane.io_count``), then re-run it once per returned
+    plan — each run crashes at a different I/O — and assert recovery
+    after every one.
+    """
+    if io_budget < 1:
+        raise ReproError("io_budget must be >= 1")
+    if stride < 1:
+        raise ReproError("stride must be >= 1")
+    return [
+        IOFaultPlan(at_io=i, kind=FaultKind.CRASH)
+        for i in range(start, io_budget + 1, stride)
+    ]
+
+
 class FailureInjector:
-    def __init__(self, db, plans: Optional[List[CrashPlan]] = None):
+    """Applies a mixed schedule of tick-level and I/O-level failures.
+
+    Tick-level :class:`CrashPlan`\\ s fire from :meth:`check` (called by
+    the interleaved runner once per tick); I/O-level
+    :class:`IOFaultPlan`\\ s are armed immediately on the database's
+    fault plane and fire from inside the storage stack.
+    """
+
+    def __init__(self, db, plans: Optional[Sequence[AnyPlan]] = None):
         self.db = db
-        self.plans = sorted(plans or [], key=lambda p: p.at_tick)
+        tick_plans = [p for p in (plans or []) if isinstance(p, CrashPlan)]
+        self.io_plans: List[IOFaultPlan] = [
+            p for p in (plans or []) if isinstance(p, IOFaultPlan)
+        ]
+        self.plans = sorted(tick_plans, key=lambda p: p.at_tick)
         self.fired: List[CrashPlan] = []
+        if self.io_plans:
+            plane = db.ensure_fault_plane()
+            plane.arm_all(plan.to_spec() for plan in self.io_plans)
+
+    @classmethod
+    def seeded(
+        cls,
+        db,
+        seed: int,
+        io_budget: int,
+        count: int = 3,
+        kinds: Sequence[str] = (FaultKind.TRANSIENT, FaultKind.TORN),
+        point_budgets=None,
+    ) -> "FailureInjector":
+        """A deterministic random I/O fault schedule drawn from ``seed``.
+
+        ``point_budgets`` (a baseline plane's ``count_by_point``) keeps
+        point-specific draws within each point's reachable range.
+        """
+        rng = random.Random(seed)
+        injector = cls(db)
+        specs = seeded_fault_specs(rng, io_budget, count=count, kinds=kinds,
+                                   point_budgets=point_budgets)
+        db.ensure_fault_plane().arm_all(specs)
+        injector.io_plans = [
+            IOFaultPlan(
+                at_io=s.at_io, kind=s.kind, point=s.point,
+                times=s.times, keep=s.keep,
+            )
+            for s in specs
+        ]
+        return injector
+
+    @property
+    def faults_injected(self) -> int:
+        """Total storage-level faults the armed plane has fired so far."""
+        plane = getattr(self.db, "faults", None)
+        return plane.injected_total if plane is not None else 0
 
     def check(self, tick: int) -> Optional[CrashPlan]:
-        """Fire (at most) the first due plan; returns it if fired."""
+        """Fire (at most) the first due tick plan; returns it if fired."""
         while self.plans and self.plans[0].at_tick <= tick:
             plan = self.plans.pop(0)
             if plan.kind == FailureKind.CRASH:

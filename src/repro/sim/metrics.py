@@ -40,6 +40,15 @@ class Metrics:
     decisions_by_step: Dict[int, int] = field(default_factory=dict)
     iwof_by_step: Dict[int, int] = field(default_factory=dict)
 
+    # Fault injection (see repro.sim.faults): injections by kind, the
+    # bounded retries that survived transients, torn backup spans that
+    # were resumed, and torn stable installs rolled back at recovery.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    io_retries: int = 0
+    simulated_backoff_s: float = 0.0
+    torn_spans_resumed: int = 0
+    torn_writes_repaired: int = 0
+
     def record_decision(
         self, region: str, needs_iwof: bool, step: int = 0
     ) -> None:
@@ -83,4 +92,8 @@ class Metrics:
             "iwof_bytes": self.iwof_bytes,
             "backup_pages_copied": self.backup_pages_copied,
             "backups_completed": self.backups_completed,
+            "faults_injected": sum(self.faults_injected.values()),
+            "io_retries": self.io_retries,
+            "torn_spans_resumed": self.torn_spans_resumed,
+            "torn_writes_repaired": self.torn_writes_repaired,
         }

@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.db import Database
+from repro.core.config import BackupConfig
+from repro.errors import SimulatedCrash
 from repro.ops.base import Operation
 from repro.sim.failure import FailureInjector
 from repro.storage.backup_db import BackupDatabase
@@ -77,29 +79,37 @@ class InterleavedRun:
                     result.crashed = plan.kind == "crash"
                     result.media_failed = plan.kind == "media"
                     break
-            if (
-                not backup_started
-                and self.start_backup_at_tick is not None
-                and tick >= self.start_backup_at_tick
-            ):
-                self.db.start_backup(
-                    steps=self.backup_steps, incremental=self.incremental
-                )
-                backup_started = True
+            try:
+                if (
+                    not backup_started
+                    and self.start_backup_at_tick is not None
+                    and tick >= self.start_backup_at_tick
+                ):
+                    self.db.start_backup(BackupConfig(
+                        steps=self.backup_steps,
+                        incremental=self.incremental,
+                    ))
+                    backup_started = True
 
-            exhausted = False
-            for _ in range(self.ops_per_tick):
-                op = next(self.op_source, None)
-                if op is None:
-                    exhausted = True
-                    break
-                self.db.execute(op)
-                result.ops_executed += 1
+                exhausted = False
+                for _ in range(self.ops_per_tick):
+                    op = next(self.op_source, None)
+                    if op is None:
+                        exhausted = True
+                        break
+                    self.db.execute(op)
+                    result.ops_executed += 1
 
-            self.db.install_some(self.installs_per_tick, self.rng)
+                self.db.install_some(self.installs_per_tick, self.rng)
 
-            if self.db.backup_in_progress():
-                self.db.backup_step(self.backup_pages_per_tick)
+                if self.db.backup_in_progress():
+                    self.db.backup_step(self.backup_pages_per_tick)
+            except SimulatedCrash:
+                # An armed fault plane killed the system mid-I/O; the
+                # database is crashed, recovery is the caller's move.
+                self.db.crash()
+                result.crashed = True
+                break
             if self.on_tick is not None:
                 self.on_tick(tick)
 

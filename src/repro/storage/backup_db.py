@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import BackupError
+from repro.errors import BackupError, TornWriteError
 from repro.ids import LSN, PageId
 from repro.storage.page import PageVersion
 
@@ -41,6 +41,8 @@ class BackupDatabase:
         self._copy_order: List[PageId] = []
         self._status = BackupStatus.IN_PROGRESS
         self.completion_lsn: Optional[LSN] = None
+        # Optional FaultPlane (see repro.sim.faults), wired by the engine.
+        self.faults = None
 
     # --------------------------------------------------------------- writing
 
@@ -55,6 +57,10 @@ class BackupDatabase:
             raise BackupError(
                 f"page {page_id!r} copied twice into backup {self.backup_id}"
             )
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            self.faults.check(IOPoint.BACKUP_RECORD)
         self._versions[page_id] = version
         self._copy_order.append(page_id)
 
@@ -63,16 +69,28 @@ class BackupDatabase:
 
         ``entries`` is an iterable of ``(page_id, version)`` pairs; the
         status is checked once for the whole batch, the double-copy check
-        still applies per page.
+        still applies per page.  A torn fault lands only a prefix of the
+        span and raises :class:`TornWriteError` carrying how many pages
+        landed; the sweep re-issues the remainder (see
+        ``BackupRun._record_span``).
         """
         if self._status is not BackupStatus.IN_PROGRESS:
             raise BackupError(
                 f"backup {self.backup_id} is {self._status.value}; "
                 "cannot record pages"
             )
+        entries = list(entries)
+        torn_keep = None
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            torn_keep = self.faults.check(
+                IOPoint.BACKUP_BULK_RECORD, parts=len(entries)
+            )
         versions = self._versions
         order = self._copy_order
-        for page_id, version in entries:
+        landing = entries if torn_keep is None else entries[:torn_keep]
+        for page_id, version in landing:
             if page_id in versions:
                 raise BackupError(
                     f"page {page_id!r} copied twice into backup "
@@ -80,6 +98,10 @@ class BackupDatabase:
                 )
             versions[page_id] = version
             order.append(page_id)
+        if torn_keep is not None:
+            raise TornWriteError(
+                "backup.record_pages", landed=torn_keep, total=len(entries)
+            )
 
     def complete(self, completion_lsn: LSN) -> None:
         if self._status is not BackupStatus.IN_PROGRESS:

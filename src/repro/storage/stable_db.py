@@ -8,16 +8,23 @@ manager flushes to and the backup process copies from.  It provides:
   contains several pages that must be installed together;
 * simulated *media failure* (``fail_media``): after a failure every access
   raises :class:`~repro.errors.MediaFailureError` until the database is
-  re-formatted from a backup (``restore_from``).
+  re-formatted from a backup (``restore_from``);
+* an optional :class:`~repro.sim.faults.FaultPlane` (``faults``)
+  consulted at every I/O boundary, able to inject transient errors,
+  crashes mid-I/O, and torn multi-page writes.  Multi-page atomicity
+  under torn writes is furnished the way real systems furnish it: a
+  shadow (doublewrite) journal records the overwritten versions before a
+  multi-page install and ``repair_torn`` rolls back any incomplete
+  install at recovery time.
 
 Write counts are tracked so benchmarks can report I/O volume.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
-from repro.errors import MediaFailureError, PageNotFoundError
+from repro.errors import MediaFailureError, PageNotFoundError, SimulatedCrash
 from repro.ids import LSN, PageId
 from repro.storage.layout import Layout
 from repro.storage.page import Page, PageVersion
@@ -35,11 +42,22 @@ class StableDatabase:
         self._failed_partitions: set = set()
         self.page_writes = 0
         self.multi_page_flushes = 0
+        # Fault plane (None = no injection) and the shadow journal: the
+        # pre-images of an in-flight multi-page install, conceptually on
+        # stable storage, so it survives a crash and lets recovery undo a
+        # torn prefix.  Only maintained while a fault plane is attached —
+        # without one, multi-page writes are natively atomic.
+        self.faults = None
+        self._shadow: List[Tuple[PageId, PageVersion]] = []
 
     # ------------------------------------------------------------------ reads
 
     def read_page(self, page_id: PageId) -> PageVersion:
         self._check_media(page_id.partition)
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            self.faults.check(IOPoint.STABLE_READ)
         return self._page(page_id).snapshot()
 
     def read_pages(self, page_ids) -> "list":
@@ -50,6 +68,10 @@ class StableDatabase:
         """
         if self._failed:
             raise MediaFailureError("stable database media has failed")
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            self.faults.check(IOPoint.STABLE_BULK_READ)
         failed_partitions = self._failed_partitions
         pages = self._pages
         checked: set = set()
@@ -86,6 +108,10 @@ class StableDatabase:
     def write_page(self, page_id: PageId, value: Any, lsn: LSN) -> None:
         """Atomically overwrite one page (disk write atomicity)."""
         self._check_media(page_id.partition)
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            self.faults.check(IOPoint.STABLE_WRITE)
         self._page(page_id).update(value, lsn)
         self.page_writes += 1
 
@@ -96,21 +122,68 @@ class StableDatabase:
 
         Used when a write-graph node requires vars(n) with |vars(n)| > 1 to
         be flushed together.  All pages are validated before any is
-        modified, so the action is all-or-nothing even on errors.
+        modified, so the action is all-or-nothing even on errors.  With a
+        fault plane attached, atomicity is furnished by the shadow
+        journal: pre-images are journalled first, and a torn write (only
+        a prefix of the cells lands, then :class:`SimulatedCrash`) is
+        rolled back by :meth:`repair_torn` during recovery.
         """
         self._check_media()
         for pid in versions:
             self._check_media(pid.partition)
         cells = [(self._page(pid), ver) for pid, ver in versions.items()]
+        torn_keep: Optional[int] = None
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            # The check may raise (transient / crash) before anything is
+            # mutated, so callers can retry cleanly.
+            torn_keep = self.faults.check(
+                IOPoint.STABLE_MULTI_WRITE, parts=len(cells)
+            )
+            if len(cells) > 1:
+                self._shadow = [
+                    (pid, self._pages[pid].version) for pid in versions
+                ]
+        if torn_keep is not None:
+            for cell, ver in cells[:torn_keep]:
+                cell.version = ver
+                self.page_writes += 1
+            raise SimulatedCrash(
+                "stable.write_multi", self.faults.io_count, torn=True
+            )
         for cell, ver in cells:
             cell.version = ver
             self.page_writes += 1
+        self._shadow = []
         if len(cells) > 1:
             self.multi_page_flushes += 1
 
     def install_version(self, page_id: PageId, version: PageVersion) -> None:
         """Atomically overwrite one page with a prepared version."""
         self.write_pages_atomically({page_id: version})
+
+    # ------------------------------------------------------ torn-write repair
+
+    def repair_torn(self) -> int:
+        """Roll back an incomplete multi-page install from the shadow.
+
+        Called at the start of crash recovery (the doublewrite-buffer
+        scan every real system performs): if a multi-page write was in
+        flight when the system halted, the journalled pre-images are
+        restored, re-establishing all-or-nothing semantics.  Returns the
+        number of pages reverted.
+        """
+        if not self._shadow:
+            return 0
+        reverted = 0
+        for pid, version in self._shadow:
+            self._pages[pid].version = version
+            reverted += 1
+        self._shadow = []
+        if self.faults is not None and self.faults.metrics is not None:
+            self.faults.metrics.torn_writes_repaired += reverted
+        return reverted
 
     # ---------------------------------------------------------- media failure
 
@@ -157,6 +230,7 @@ class StableDatabase:
         """
         self._failed = False
         self._failed_partitions.clear()
+        self._shadow = []
         self._pages = {
             pid: Page.empty(pid, initial_value)
             for pid in self.layout.all_pages()

@@ -86,9 +86,11 @@ class Transaction:
         Returns the number of operations committed.
         """
         self._check_active()
+        from repro.sim.faults import with_retries
+
         for op in self._buffer:
             self.db.execute(op, source=self.name)
-        self.db.log.force()
+        with_retries(self.db.log.force, metrics=self.db.metrics)
         count = len(self._buffer)
         self._state = "committed"
         self._buffer.clear()

@@ -91,10 +91,13 @@ class CheckpointManager:
             page: self._tracker.rec_lsn(page)
             for page in self._tracker.dirty_pages()
         }
-        record = self._log.append(
-            CheckpointOp(table), RecordFlag.CM_INJECTED
+        from repro.sim.faults import with_retries
+
+        record = with_retries(
+            lambda: self._log.append(CheckpointOp(table),
+                                     RecordFlag.CM_INJECTED)
         )
-        self._log.force()
+        with_retries(self._log.force)
         self.last_checkpoint = record
         return record
 

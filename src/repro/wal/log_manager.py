@@ -37,6 +37,9 @@ class LogManager:
         # WAL rule and crash-durability boundary.
         self.auto_force = auto_force
         self._append_listeners: List[Callable[[LogRecord], None]] = []
+        # Optional FaultPlane (see repro.sim.faults) consulted before the
+        # mutating part of append/force, so a failed call can be retried.
+        self.faults = None
 
     # --------------------------------------------------------------- appends
 
@@ -46,6 +49,10 @@ class LogManager:
         flags: RecordFlag = RecordFlag.NONE,
         source: str = "",
     ) -> LogRecord:
+        if self.faults is not None:
+            from repro.sim.faults import IOPoint
+
+            self.faults.check(IOPoint.LOG_APPEND)
         lsn = self._first_lsn + len(self._records)
         record = LogRecord(lsn, op, flags, source)
         self._records.append(record)
@@ -64,6 +71,10 @@ class LogManager:
         """Force the log to stable storage up to ``up_to`` (default: all)."""
         end = self.end_lsn if up_to is None else min(up_to, self.end_lsn)
         if end > self._flushed_lsn:
+            if self.faults is not None:
+                from repro.sim.faults import IOPoint
+
+                self.faults.check(IOPoint.LOG_FORCE)
             self._flushed_lsn = end
 
     def discard_unflushed(self) -> int:

@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.core.config import BackupConfig
 from repro.db import Database
 from repro.ids import PageId
 from repro.storage.layout import Layout
@@ -44,7 +45,7 @@ def drive_backup_interleaved(db, op_iter, steps=4, ops_per_tick=2,
                              installs_per_tick=2, pages_per_tick=4, seed=0):
     """Run a backup to completion with the op stream interleaved."""
     rng = random.Random(seed)
-    db.start_backup(steps=steps)
+    db.start_backup(BackupConfig(steps=steps))
     while db.backup_in_progress():
         db.backup_step(pages_per_tick)
         for _ in range(ops_per_tick):

@@ -69,3 +69,26 @@ class TestExplorer:
         result = InterleavingExplorer(factory).explore()
         assert not result.all_recovered
         assert "RuntimeError" in result.failures[0][1]
+
+    def test_fault_specs_transient_absorbed(self):
+        from repro.sim.faults import FaultKind, FaultSpec, IOPoint
+
+        specs = [FaultSpec(FaultKind.TRANSIENT, point=IOPoint.LOG_APPEND,
+                           at_io=1, times=2)]
+        explorer = InterleavingExplorer(self._trivial_scenario(),
+                                        fault_specs=specs)
+        result = explorer.explore()
+        assert result.interleavings == 3
+        assert result.all_recovered
+
+    def test_fault_specs_crash_turns_into_crash_recovery(self):
+        from repro.sim.faults import FaultKind, FaultSpec
+
+        # Crash at the 3rd I/O of every interleaving: each run must
+        # survive via crash recovery instead of the media path.
+        specs = [FaultSpec(FaultKind.CRASH, at_io=3)]
+        explorer = InterleavingExplorer(self._trivial_scenario(),
+                                        fault_specs=specs)
+        result = explorer.explore()
+        assert result.interleavings == 3
+        assert result.all_recovered

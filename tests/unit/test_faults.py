@@ -1,0 +1,268 @@
+"""Unit tests for the fault plane and its device integrations."""
+
+import random
+
+import pytest
+
+from repro.core.config import BackupConfig
+from repro.db import Database
+from repro.errors import (
+    ReproError,
+    SimulatedCrash,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.ids import PageId
+from repro.ops.logical import CopyOp
+from repro.ops.physical import PhysicalWrite
+from repro.sim.failure import FailureInjector, IOFaultPlan, crash_sweep_plans
+from repro.sim.faults import (
+    DEFAULT_RETRY,
+    FaultKind,
+    FaultPlane,
+    FaultSpec,
+    IOPoint,
+    RetryPolicy,
+    seeded_fault_specs,
+    with_retries,
+)
+from repro.sim.metrics import Metrics
+
+
+def pid(slot, partition=0):
+    return PageId(partition, slot)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FaultSpec("gremlins")
+        with pytest.raises(ReproError):
+            FaultSpec(FaultKind.CRASH, point="disk.nope")
+        with pytest.raises(ReproError):
+            FaultSpec(FaultKind.CRASH, at_io=0)
+        with pytest.raises(ReproError):
+            FaultSpec(FaultKind.TRANSIENT, times=0)
+
+    def test_io_fault_plan_roundtrip(self):
+        plan = IOFaultPlan(at_io=3, kind=FaultKind.TORN,
+                           point=IOPoint.STABLE_MULTI_WRITE, keep=2)
+        spec = plan.to_spec()
+        assert spec.at_io == 3 and spec.keep == 2
+        with pytest.raises(ReproError):
+            IOFaultPlan(at_io=0)
+
+
+class TestFaultPlane:
+    def test_bare_plane_counts(self):
+        plane = FaultPlane()
+        for _ in range(3):
+            assert plane.check(IOPoint.LOG_APPEND) is None
+        plane.check(IOPoint.STABLE_READ)
+        assert plane.io_count == 4
+        assert plane.count_by_point[IOPoint.LOG_APPEND] == 3
+        assert plane.injected_total == 0
+
+    def test_crash_fires_once_at_global_index(self):
+        plane = FaultPlane([FaultSpec(FaultKind.CRASH, at_io=2)])
+        plane.check(IOPoint.LOG_APPEND)
+        with pytest.raises(SimulatedCrash) as info:
+            plane.check(IOPoint.STABLE_READ)
+        assert info.value.io_index == 2
+        # Fired specs stay quiet afterwards.
+        plane.check(IOPoint.STABLE_READ)
+        assert plane.injected_by_kind == {FaultKind.CRASH: 1}
+
+    def test_point_specific_counter(self):
+        plane = FaultPlane(
+            [FaultSpec(FaultKind.CRASH, point=IOPoint.LOG_FORCE, at_io=2)]
+        )
+        plane.check(IOPoint.LOG_APPEND)
+        plane.check(IOPoint.LOG_APPEND)
+        plane.check(IOPoint.LOG_FORCE)  # force #1: not due yet
+        with pytest.raises(SimulatedCrash):
+            plane.check(IOPoint.LOG_FORCE)
+
+    def test_transient_repeats_times_then_stops(self):
+        plane = FaultPlane([FaultSpec(FaultKind.TRANSIENT, at_io=1, times=2)])
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                plane.check(IOPoint.STABLE_READ)
+        assert plane.check(IOPoint.STABLE_READ) is None
+        assert plane.injected_by_kind == {FaultKind.TRANSIENT: 2}
+
+    def test_torn_waits_for_multipart_write(self):
+        plane = FaultPlane([FaultSpec(FaultKind.TORN, at_io=1, keep=1)])
+        # Single-part writes are atomic; the tear stays armed.
+        assert plane.check(IOPoint.STABLE_MULTI_WRITE, parts=1) is None
+        assert plane.check(IOPoint.STABLE_MULTI_WRITE, parts=3) == 1
+        assert plane.check(IOPoint.STABLE_MULTI_WRITE, parts=3) is None
+
+    def test_torn_keep_clamped_below_parts(self):
+        plane = FaultPlane([FaultSpec(FaultKind.TORN, at_io=1, keep=9)])
+        assert plane.check(IOPoint.BACKUP_BULK_RECORD, parts=4) == 3
+
+    def test_suspension_stops_counting_and_firing(self):
+        plane = FaultPlane([FaultSpec(FaultKind.CRASH, at_io=1)])
+        with plane.suspended():
+            assert plane.check(IOPoint.STABLE_READ) is None
+        assert plane.io_count == 0
+        with pytest.raises(SimulatedCrash):
+            plane.check(IOPoint.STABLE_READ)
+
+    def test_metrics_mirroring(self):
+        metrics = Metrics()
+        plane = FaultPlane(
+            [FaultSpec(FaultKind.TRANSIENT, at_io=1)], metrics=metrics
+        )
+        with pytest.raises(TransientIOError):
+            plane.check(IOPoint.LOG_APPEND)
+        assert metrics.faults_injected == {FaultKind.TRANSIENT: 1}
+
+    def test_seeded_specs_deterministic(self):
+        a = seeded_fault_specs(random.Random(7), io_budget=100, count=5)
+        b = seeded_fault_specs(random.Random(7), io_budget=100, count=5)
+        assert a == b
+        assert all(s.kind != FaultKind.CRASH for s in a)
+
+    def test_crash_sweep_plans(self):
+        plans = crash_sweep_plans(10, stride=3)
+        assert [p.at_io for p in plans] == [1, 4, 7, 10]
+        with pytest.raises(ReproError):
+            crash_sweep_plans(0)
+
+
+class TestWithRetries:
+    def test_absorbs_bounded_transients(self):
+        metrics = Metrics()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientIOError("stable.read_page", len(attempts))
+            return "done"
+
+        assert with_retries(flaky, metrics=metrics) == "done"
+        assert metrics.io_retries == 2
+        assert metrics.simulated_backoff_s == pytest.approx(
+            DEFAULT_RETRY.backoff_for(1) + DEFAULT_RETRY.backoff_for(2)
+        )
+
+    def test_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(max_attempts=2)
+
+        def always():
+            raise TransientIOError("log.append", 1)
+
+        with pytest.raises(TransientIOError):
+            with_retries(always, policy=policy)
+
+    def test_other_errors_pass_through(self):
+        def crash():
+            raise SimulatedCrash("log.force", 1)
+
+        with pytest.raises(SimulatedCrash):
+            with_retries(crash)
+
+
+class TestDeviceIntegration:
+    def _db(self, specs=()):
+        db = Database(pages_per_partition=[16], policy="general")
+        db.attach_faults(FaultPlane(list(specs)))
+        return db
+
+    def test_transient_log_append_survived(self):
+        db = self._db(
+            [FaultSpec(FaultKind.TRANSIENT, point=IOPoint.LOG_APPEND,
+                       at_io=1, times=2)]
+        )
+        db.execute(PhysicalWrite(pid(0), "a"))
+        assert db.metrics.io_retries == 2
+        assert db.read(pid(0)) == "a"
+
+    def test_transient_exhaustion_propagates(self):
+        db = self._db(
+            [FaultSpec(FaultKind.TRANSIENT, point=IOPoint.LOG_APPEND,
+                       at_io=1, times=10)]
+        )
+        with pytest.raises(TransientIOError):
+            db.execute(PhysicalWrite(pid(0), "a"))
+
+    def test_torn_multi_write_rolled_back_by_shadow(self):
+        from repro.ops.logical import GeneralLogicalOp
+
+        db = self._db()
+        db.execute(PhysicalWrite(pid(0), "s"))
+        # One operation writing two pages: its write-graph node installs
+        # both atomically — the multi-page write a tear can break.
+        db.execute(
+            GeneralLogicalOp([pid(0)], [pid(1), pid(2)], "concat_sorted",
+                             per_target=False)
+        )
+        db.faults.arm(
+            FaultSpec(FaultKind.TORN, point=IOPoint.STABLE_MULTI_WRITE,
+                      at_io=1, keep=1)
+        )
+        with pytest.raises(SimulatedCrash) as info:
+            db.install_some(10, random.Random(0))
+        assert info.value.torn
+        db.crash()
+        outcome = db.recover()
+        assert outcome.ok and not outcome.diffs
+        assert db.metrics.torn_writes_repaired > 0
+        assert db.read(pid(1)) == db.oracle.value(pid(1))
+
+    def test_torn_backup_span_resumed(self):
+        db = self._db(
+            [FaultSpec(FaultKind.TORN, point=IOPoint.BACKUP_BULK_RECORD,
+                       at_io=1, keep=1)]
+        )
+        for slot in range(8):
+            db.execute(PhysicalWrite(pid(slot), slot))
+        db.start_backup(BackupConfig(steps=2, batched=True))
+        backup = db.run_backup()
+        assert backup.is_complete
+        assert db.metrics.torn_spans_resumed >= 1
+        db.media_failure()
+        assert db.media_recover(backup=backup).ok
+
+    def test_crash_mid_backup_then_crash_recovery(self):
+        db = self._db([FaultSpec(FaultKind.CRASH, at_io=12)])
+        rng = random.Random(0)
+        with pytest.raises(SimulatedCrash):
+            for slot in range(12):
+                db.execute(PhysicalWrite(pid(slot % 8), slot))
+                db.install_some(1, rng)
+        db.crash()
+        outcome = db.recover()
+        assert outcome.ok
+        assert outcome.faults_survived == 1
+        assert outcome.kind == "crash"
+
+    def test_recovery_suspends_injection(self):
+        # A crash spec due on the very next I/O must not fire during
+        # recovery's own reads and installs.
+        db = self._db()
+        db.execute(PhysicalWrite(pid(0), "a"))
+        db.crash()
+        db.faults.arm(FaultSpec(FaultKind.CRASH, at_io=db.faults.io_count + 1))
+        assert db.recover().ok
+
+    def test_injector_arms_io_plans(self):
+        db = Database(pages_per_partition=[16], policy="general")
+        injector = FailureInjector(
+            db, [IOFaultPlan(at_io=1, kind=FaultKind.TRANSIENT,
+                             point=IOPoint.LOG_APPEND)]
+        )
+        db.execute(PhysicalWrite(pid(0), "a"))
+        assert injector.faults_injected == 1
+        assert db.metrics.io_retries == 1
+
+    def test_injector_seeded_is_deterministic(self):
+        def run():
+            db = Database(pages_per_partition=[16], policy="general")
+            FailureInjector.seeded(db, seed=5, io_budget=40, count=3)
+            return [s for s in db.faults.pending_specs]
+
+        assert run() == run()

@@ -78,6 +78,51 @@ class TestFailureInjection:
         with pytest.raises(ReproError):
             CrashPlan(0, kind="gremlins")
 
+    def test_two_plans_due_same_tick_fire_one_per_call(self):
+        """check() fires at most one plan per call, so two failures due
+        at the same tick arrive on consecutive checks, not together."""
+        db = Database(pages_per_partition=[8])
+        injector = FailureInjector(
+            db, [CrashPlan(2, kind="crash"), CrashPlan(2, kind="media")]
+        )
+        first = injector.check(2)
+        assert first is not None and first.kind == "crash"
+        assert not db.stable.failed  # media plan still pending
+        second = injector.check(2)
+        assert second is not None and second.kind == "media"
+        assert db.stable.failed
+        assert injector.check(2) is None
+        assert [p.kind for p in injector.fired] == ["crash", "media"]
+
+    def test_plan_at_tick_zero_fires_immediately(self):
+        db = Database(pages_per_partition=[8])
+        injector = FailureInjector(db, [CrashPlan(0)])
+        plan = injector.check(0)
+        assert plan is not None and plan.at_tick == 0
+        assert injector.check(0) is None
+
+    def test_media_failure_while_backup_in_progress(self):
+        """A media plan firing mid-backup aborts the sweep; recovery must
+        fall back to the previous completed backup."""
+        from repro.core.config import BackupConfig
+
+        db = Database(pages_per_partition=[8])
+        for slot in range(8):
+            db.execute(PhysicalWrite(PageId(0, slot), ("v", slot)))
+        db.start_backup(BackupConfig(steps=2))
+        old = db.run_backup()
+        for slot in range(4):
+            db.execute(PhysicalWrite(PageId(0, slot), ("w", slot)))
+        db.start_backup(BackupConfig(steps=2))
+        db.backup_step(2)
+        assert db.backup_in_progress()
+        injector = FailureInjector(db, [CrashPlan(5, kind="media")])
+        assert injector.check(5) is not None
+        # The in-flight image was aborted, not completed.
+        assert not db.backup_in_progress()
+        assert db.latest_backup() is old
+        assert db.media_recover().ok
+
 
 class TestInterleavedRun:
     def test_run_completes_backup(self):
@@ -105,3 +150,33 @@ class TestInterleavedRun:
         result = InterleavedRun(db, workload, injector=injector).run(1000)
         assert result.crashed
         assert result.ticks == 4
+
+    def test_io_fault_crash_stops_run_recoverably(self):
+        from repro.sim.failure import IOFaultPlan
+
+        db = Database(pages_per_partition=[64], policy="general")
+        workload = page_oriented_workload(db.layout, seed=1, count=None)
+        injector = FailureInjector(db, [IOFaultPlan(at_io=25)])
+        result = InterleavedRun(db, workload, injector=injector).run(1000)
+        assert result.crashed
+        assert injector.faults_injected == 1
+        outcome = db.recover()
+        assert outcome.ok
+        assert outcome.faults_survived == 1
+
+    def test_io_transients_survived_in_run(self):
+        from repro.sim.failure import IOFaultPlan
+        from repro.sim.faults import FaultKind, IOPoint
+
+        db = Database(pages_per_partition=[64], policy="general")
+        workload = page_oriented_workload(db.layout, seed=1, count=None)
+        injector = FailureInjector(db, [
+            IOFaultPlan(at_io=2, kind=FaultKind.TRANSIENT,
+                        point=IOPoint.LOG_APPEND, times=2),
+            IOFaultPlan(at_io=1, kind=FaultKind.TRANSIENT,
+                        point=IOPoint.STABLE_MULTI_WRITE),
+        ])
+        result = InterleavedRun(db, workload, injector=injector).run(1000)
+        assert not result.crashed
+        assert result.backup is not None and result.backup.is_complete
+        assert db.metrics.io_retries >= 3
