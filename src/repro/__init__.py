@@ -20,6 +20,11 @@ Public API highlights:
   tree (section 4.2), page-oriented (the conventional baseline).
 * :mod:`repro.core.analysis` — the closed-form extra-logging model of
   section 5 (the curves of Figure 5).
+* Observability in :mod:`repro.obs` — attach a :class:`~repro.obs.Tracer`
+  (``Database(tracer=...)`` or ``db.attach_tracer``) to record structured
+  events (flush decisions, Iw/oF writes, backup steps, fault injections,
+  redo decisions, recovery phases) and per-phase timing histograms; the
+  default :data:`~repro.obs.NULL_TRACER` keeps hot paths at no-op cost.
 
 ``from repro import *`` exposes exactly ``__all__`` (checked by a
 doctest in the test suite):
@@ -54,6 +59,7 @@ from repro.ops import (
     RmvRec,
     WriteNew,
 )
+from repro.obs import NULL_TRACER, NullTracer, TraceEvent, Tracer
 from repro.recovery.explain import RecoveryOutcome
 from repro.sim.failure import CrashPlan, FailureInjector, IOFaultPlan
 from repro.sim.faults import (
@@ -96,6 +102,11 @@ __all__ = [
     "CrashPlan",
     "IOFaultPlan",
     "FailureInjector",
+    # Observability
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
     # Errors
     "ReproError",
     "UnrecoverableError",

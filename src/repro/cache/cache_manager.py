@@ -32,6 +32,8 @@ from repro.core.progress import PartitionProgress
 from repro.core.tree_meta import TreeOpTracker
 from repro.errors import CacheError, FlushOrderError, PageNotFoundError
 from repro.ids import LSN, PageId
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER
 from repro.ops.base import Operation
 from repro.ops.identity import IdentityWrite
 from repro.recovery.refined_write_graph import DynamicNode, DynamicWriteGraph
@@ -60,6 +62,7 @@ class CacheManager:
         policy: Optional[FlushPolicy] = None,
         metrics: Optional[Metrics] = None,
         initial_value: Any = None,
+        tracer=None,
     ):
         self.stable = stable
         self.log = log
@@ -67,6 +70,7 @@ class CacheManager:
         self.policy = policy or GeneralOpsPolicy()
         self.metrics = metrics or Metrics()
         self.initial_value = initial_value
+        self.tracer = tracer or NULL_TRACER
 
         self._cache: Dict[PageId, CachedPage] = {}
         self.graph = DynamicWriteGraph()
@@ -75,6 +79,8 @@ class CacheManager:
         self.latches: Dict[int, BackupLatch] = {
             p: BackupLatch(p) for p in range(self.layout.num_partitions)
         }
+        for latch in self.latches.values():
+            latch.tracer = self.tracer
         self.progress: Dict[int, PartitionProgress] = {
             p: PartitionProgress(p, self.layout.partition_size(p))
             for p in range(self.layout.num_partitions)
@@ -86,6 +92,14 @@ class CacheManager:
         # The log scan start a post-crash recovery would use; advanced on
         # every install, conceptually persisted in checkpoint records.
         self.stable_truncation_point: LSN = 1
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire a tracer (see :mod:`repro.obs`) into the cache manager
+        and its latches; flush decisions, Iw/oF writes, and latch
+        acquisitions emit typed events from now on."""
+        self.tracer = tracer
+        for latch in self.latches.values():
+            latch.tracer = tracer
 
     # ------------------------------------------------------------ page cache
 
@@ -246,6 +260,7 @@ class CacheManager:
     def _decide_iwof(self, pages: Sequence[PageId]) -> List[PageId]:
         """Classify each page under the (held) latch; return Iw/oF set."""
         iwof: List[PageId] = []
+        tracer = self.tracer
         for pid in pages:
             progress = self.progress[pid.partition]
             if not progress.active:
@@ -267,6 +282,15 @@ class CacheManager:
                 decision.needs_iwof,
                 step=progress.steps_taken,
             )
+            if tracer.enabled:
+                tracer.emit(
+                    ev.FLUSH_DECISION,
+                    page=str(pid),
+                    region=decision.region.value,
+                    step=progress.steps_taken,
+                    needs_iwof=decision.needs_iwof,
+                    will_copy=will_copy,
+                )
             if decision.needs_iwof:
                 iwof.append(pid)
         return iwof
@@ -288,6 +312,14 @@ class CacheManager:
         self.rec.mark_redirtied(page_id, record.lsn)
         self.metrics.iwof_records += 1
         self.metrics.iwof_bytes += record.size_bytes
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.IWOF_WRITE,
+                page=str(page_id),
+                lsn=record.lsn,
+                flags=str(flags),
+                bytes=record.size_bytes,
+            )
         return identity_node
 
     def identity_install(self, page_id: PageId) -> LogRecord:
@@ -446,6 +478,8 @@ class CacheManager:
         self.latches = {
             p: BackupLatch(p) for p in range(self.layout.num_partitions)
         }
+        for latch in self.latches.values():
+            latch.tracer = self.tracer
         self.copy_set_filter = None
 
     def reload_after_recovery(self) -> None:

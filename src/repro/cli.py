@@ -12,7 +12,11 @@ Commands
 ``faultsweep``  the storage-fault recoverability matrix: torn writes,
               transient I/O errors, and crash-at-every-I/O-point sweeps
               (``--seed``, ``--stride``, ``--quick``); exits non-zero if
-              any scenario fails to recover.
+              any scenario fails to recover.  ``--trace PATH`` re-runs
+              every unrecovered case with a recording tracer and dumps
+              the event streams to a JSONL file;
+``trace``     summarize a captured JSONL trace (``--timeline`` renders
+              the causal event timeline).
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ def cmd_bench(args) -> int:
 
 
 def cmd_faultsweep(args) -> int:
-    from repro.harness.faultsweep import run_faultsweep
+    from repro.harness.faultsweep import dump_failure_traces, run_faultsweep
 
     report = run_faultsweep(
         seed=args.seed, stride=args.stride, quick=args.quick, log=print
@@ -58,7 +62,28 @@ def cmd_faultsweep(args) -> int:
         f"faultsweep {verdict}: {report.recovered}/{report.total} "
         f"scenarios recovered (seed={report.seed})"
     )
+    if args.trace and report.failures:
+        dumped = dump_failure_traces(report, args.trace, log=print)
+        print(f"wrote {dumped} failure trace(s) to {args.trace}")
+    elif args.trace:
+        print(f"no failures; {args.trace} not written")
     return 0 if report.all_recovered else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.summary import summarize
+    from repro.obs.tracer import load_jsonl
+    from repro.recovery.explain import render_timeline
+
+    events = load_jsonl(args.file)
+    if not events:
+        print(f"{args.file}: empty trace")
+        return 1
+    print(summarize(events))
+    if args.timeline:
+        print()
+        print(render_timeline(events))
+    return 0
 
 
 def cmd_fig5(args) -> int:
@@ -216,7 +241,25 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="thin the crash sweep to ~2 dozen points",
     )
+    faultsweep.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help=(
+            "on failure, re-run each unrecovered case with tracing and "
+            "dump the event streams to this JSONL file"
+        ),
+    )
     faultsweep.set_defaults(fn=cmd_faultsweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a captured JSONL trace (see faultsweep --trace)",
+    )
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument(
+        "--timeline", action="store_true",
+        help="also render the causal event timeline",
+    )
+    trace.set_defaults(fn=cmd_trace)
 
     from repro.harness.bench import BENCHMARKS
 

@@ -25,6 +25,7 @@ if TYPE_CHECKING:
     from repro.cache.cache_manager import CacheManager
 from repro.errors import BackupError, BackupInProgressError, TornWriteError
 from repro.ids import PageId
+from repro.obs import events as ev
 from repro.sim.faults import with_retries
 from repro.storage.backup_db import BackupDatabase
 
@@ -64,6 +65,15 @@ class BackupRun:
         # a per-call scan over every partition cursor.
         self._remaining_total = self.layout.total_pages()
         self._sealed = False
+        if cm.tracer.enabled:
+            cm.tracer.emit(
+                ev.BACKUP_BEGIN,
+                backup_id=backup.backup_id,
+                steps=steps,
+                batched=batched,
+                incremental=self.copy_set is not None,
+                scan_start=backup.media_scan_start_lsn,
+            )
         for partition in range(self.layout.num_partitions):
             boundaries = self.layout.step_boundaries(partition, steps)
             self._boundaries[partition] = boundaries
@@ -122,9 +132,12 @@ class BackupRun:
         if self._sealed:
             raise BackupError("backup already sealed")
         use_batched = self.batched if batched is None else batched
-        if use_batched:
-            return self._copy_batched(pages)
-        return self._copy_serial(pages)
+        with self.cm.tracer.span(
+            "backup.sweep", pages=pages, batched=use_batched
+        ):
+            if use_batched:
+                return self._copy_batched(pages)
+            return self._copy_serial(pages)
 
     # -------------------------------------------------------- serial copying
 
@@ -343,6 +356,14 @@ class BackupRun:
             )
         with self.cm.progress_transaction(partition) as progress:
             progress.advance(boundaries[index])
+            if self.cm.tracer.enabled:
+                self.cm.tracer.emit(
+                    ev.BACKUP_STEP_ADVANCE,
+                    partition=partition,
+                    step=progress.steps_taken,
+                    done=progress.done,
+                    pending=progress.pending,
+                )
         self._step_index[partition] = index
 
     def seal(self) -> BackupDatabase:
@@ -359,6 +380,13 @@ class BackupRun:
             self.cm.copy_set_filter = None
         self._sealed = True
         self.cm.metrics.backups_completed += 1
+        if self.cm.tracer.enabled:
+            self.cm.tracer.emit(
+                ev.BACKUP_COMPLETE,
+                backup_id=self.backup.backup_id,
+                completion_lsn=self.backup.completion_lsn,
+                pages=self.cm.metrics.backup_pages_copied,
+            )
         return self.backup
 
     def abort(self) -> None:
@@ -371,6 +399,10 @@ class BackupRun:
             self.cm.copy_set_filter = None
         self._sealed = True
         self.cm.metrics.backups_aborted += 1
+        if self.cm.tracer.enabled:
+            self.cm.tracer.emit(
+                ev.BACKUP_ABORT, backup_id=self.backup.backup_id
+            )
 
 
 class BackupEngine:

@@ -21,6 +21,8 @@ from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.errors import NoBackupError, RecoveryError
 from repro.ids import LSN, PageId
+from repro.obs.events import RECOVERY_PHASE
+from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
 from repro.recovery.redo import RedoReplayer, surviving_poison
 from repro.storage.backup_db import BackupDatabase
@@ -65,6 +67,7 @@ def run_media_recovery_chain(
     to_lsn: Optional[LSN] = None,
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Restore from a full+incremental chain and roll forward.
 
@@ -76,6 +79,7 @@ def run_media_recovery_chain(
     began.  The LSN redo test makes the wider scan cost-only, never
     wrong.
     """
+    tracer = tracer or NULL_TRACER
     validate_chain(chain)
     last = chain[-1]
     target = log.end_lsn if to_lsn is None else to_lsn
@@ -84,27 +88,44 @@ def run_media_recovery_chain(
             f"cannot roll forward to LSN {target}: last chain link "
             f"completed at {last.completion_lsn}"
         )
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="begin",
+                    links=len(chain), target_lsn=target)
 
     # Overlay the chain: later links override earlier ones.
     versions: Dict[PageId, PageVersion] = {}
     for backup in chain:
         versions.update(backup.pages())
-    stable.restore_from(versions, initial_value=initial_value)
+    with tracer.span("recovery.media_chain.restore"):
+        stable.restore_from(versions, initial_value=initial_value)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="restore",
+                    scan_start_lsn=chain[0].media_scan_start_lsn)
 
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
-    replayer = RedoReplayer(initial_value=initial_value)
-    stats = replayer.replay(
-        log.scan(chain[0].media_scan_start_lsn, target), state
-    )
+    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    with tracer.span("recovery.media_chain.redo"):
+        stats = replayer.replay(
+            log.scan(chain[0].media_scan_start_lsn, target), state
+        )
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="redo",
+                    replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
     diffs = []
     if oracle is not None:
         diffs = diff_states(state, oracle, initial_value)
+        if tracer.enabled:
+            tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="verify",
+                        diffs=len(diffs), poisoned=len(poisoned))
     for pid, ver in state.items():
         if stable.layout.contains(pid):
             stable.install_version(pid, ver)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="complete",
+                    ok=not poisoned and not diffs)
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,

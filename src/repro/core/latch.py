@@ -17,6 +17,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.errors import LatchError
+from repro.obs.events import LATCH_ACQUIRE
+from repro.obs.tracer import NULL_TRACER
 
 
 class BackupLatch:
@@ -27,6 +29,8 @@ class BackupLatch:
         # Acquisition counters for tests.
         self.shared_acquisitions = 0
         self.exclusive_acquisitions = 0
+        # Tracer (repro.obs): acquisitions emit latch_acquire events.
+        self.tracer = NULL_TRACER
 
     # --------------------------------------------------------------- shared
 
@@ -38,6 +42,10 @@ class BackupLatch:
             )
         self._shared_holders += 1
         self.shared_acquisitions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LATCH_ACQUIRE, partition=self.partition, mode="shared"
+            )
 
     def release_shared(self) -> None:
         if self._shared_holders <= 0:
@@ -69,6 +77,10 @@ class BackupLatch:
             )
         self._exclusive = True
         self.exclusive_acquisitions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LATCH_ACQUIRE, partition=self.partition, mode="exclusive"
+            )
 
     def release_exclusive(self) -> None:
         if not self._exclusive:

@@ -28,6 +28,8 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import NoBackupError, RecoveryError
 from repro.ids import LSN, PageId
+from repro.obs.events import RECOVERY_PHASE
+from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
 from repro.recovery.redo import RedoReplayer, surviving_poison
 from repro.storage.backup_db import BackupDatabase
@@ -59,6 +61,7 @@ def run_partition_media_recovery(
     log: LogManager,
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Restore one failed partition from ``backup`` and roll it forward.
 
@@ -66,8 +69,12 @@ def run_partition_media_recovery(
     (:class:`repro.storage.stable_db.StableDatabase` via
     ``restore_partition_from``).
     """
+    tracer = tracer or NULL_TRACER
     if backup is None or not backup.is_complete:
         raise NoBackupError("partition recovery requires a completed backup")
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="partition", phase="begin",
+                    partition=partition, backup_id=backup.backup_id)
 
     # Precondition: no operation in the roll-forward range may span the
     # failed partition and any other.
@@ -90,20 +97,29 @@ def run_partition_media_recovery(
         for pid, ver in backup.pages().items()
         if pid.partition == partition
     }
-    stable.restore_partition_from(partition, versions, initial_value)
+    with tracer.span("recovery.partition.restore"):
+        stable.restore_partition_from(partition, versions, initial_value)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="partition", phase="restore",
+                    scan_start_lsn=backup.media_scan_start_lsn,
+                    pages=len(versions))
 
     # Roll forward only the operations confined to this partition.
     state: Dict[PageId, PageVersion] = {
         pid: stable.read_page(pid)
         for pid in stable.layout.pages_in_partition(partition)
     }
-    replayer = RedoReplayer(initial_value=initial_value)
+    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     relevant = (
         record
         for record in log.scan(backup.media_scan_start_lsn)
         if op_partitions(record) == {partition}
     )
-    stats = replayer.replay(relevant, state)
+    with tracer.span("recovery.partition.redo"):
+        stats = replayer.replay(relevant, state)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="partition", phase="redo",
+                    replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
     diffs: List[Tuple[PageId, Any, Any]] = []
     if oracle is not None:
@@ -113,8 +129,14 @@ def run_partition_media_recovery(
             if pid.partition == partition
         }
         diffs = diff_states(state, expected, initial_value)
+        if tracer.enabled:
+            tracer.emit(RECOVERY_PHASE, kind="partition", phase="verify",
+                        diffs=len(diffs), poisoned=len(poisoned))
     for pid, ver in state.items():
         stable.install_version(pid, ver)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="partition", phase="complete",
+                    ok=not poisoned and not diffs)
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,

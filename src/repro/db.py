@@ -46,6 +46,8 @@ from repro.core.policy import (
 )
 from repro.errors import NoBackupError, ReproError
 from repro.ids import LSN, PageId
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER
 from repro.ops.base import Operation
 from repro.recovery.crash_recovery import run_crash_recovery
 from repro.recovery.explain import RecoveryOutcome
@@ -101,6 +103,7 @@ class Database:
         initial_value: Any = None,
         auto_force_log: bool = True,
         faults: Optional[FaultPlane] = None,
+        tracer=None,
     ):
         if isinstance(policy, str):
             try:
@@ -134,8 +137,32 @@ class Database:
         # Which engine the active backup belongs to ("engine"/"naive").
         self._backup_engine_kind = "engine"
         self.faults: Optional[FaultPlane] = None
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
         if faults is not None:
             self.attach_faults(faults)
+
+    # ---------------------------------------------------------- observability
+
+    def attach_tracer(self, tracer) -> "Database":
+        """Wire a :class:`repro.obs.Tracer` into every subsystem.
+
+        The cache manager (flush decisions, Iw/oF writes, backup
+        latches), the log manager (forces), the fault plane (injections)
+        and every recovery entry point emit structured events into the
+        tracer from now on.  The tracer's histogram sink is pointed at
+        this database's metrics so span timings land in
+        ``Metrics.phase_timings``.
+        """
+        self.tracer = tracer
+        if getattr(tracer, "metrics", None) is None and tracer.enabled:
+            tracer.metrics = self.metrics
+        self.cm.attach_tracer(tracer)
+        self.log.tracer = tracer
+        if self.faults is not None:
+            self.faults.tracer = tracer
+        return self
 
     # -------------------------------------------------------- fault injection
 
@@ -149,6 +176,7 @@ class Database:
         """
         self.faults = plane
         plane.metrics = self.metrics
+        plane.tracer = self.tracer
         self.stable.faults = plane
         self.log.faults = plane
         self.engine.faults = plane
@@ -357,6 +385,10 @@ class Database:
         self.cm.crash()
         if lost:
             self.oracle.rebuild(self.log)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.CRASH, lost_records=lost, flushed_lsn=self.log.flushed_lsn
+            )
         return lost
 
     def recover(
@@ -376,6 +408,7 @@ class Database:
                     self.log,
                     oracle=self.oracle.state() if verify else None,
                     initial_value=self.initial_value,
+                    tracer=self.tracer,
                 )
             else:
                 outcome = run_crash_recovery(
@@ -384,6 +417,7 @@ class Database:
                     scan_start_lsn=self.cm.stable_truncation_point,
                     oracle=self.oracle.state() if verify else None,
                     initial_value=self.initial_value,
+                    tracer=self.tracer,
                 )
         self.cm.reload_after_recovery()
         # After redo, S holds the current state: nothing is dirty.
@@ -408,6 +442,8 @@ class Database:
         self.engine.abort_active()
         self.stable.fail_media()
         self.cm.crash()
+        if self.tracer.enabled:
+            self.tracer.emit(ev.MEDIA_FAILURE, scope="all")
 
     def media_recover(
         self,
@@ -430,6 +466,7 @@ class Database:
                     self.oracle.state() if verify and to_lsn is None else None
                 ),
                 initial_value=self.initial_value,
+                tracer=self.tracer,
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
@@ -450,6 +487,7 @@ class Database:
                 self.log,
                 oracle=self.oracle.state() if verify else None,
                 initial_value=self.initial_value,
+                tracer=self.tracer,
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
@@ -461,6 +499,10 @@ class Database:
         """Partial media failure: one partition becomes unreadable."""
         self.engine.abort_active()
         self.stable.fail_partition(partition)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.MEDIA_FAILURE, scope="partition", partition=partition
+            )
         # The cache may hold dirty pages of the failed partition whose
         # flushes would now fail; volatile state is dropped like a crash
         # confined to recovery concerns (healthy partitions' stable data
@@ -487,6 +529,7 @@ class Database:
                 self.log,
                 oracle=self.oracle.state() if verify else None,
                 initial_value=self.initial_value,
+                tracer=self.tracer,
             )
         self.cm.reload_after_recovery()
         return self._stamp_outcome(outcome)
@@ -528,6 +571,7 @@ class Database:
                     if transactional
                     else None
                 ),
+                tracer=self.tracer,
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1

@@ -39,6 +39,24 @@ from repro.sim.failure import FailureInjector, crash_sweep_plans
 from repro.workloads import mixed_logical_workload
 
 
+@dataclass(frozen=True)
+class FailureCase:
+    """One unrecovered run, with everything needed to replay it.
+
+    The sweep records these as it goes; ``capture_failure_trace`` /
+    ``dump_failure_traces`` re-run a case with a recording
+    :class:`~repro.obs.Tracer` attached so the event stream of the
+    failure (fault injections, recovery phases, redo decisions) can be
+    inspected offline.
+    """
+
+    scenario: str
+    label: str
+    specs: Tuple[FaultSpec, ...]
+    seed: int
+    batched: bool
+
+
 @dataclass
 class ScenarioResult:
     """One scenario row of the sweep report."""
@@ -49,10 +67,20 @@ class ScenarioResult:
     faults_injected: int = 0
     io_retries: int = 0
     detail: str = ""
+    failures: List[FailureCase] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.total > 0 and self.recovered == self.total
+
+    def record_failure(
+        self, label: str, specs, seed: int, batched: bool
+    ) -> None:
+        self.detail += f" {label}:FAILED"
+        self.failures.append(FailureCase(
+            scenario=self.name, label=label, specs=tuple(specs),
+            seed=seed, batched=batched,
+        ))
 
 
 @dataclass
@@ -71,6 +99,10 @@ class SweepReport:
     @property
     def all_recovered(self) -> bool:
         return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[FailureCase]:
+        return [case for r in self.results for case in r.failures]
 
 
 # --------------------------------------------------------------- scenario core
@@ -159,7 +191,7 @@ def _transient_scenario(seed: int, batched: bool) -> ScenarioResult:
         if ok:
             result.recovered += 1
         else:
-            result.detail += f" {point}:FAILED"
+            result.record_failure(point, specs, seed, batched)
         result.faults_injected += plane.injected_total
         result.io_retries += db.metrics.io_retries
     return result
@@ -177,7 +209,7 @@ def _torn_span_scenario(seed: int) -> ScenarioResult:
         if ok:
             result.recovered += 1
         else:
-            result.detail += f" at_io={at_io}:FAILED"
+            result.record_failure(f"at_io={at_io}", specs, seed, True)
         result.faults_injected += db.faults.injected_total
         result.io_retries += db.metrics.io_retries
         resumed += db.metrics.torn_spans_resumed
@@ -198,7 +230,7 @@ def _torn_install_scenario(seed: int, batched: bool) -> ScenarioResult:
         if ok:
             result.recovered += 1
         else:
-            result.detail += f" at_io={at_io}:FAILED"
+            result.record_failure(f"at_io={at_io}", specs, seed, batched)
         result.faults_injected += db.faults.injected_total
         repaired += db.metrics.torn_writes_repaired
     result.detail += f" repaired={repaired}"
@@ -213,12 +245,14 @@ def _crash_sweep_scenario(
     budget, _ = _measure_io_budget(seed, batched)
     result = ScenarioResult(name, detail=f" io_budget={budget}")
     for plan in crash_sweep_plans(budget, stride=stride):
-        ok, db = _run_one([plan.to_spec()], seed, batched)
+        specs = [plan.to_spec()]
+        ok, db = _run_one(specs, seed, batched)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
-            result.detail += f" at_io={plan.at_io}:FAILED"
+            result.record_failure(f"at_io={plan.at_io}", specs, seed,
+                                  batched)
         result.faults_injected += db.faults.injected_total
     return result
 
@@ -241,7 +275,11 @@ def _seeded_mix_scenario(
         if ok:
             result.recovered += 1
         else:
-            result.detail += f" round={round_index}:FAILED"
+            result.record_failure(
+                f"round={round_index}",
+                [plan.to_spec() for plan in injector.io_plans],
+                seed, batched,
+            )
         result.faults_injected += injector.faults_injected
         result.io_retries += db.metrics.io_retries
     return result
@@ -282,3 +320,69 @@ def run_faultsweep(
         emit(_seeded_mix_scenario(seed, batched, rounds=2 if quick else 4))
     emit(_torn_span_scenario(seed))
     return report
+
+
+# ------------------------------------------------------------- trace capture
+
+
+def capture_failure_trace(case: FailureCase):
+    """Replay one :class:`FailureCase` with a recording tracer attached.
+
+    Returns the list of :class:`~repro.obs.TraceEvent` for the re-run,
+    starting with a ``trace_header`` event naming the case.  The sweep is
+    deterministic in its seed, so the replay reproduces the failure
+    exactly — including which fault fired and which recovery phase saw
+    the damage.
+    """
+    from repro.obs import events as ev
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    tracer.emit(
+        ev.TRACE_HEADER,
+        scenario=case.scenario,
+        label=case.label,
+        seed=case.seed,
+        batched=case.batched,
+        specs=[
+            dict(kind=s.kind, point=s.point, at_io=s.at_io,
+                 times=s.times, keep=s.keep)
+            for s in case.specs
+        ],
+    )
+    db = _fresh_db()
+    db.attach_tracer(tracer)
+    db.attach_faults(FaultPlane(list(case.specs)))
+    try:
+        ok, outcome = _drive(db, case.seed, case.batched)
+    except Exception as exc:  # a failing case may die outright
+        tracer.emit(ev.TRACE_HEADER, error=f"{type(exc).__name__}: {exc}")
+        ok = False
+    return tracer.events
+
+
+def dump_failure_traces(
+    report: SweepReport,
+    path: str,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Re-run every unrecovered case of ``report`` and dump its trace.
+
+    All traces are appended to one JSONL file at ``path``; each line is
+    tagged with a ``case`` index so ``python -m repro trace`` can tell
+    the streams apart.  Returns the number of cases dumped.
+    """
+    from repro.obs.tracer import write_jsonl
+
+    dumped = 0
+    for case in report.failures:
+        events = capture_failure_trace(case)
+        write_jsonl(
+            events, path, mode="w" if dumped == 0 else "a",
+            extra={"case": dumped},
+        )
+        if log is not None:
+            log(f"trace[{dumped}]: {case.scenario} {case.label} "
+                f"({len(events)} events)")
+        dumped += 1
+    return dumped

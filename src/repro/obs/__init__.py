@@ -1,0 +1,34 @@
+"""repro.obs — structured tracing and observability.
+
+The subsystem the debugging workflow stands on:
+
+* :class:`~repro.obs.tracer.Tracer` / :data:`~repro.obs.tracer.NULL_TRACER`
+  — the recording tracer and its cheap no-op default (see
+  :mod:`repro.obs.tracer`);
+* :mod:`repro.obs.events` — the typed event schema every emitter follows;
+* :mod:`repro.obs.summary` — the digest behind ``python -m repro trace``.
+
+Attach a tracer to a live database with
+:meth:`repro.db.Database.attach_tracer`; capture unrecovered faultsweep
+scenarios with ``python -m repro faultsweep --trace out.jsonl``.
+"""
+
+from repro.obs import events
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    load_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "load_jsonl",
+    "write_jsonl",
+    "events",
+]

@@ -1,0 +1,130 @@
+"""Trace summarization: ``python -m repro trace <file>``.
+
+Condenses an event stream into the report an operator reads first: what
+ran, which faults fired where, what each recovery pass did, and where
+the time went (span aggregates).  The full causal rendering lives in
+:func:`repro.recovery.explain.render_timeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.events import (
+    BACKUP_ABORT,
+    BACKUP_COMPLETE,
+    FAULT_INJECTED,
+    RECOVERY_PHASE,
+    REDO_OP,
+    SPAN_END,
+    TRACE_HEADER,
+)
+from repro.obs.tracer import TraceEvent, load_jsonl
+
+
+def _counts_by_kind(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+def _span_aggregates(
+    events: Sequence[TraceEvent],
+) -> List[Tuple[str, int, float]]:
+    """(span name, count, total ms) aggregated over ``span_end`` events."""
+    totals: Dict[str, List[float]] = {}
+    for event in events:
+        if event.kind == SPAN_END:
+            entry = totals.setdefault(event.get("span", "?"), [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(event.get("ms", 0.0))
+    return [
+        (name, int(count), round(total, 3))
+        for name, (count, total) in sorted(totals.items())
+    ]
+
+
+def summarize(events: Sequence[TraceEvent]) -> str:
+    """A multi-section plain-text digest of one captured trace."""
+    lines: List[str] = []
+    headers = [e for e in events if e.kind == TRACE_HEADER]
+    scenario = ""
+    if headers:
+        head = headers[0]
+        scenario = str(head.get("scenario", ""))
+        tags = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(head.fields.items())
+        )
+        lines.append(f"trace: {tags}")
+    span = events[-1].t - events[0].t if len(events) > 1 else 0.0
+    lines.append(
+        f"{len(events)} events over {span * 1000:.2f} ms"
+        + (f" (scenario {scenario})" if scenario else "")
+    )
+
+    lines.append("")
+    lines.append("events by kind:")
+    for kind, count in sorted(
+        _counts_by_kind(events).items(), key=lambda item: (-item[1], item[0])
+    ):
+        lines.append(f"  {kind:20s} {count}")
+
+    faults = [e for e in events if e.kind == FAULT_INJECTED]
+    if faults:
+        lines.append("")
+        lines.append("faults injected:")
+        for event in faults:
+            lines.append(
+                f"  [seq {event.seq}] {event.get('kind')} at "
+                f"{event.get('point')} (io #{event.get('io')})"
+            )
+
+    backups = [
+        e for e in events if e.kind in (BACKUP_COMPLETE, BACKUP_ABORT)
+    ]
+    for event in backups:
+        verb = "completed" if event.kind == BACKUP_COMPLETE else "ABORTED"
+        lines.append(f"backup {event.get('backup_id')} {verb}")
+
+    recovery = [e for e in events if e.kind == RECOVERY_PHASE]
+    if recovery:
+        lines.append("")
+        lines.append("recovery phases:")
+        for event in recovery:
+            detail = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.fields.items())
+                if key not in ("kind", "phase")
+            )
+            lines.append(
+                f"  [seq {event.seq}] {event.get('kind')}:"
+                f"{event.get('phase')} {detail}".rstrip()
+            )
+
+    redo = [e for e in events if e.kind == REDO_OP]
+    if redo:
+        replayed = sum(1 for e in redo if e.get("action") == "replay")
+        skipped = sum(1 for e in redo if e.get("action") == "skip")
+        poisoned = sum(1 for e in redo if e.get("poisoned"))
+        lines.append("")
+        lines.append(
+            f"redo: {len(redo)} records seen, {replayed} replayed, "
+            f"{skipped} skipped, {poisoned} poisoning"
+        )
+
+    spans = _span_aggregates(events)
+    if spans:
+        lines.append("")
+        lines.append("span timings:")
+        for name, count, total_ms in spans:
+            lines.append(f"  {name:28s} x{count:<5d} {total_ms:10.3f} ms")
+    return "\n".join(lines)
+
+
+def summarize_file(path: str) -> str:
+    events = load_jsonl(path)
+    if not events:
+        return f"{path}: empty trace"
+    return summarize(events)

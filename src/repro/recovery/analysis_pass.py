@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from repro.ids import LSN, PageId
+from repro.obs.events import RECOVERY_PHASE
+from repro.obs.tracer import NULL_TRACER
 from repro.recovery.crash_recovery import run_crash_recovery
 from repro.recovery.explain import RecoveryOutcome
 from repro.storage.stable_db import StableDatabase
@@ -97,13 +99,26 @@ def run_analyzed_crash_recovery(
     log: LogManager,
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Analysis pass + redo pass, self-contained from S and the log."""
-    analysis = analyze_log(log)
+    tracer = tracer or NULL_TRACER
+    with tracer.span("recovery.analysis"):
+        analysis = analyze_log(log)
+    if tracer.enabled:
+        tracer.emit(
+            RECOVERY_PHASE,
+            kind="analysis",
+            phase="analysis",
+            checkpoint_lsn=analysis.checkpoint_lsn,
+            redo_scan_start=analysis.redo_scan_start,
+            dirty_pages=len(analysis.dirty_page_table),
+        )
     return run_crash_recovery(
         stable,
         log,
         scan_start_lsn=analysis.redo_scan_start,
         oracle=oracle,
         initial_value=initial_value,
+        tracer=tracer,
     )

@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Any, Dict, Mapping, Optional
 
 from repro.ids import LSN, PageId
+from repro.obs.events import RECOVERY_PHASE
+from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
 from repro.recovery.redo import RedoReplayer, surviving_poison
 from repro.storage.page import PageVersion
@@ -25,6 +27,7 @@ def run_crash_recovery(
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
     apply_to_stable: bool = True,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Recover the current state from S and the durable log.
 
@@ -32,22 +35,40 @@ def run_crash_recovery(
     written back into S (as a real system's redo pass would), making S
     equal to the recovered current state.
     """
+    tracer = tracer or NULL_TRACER
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="crash", phase="begin",
+                    scan_start_lsn=scan_start_lsn)
     # Doublewrite scan first: roll back any torn multi-page install so
     # redo starts from an atomically consistent stable state.
-    stable.repair_torn()
+    with tracer.span("recovery.crash.repair_torn"):
+        repaired = stable.repair_torn()
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="crash", phase="repair_torn",
+                    rolled_back=repaired)
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
-    replayer = RedoReplayer(initial_value=initial_value)
-    stats = replayer.replay(log.durable_scan(scan_start_lsn), state)
+    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    with tracer.span("recovery.crash.redo"):
+        stats = replayer.replay(log.durable_scan(scan_start_lsn), state)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="crash", phase="redo",
+                    replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
     diffs = []
     if oracle is not None:
         diffs = diff_states(state, oracle, initial_value)
+        if tracer.enabled:
+            tracer.emit(RECOVERY_PHASE, kind="crash", phase="verify",
+                        diffs=len(diffs), poisoned=len(poisoned))
     if apply_to_stable:
         for pid, ver in state.items():
             if stable.layout.contains(pid):
                 stable.install_version(pid, ver)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="crash", phase="complete",
+                    ok=not poisoned and not diffs)
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,

@@ -174,3 +174,78 @@ def find_order_violations(
         for page in op.readset:
             readers.setdefault(page, []).append(record.lsn)
     return violations
+
+
+# --------------------------------------------------------- trace timelines
+
+
+def render_timeline(events, max_redo_ops: int = 8) -> str:
+    """Render a captured trace (see :mod:`repro.obs`) as a causal timeline.
+
+    Events print chronologically, indented by span nesting; runs of
+    ``redo_op`` events are elided beyond ``max_redo_ops`` per burst.  The
+    footer links every injected fault to the recovery phases that later
+    observed damage (``verify`` with diffs/poison, ``complete`` with
+    ``ok=False``) — the first question a failed recoverability sweep
+    asks: *which* injection broke *which* recovery.
+    """
+    from repro.obs import events as ev
+
+    lines: List[str] = []
+    depth = 0
+    redo_run = 0
+    faults: List[Any] = []
+    observed: List[Any] = []
+
+    def fmt(event) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in event.fields.items())
+        return f"[{event.seq:>4}] +{event.t * 1000:9.3f}ms  {event.kind}  {inner}"
+
+    for event in events:
+        if event.kind == ev.REDO_OP:
+            redo_run += 1
+            if redo_run == max_redo_ops + 1:
+                lines.append("  " * depth + "        ... (redo ops elided)")
+            if redo_run > max_redo_ops:
+                continue
+        elif redo_run:
+            redo_run = 0
+        if event.kind == ev.SPAN_END:
+            depth = max(depth - 1, 0)
+        lines.append("  " * depth + fmt(event))
+        if event.kind == ev.SPAN_BEGIN:
+            depth += 1
+        if event.kind == ev.FAULT_INJECTED:
+            faults.append(event)
+        if event.kind == ev.RECOVERY_PHASE:
+            phase = event.get("phase")
+            damaged = (
+                phase == "verify"
+                and (event.get("diffs", 0) or event.get("poisoned", 0))
+            ) or (phase == "complete" and event.get("ok") is False)
+            if damaged:
+                observed.append(event)
+
+    if faults:
+        lines.append("")
+        lines.append("causality:")
+        for fault in faults:
+            lines.append(
+                f"  fault [{fault.seq}] {fault.get('kind')} at "
+                f"{fault.get('point')} (io #{fault.get('io')})"
+            )
+            later = [o for o in observed if o.seq > fault.seq]
+            if later:
+                for obs in later:
+                    detail = " ".join(
+                        f"{k}={v}"
+                        for k, v in obs.fields.items()
+                        if k not in ("kind", "phase")
+                    )
+                    lines.append(
+                        f"    -> observed by {obs.get('kind')} recovery "
+                        f"phase {obs.get('phase')!r} [{obs.seq}] {detail}"
+                    )
+            else:
+                lines.append("    -> no recovery phase observed damage")
+    return "\n".join(lines)

@@ -16,6 +16,8 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import NoBackupError, RecoveryError
 from repro.ids import LSN, PageId
+from repro.obs.events import RECOVERY_PHASE
+from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
 from repro.recovery.redo import RedoReplayer, surviving_poison
 from repro.storage.backup_db import BackupDatabase
@@ -31,8 +33,10 @@ def run_media_recovery(
     to_lsn: Optional[LSN] = None,
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``."""
+    tracer = tracer or NULL_TRACER
     if backup is None:
         raise NoBackupError("no backup available for media recovery")
     if not backup.is_complete:
@@ -47,24 +51,42 @@ def run_media_recovery(
             f"{backup.completion_lsn} and is fuzzy before that point"
         )
 
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media", phase="begin",
+                    backup_id=backup.backup_id, target_lsn=target)
+
     # (1) Off-line restore: re-format S from the backup image.
-    stable.restore_from(backup.pages(), initial_value=initial_value)
+    with tracer.span("recovery.media.restore"):
+        stable.restore_from(backup.pages(), initial_value=initial_value)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media", phase="restore",
+                    scan_start_lsn=backup.media_scan_start_lsn)
 
     # (2) Roll forward with the media recovery log.
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
-    replayer = RedoReplayer(initial_value=initial_value)
-    stats = replayer.replay(
-        log.scan(backup.media_scan_start_lsn, target), state
-    )
+    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    with tracer.span("recovery.media.redo"):
+        stats = replayer.replay(
+            log.scan(backup.media_scan_start_lsn, target), state
+        )
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media", phase="redo",
+                    replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
     diffs = []
     if oracle is not None:
         diffs = diff_states(state, oracle, initial_value)
+        if tracer.enabled:
+            tracer.emit(RECOVERY_PHASE, kind="media", phase="verify",
+                        diffs=len(diffs), poisoned=len(poisoned))
     for pid, ver in state.items():
         if stable.layout.contains(pid):
             stable.install_version(pid, ver)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="media", phase="complete",
+                    ok=not poisoned and not diffs)
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, MutableMapping
 
 from repro.ids import LSN, NULL_LSN, PageId
+from repro.obs.events import REDO_OP
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.page import PageVersion
 from repro.wal.records import LogRecord
 
@@ -54,8 +56,9 @@ class ReplayStats:
 class RedoReplayer:
     """Replays records over a ``{PageId: PageVersion}`` state in place."""
 
-    def __init__(self, initial_value: Any = None):
+    def __init__(self, initial_value: Any = None, tracer=None):
         self._initial_value = initial_value
+        self.tracer = tracer or NULL_TRACER
 
     def _version(
         self, state: MutableMapping[PageId, PageVersion], page: PageId
@@ -72,6 +75,10 @@ class RedoReplayer:
         state: MutableMapping[PageId, PageVersion],
     ) -> ReplayStats:
         stats = ReplayStats()
+        # Hoisted so the replay loop pays one attribute load, not one
+        # check per record, when tracing is off (the default).
+        tracer = self.tracer
+        trace = tracer.enabled
         for record in records:
             stats.records_seen += 1
             op = record.op
@@ -82,17 +89,30 @@ class RedoReplayer:
             ]
             if not stale:
                 stats.ops_skipped += 1
+                if trace:
+                    tracer.emit(REDO_OP, lsn=record.lsn, action="skip")
                 continue
             if len(stale) < len(op.writeset):
                 stats.partial_replays += 1
             reads: Dict[PageId, Any] = {
                 page: self._version(state, page).value for page in op.readset
             }
+            poisoned_here = False
             try:
                 result = op.apply(reads)
             except Exception:
                 result = {page: POISON for page in stale}
                 stats.poisoned.extend(stale)
+                poisoned_here = True
+            if trace:
+                tracer.emit(
+                    REDO_OP,
+                    lsn=record.lsn,
+                    action="replay",
+                    stale=len(stale),
+                    writeset=len(op.writeset),
+                    poisoned=poisoned_here,
+                )
             for page in stale:
                 state[page] = PageVersion.__new__(PageVersion)
                 # Bypass value checking: POISON and arbitrary replay results

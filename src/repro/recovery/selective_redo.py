@@ -37,6 +37,8 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NoBackupError, RecoveryError
 from repro.ids import LSN, PageId
+from repro.obs.events import RECOVERY_PHASE
+from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
 from repro.recovery.redo import RedoReplayer, surviving_poison
 from repro.storage.backup_db import BackupDatabase
@@ -136,18 +138,28 @@ def run_selective_redo(
     initial_value: Any = None,
     verify: bool = True,
     group_of: Optional[Callable[[LogRecord], Optional[str]]] = None,
+    tracer=None,
 ) -> SelectiveRedoResult:
     """Restore from ``backup`` and roll forward excluding the taint.
 
     ``group_of`` enables transaction-atomic exclusion (see
     :func:`compute_taint`).
     """
+    tracer = tracer or NULL_TRACER
     if backup is None or not backup.is_complete:
         raise NoBackupError("selective redo requires a completed backup")
     target = log.end_lsn if to_lsn is None else to_lsn
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="selective", phase="begin",
+                    backup_id=backup.backup_id, target_lsn=target)
 
     records = list(log.scan(backup.media_scan_start_lsn, target))
-    analysis = compute_taint(records, corrupt, group_of=group_of)
+    with tracer.span("recovery.selective.taint"):
+        analysis = compute_taint(records, corrupt, group_of=group_of)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="selective", phase="analysis",
+                    directly_corrupt=len(analysis.directly_corrupt),
+                    collateral=len(analysis.collateral))
 
     if analysis.directly_corrupt:
         first = analysis.directly_corrupt[0]
@@ -174,24 +186,39 @@ def run_selective_redo(
         )
 
     # Off-line restore, then roll forward the kept records only.
-    stable.restore_from(backup.pages(), initial_value=initial_value)
+    with tracer.span("recovery.selective.restore"):
+        stable.restore_from(backup.pages(), initial_value=initial_value)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="selective", phase="restore",
+                    scan_start_lsn=backup.media_scan_start_lsn)
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
     excluded = analysis.excluded
-    replayer = RedoReplayer(initial_value=initial_value)
+    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     kept = (record for record in records if record.lsn not in excluded)
-    stats = replayer.replay(kept, state)
+    with tracer.span("recovery.selective.redo"):
+        stats = replayer.replay(kept, state)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="selective", phase="redo",
+                    replayed=stats.ops_replayed, skipped=stats.ops_skipped,
+                    excluded=len(excluded))
     poisoned = surviving_poison(state)
 
     diffs: List[Tuple[PageId, Any, Any]] = []
     if verify and to_lsn is None:
         expected = expected_state_excluding(log, excluded, initial_value)
         diffs = diff_states(state, expected, initial_value)
+        if tracer.enabled:
+            tracer.emit(RECOVERY_PHASE, kind="selective", phase="verify",
+                        diffs=len(diffs), poisoned=len(poisoned))
 
     for pid, ver in state.items():
         if stable.layout.contains(pid):
             stable.install_version(pid, ver)
+    if tracer.enabled:
+        tracer.emit(RECOVERY_PHASE, kind="selective", phase="complete",
+                    ok=not poisoned and not diffs)
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,

@@ -42,6 +42,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.errors import ReproError, SimulatedCrash, TransientIOError
+from repro.obs.events import FAULT_INJECTED
+from repro.obs.tracer import NULL_TRACER
 
 T = TypeVar("T")
 
@@ -178,6 +180,9 @@ class FaultPlane:
     def __init__(self, specs: Sequence[FaultSpec] = (), metrics=None):
         self._armed: List[_ArmedFault] = [_ArmedFault(s) for s in specs]
         self.metrics = metrics
+        # Tracer (repro.obs): every injection emits a fault_injected
+        # event naming the fault kind and the I/O point it fired at.
+        self.tracer = NULL_TRACER
         self.enabled = True
         self.io_count = 0
         self.count_by_point: Dict[str, int] = {}
@@ -240,29 +245,33 @@ class FaultPlane:
                     continue
                 armed.remaining -= 1
                 armed.fired = True
-                self._record(FaultKind.TRANSIENT)
+                self._record(FaultKind.TRANSIENT, point)
                 raise TransientIOError(point, self.io_count)
             if armed.fired:
                 continue
             if spec.kind == FaultKind.CRASH:
                 armed.fired = True
-                self._record(FaultKind.CRASH)
+                self._record(FaultKind.CRASH, point)
                 raise SimulatedCrash(point, self.io_count)
             # Torn: needs a multi-part write to be meaningful.
             if parts >= 2:
                 armed.fired = True
-                self._record(FaultKind.TORN)
+                self._record(FaultKind.TORN, point)
                 keep = min(spec.keep, parts - 1)
                 if torn_keep is None or keep < torn_keep:
                     torn_keep = keep
         return torn_keep
 
-    def _record(self, kind: str) -> None:
+    def _record(self, kind: str, point: str) -> None:
         self.injected_total += 1
         self.injected_by_kind[kind] = self.injected_by_kind.get(kind, 0) + 1
         if self.metrics is not None:
             self.metrics.faults_injected[kind] = (
                 self.metrics.faults_injected.get(kind, 0) + 1
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FAULT_INJECTED, kind=kind, point=point, io=self.io_count
             )
 
     def snapshot(self) -> Dict[str, int]:

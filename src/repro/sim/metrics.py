@@ -3,12 +3,69 @@
 ``flush_decisions_during_backup`` / ``iwof_during_backup`` measure exactly
 the quantity of section 5: the probability that an object flush requires
 Iw/oF logging *while a backup is in progress*.
+
+``phase_timings`` holds per-phase timing histograms fed by tracer spans
+(see :mod:`repro.obs`): each named phase (``backup.sweep``,
+``recovery.crash.redo``, …) accumulates count/total/min/max plus a
+power-of-two millisecond bucket histogram.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
+
+
+@dataclass
+class PhaseTiming:
+    """Timing histogram for one named phase.
+
+    ``buckets`` maps a power-of-two millisecond bucket label
+    (``"<1ms"``, ``"<2ms"``, ``"<4ms"``, …) to an observation count —
+    coarse but enough to spot a bimodal phase without storing samples.
+    """
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+    buckets: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def bucket_label(seconds: float) -> str:
+        ms = seconds * 1000.0
+        if ms < 1.0:
+            return "<1ms"
+        exponent = math.ceil(math.log2(ms))
+        return f"<{2 ** exponent:g}ms"
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        label = self.bucket_label(seconds)
+        self.buckets[label] = self.buckets.get(label, 0) + 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_s * 1000.0, 4),
+            "mean_ms": round(self.mean_s * 1000.0, 4),
+            "min_ms": round(
+                (0.0 if self.count == 0 else self.min_s) * 1000.0, 4
+            ),
+            "max_ms": round(self.max_s * 1000.0, 4),
+            "buckets": dict(self.buckets),
+        }
 
 
 @dataclass
@@ -49,9 +106,17 @@ class Metrics:
     torn_spans_resumed: int = 0
     torn_writes_repaired: int = 0
 
-    def record_decision(
-        self, region: str, needs_iwof: bool, step: int = 0
-    ) -> None:
+    # Per-phase timing histograms, fed by tracer spans (repro.obs).
+    phase_timings: Dict[str, PhaseTiming] = field(default_factory=dict)
+
+    def record_decision(self, region: str, needs_iwof: bool, step: int) -> None:
+        """Record one flush-policy consult during a backup.
+
+        ``step`` is the partition's current backup step (1-based,
+        ``PartitionProgress.steps_taken``) and is deliberately required:
+        a defaulted step silently lumped every decision into a phantom
+        step 0, corrupting :meth:`step_fractions` (§5's Prob_m{log}).
+        """
         self.flush_decisions_during_backup += 1
         self.decisions_by_region[region] = (
             self.decisions_by_region.get(region, 0) + 1
@@ -81,19 +146,37 @@ class Metrics:
             return 0.0
         return self.iwof_during_backup / self.flush_decisions_during_backup
 
-    def snapshot(self) -> Dict[str, float]:
+    # ------------------------------------------------------------ phase times
+
+    def observe_phase(self, name: str, seconds: float) -> None:
+        """Feed one span duration into the phase's timing histogram."""
+        timing = self.phase_timings.get(name)
+        if timing is None:
+            timing = self.phase_timings[name] = PhaseTiming()
+        timing.observe(seconds)
+
+    def phase_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-phase timing stats (count / total / mean / min / max ms)."""
         return {
-            "page_flushes": self.page_flushes,
-            "node_installs": self.node_installs,
-            "flush_decisions_during_backup": self.flush_decisions_during_backup,
-            "iwof_during_backup": self.iwof_during_backup,
-            "extra_logging_fraction": self.extra_logging_fraction,
-            "iwof_records": self.iwof_records,
-            "iwof_bytes": self.iwof_bytes,
-            "backup_pages_copied": self.backup_pages_copied,
-            "backups_completed": self.backups_completed,
-            "faults_injected": sum(self.faults_injected.values()),
-            "io_retries": self.io_retries,
-            "torn_spans_resumed": self.torn_spans_resumed,
-            "torn_writes_repaired": self.torn_writes_repaired,
+            name: timing.summary()
+            for name, timing in sorted(self.phase_timings.items())
         }
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, float]:
+        """Every scalar counter plus the derived headline quantities.
+
+        Enumerated from the dataclass fields so a newly added counter
+        can never be silently omitted from faultsweep/bench reports
+        (pinned by a test over ``dataclasses.fields``).
+        """
+        out: Dict[str, float] = {}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, (int, float)):
+                out[spec.name] = value
+        # Derived / aggregate quantities (dict-valued fields summarize).
+        out["extra_logging_fraction"] = self.extra_logging_fraction
+        out["faults_injected"] = sum(self.faults_injected.values())
+        return out

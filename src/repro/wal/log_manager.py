@@ -21,6 +21,8 @@ from typing import Callable, Iterator, List, Optional
 
 from repro.errors import LogTruncatedError, WALViolationError
 from repro.ids import LSN, NULL_LSN, PageId
+from repro.obs.events import LOG_FORCE
+from repro.obs.tracer import NULL_TRACER
 from repro.ops.base import Operation
 from repro.wal.records import LogRecord, RecordFlag
 
@@ -40,6 +42,8 @@ class LogManager:
         # Optional FaultPlane (see repro.sim.faults) consulted before the
         # mutating part of append/force, so a failed call can be retried.
         self.faults = None
+        # Tracer (repro.obs): explicit forces emit log_force events.
+        self.tracer = NULL_TRACER
 
     # --------------------------------------------------------------- appends
 
@@ -75,6 +79,10 @@ class LogManager:
                 from repro.sim.faults import IOPoint
 
                 self.faults.check(IOPoint.LOG_FORCE)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LOG_FORCE, lsn=end, from_lsn=self._flushed_lsn
+                )
             self._flushed_lsn = end
 
     def discard_unflushed(self) -> int:

@@ -165,6 +165,65 @@ class TestWithRetries:
         with pytest.raises(SimulatedCrash):
             with_retries(crash)
 
+    def test_final_attempt_propagation_still_counts_earlier_retries(self):
+        """Exhausting the policy propagates the transient, but the
+        retries that were burned must still be accounted for."""
+        metrics = Metrics()
+        policy = RetryPolicy(max_attempts=3)
+        attempts = []
+
+        def always():
+            attempts.append(1)
+            raise TransientIOError("stable.read_page", len(attempts))
+
+        with pytest.raises(TransientIOError):
+            with_retries(always, policy=policy, metrics=metrics)
+        assert len(attempts) == policy.max_attempts
+        # max_attempts - 1 retries, each with its simulated backoff; the
+        # final failing attempt adds neither.
+        assert metrics.io_retries == 2
+        assert metrics.simulated_backoff_s == pytest.approx(
+            policy.backoff_for(1) + policy.backoff_for(2)
+        )
+
+    def test_non_transient_error_never_absorbed_nor_counted(self):
+        metrics = Metrics()
+        attempts = []
+
+        def bad():
+            attempts.append(1)
+            raise ValueError("not an I/O fault")
+
+        with pytest.raises(ValueError):
+            with_retries(bad, metrics=metrics)
+        assert len(attempts) == 1  # no retry of a non-transient error
+        assert metrics.io_retries == 0
+        assert metrics.simulated_backoff_s == 0.0
+
+    def test_first_try_success_records_nothing(self):
+        metrics = Metrics()
+        assert with_retries(lambda: 42, metrics=metrics) == 42
+        assert metrics.io_retries == 0
+        assert metrics.simulated_backoff_s == 0.0
+
+    def test_works_without_metrics(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise TransientIOError("log.append", 1)
+            return "ok"
+
+        assert with_retries(flaky) == "ok"
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.001,
+                             multiplier=2.0)
+        assert [policy.backoff_for(i) for i in (1, 2, 3)] == pytest.approx(
+            [0.001, 0.002, 0.004]
+        )
+
 
 class TestDeviceIntegration:
     def _db(self, specs=()):

@@ -1,0 +1,356 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.core.config import BackupConfig
+from repro.db import Database
+from repro.ids import PageId
+from repro.obs import events as ev
+from repro.obs.summary import summarize, summarize_file
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    load_jsonl,
+    write_jsonl,
+)
+from repro.ops.physical import PhysicalWrite
+from repro.recovery.explain import render_timeline
+from repro.sim.metrics import Metrics, PhaseTiming
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.emit("anything", x=1) is None
+        assert NULL_TRACER.events == ()
+
+    def test_span_is_shared_noop_context_manager(self):
+        a = NULL_TRACER.span("one")
+        b = NULL_TRACER.span("two", detail=3)
+        assert a is b  # one shared object, no allocation per span
+        with a:
+            pass
+
+    def test_singleton_has_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            NULL_TRACER.stray = 1
+
+    def test_kind_is_positional_only(self):
+        # Event schemas carry their own "kind" field; the emit parameter
+        # must not collide with it.
+        NullTracer().emit("recovery_phase", kind="crash", phase="begin")
+
+
+class TestTracer:
+    def test_emit_assigns_monotone_seq_and_relative_time(self):
+        tracer = Tracer()
+        first = tracer.emit("crash")
+        second = tracer.emit("crash")
+        assert (first.seq, second.seq) == (1, 2)
+        assert second.t >= first.t >= 0.0
+
+    def test_span_emits_begin_end_with_duration(self):
+        tracer = Tracer()
+        with tracer.span("backup.sweep", pages=4):
+            tracer.emit("crash")
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == [ev.SPAN_BEGIN, "crash", ev.SPAN_END]
+        end = tracer.events[-1]
+        assert end.get("span") == "backup.sweep"
+        assert end.get("pages") == 4
+        assert end.get("ok") is True
+        assert end.get("ms") >= 0.0
+
+    def test_span_marks_failure_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("recovery.crash.redo"):
+                raise ValueError("boom")
+        assert tracer.events[-1].get("ok") is False
+
+    def test_span_feeds_metrics_phase_histograms(self):
+        metrics = Metrics()
+        tracer = Tracer(metrics=metrics)
+        with tracer.span("recovery.crash.redo"):
+            pass
+        timing = metrics.phase_timings["recovery.crash.redo"]
+        assert timing.count == 1
+        assert timing.total_s >= 0.0
+
+    def test_capacity_keeps_only_the_tail(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit("crash", i=i)
+        assert len(tracer.events) == 3
+        assert [e.get("i") for e in tracer.events] == [7, 8, 9]
+        assert tracer.events[-1].seq == 10  # seq keeps counting
+
+    def test_find_filters_by_kind(self):
+        tracer = Tracer()
+        tracer.emit("crash")
+        tracer.emit("media_failure")
+        tracer.emit("crash")
+        assert len(tracer.find("crash")) == 2
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit("crash")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_kind_fields(self, tmp_path):
+        # fault_injected / recovery_phase events carry a field literally
+        # named "kind"; it must not clobber the event kind on round-trip.
+        tracer = Tracer()
+        tracer.emit(ev.FAULT_INJECTED, kind="torn",
+                    point="stable.write_multi", io=7)
+        tracer.emit(ev.RECOVERY_PHASE, kind="crash", phase="redo",
+                    replayed=3, skipped=1)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) == 2
+        events = load_jsonl(str(path))
+        assert [e.kind for e in events] == [ev.FAULT_INJECTED,
+                                            ev.RECOVERY_PHASE]
+        assert events[0].get("kind") == "torn"
+        assert events[1].get("kind") == "crash"
+        assert events[1].get("replayed") == 3
+
+    def test_lines_are_flat_json_objects(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(ev.CRASH, lost_records=2)
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(str(path))
+        line = json.loads(path.read_text().splitlines()[0])
+        assert line["ev"] == ev.CRASH
+        assert line["lost_records"] == 2
+        assert "seq" in line and "t" in line
+
+    def test_extra_tags_every_line_and_append_mode(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        one = [TraceEvent(1, 0.0, ev.CRASH, {})]
+        two = [TraceEvent(1, 0.0, ev.MEDIA_FAILURE, {})]
+        write_jsonl(one, str(path), mode="w", extra={"case": 0})
+        write_jsonl(two, str(path), mode="a", extra={"case": 1})
+        events = load_jsonl(str(path))
+        assert [e.get("case") for e in events] == [0, 1]
+
+
+class TestEventSchema:
+    def test_all_kinds_have_field_specs(self):
+        for kind in ev.ALL_KINDS:
+            assert isinstance(ev.EVENT_FIELDS[kind], tuple)
+
+    def test_validate_event_flags_unknown_kind(self):
+        assert ev.validate_event("nope", {}) == ["unknown event kind 'nope'"]
+
+    def test_validate_event_flags_missing_fields(self):
+        problems = ev.validate_event(ev.FAULT_INJECTED, {"kind": "torn"})
+        assert any("point" in p for p in problems)
+        assert any("io" in p for p in problems)
+
+    def test_validate_event_accepts_extra_fields(self):
+        assert ev.validate_event(
+            ev.CRASH, {"lost_records": 1, "flushed_lsn": 9}
+        ) == []
+
+    def test_emitted_events_conform_to_schema(self):
+        """Every event a full backup+crash+recovery run emits validates."""
+        tracer = Tracer()
+        db = Database(pages_per_partition=[32], tracer=tracer)
+        for i in range(12):
+            db.execute(PhysicalWrite(PageId(0, i), (i,)))
+        db.start_backup(BackupConfig(steps=4))
+        db.run_backup(BackupConfig(pages_per_tick=8))
+        db.crash()
+        assert db.recover().ok
+        assert tracer.events, "instrumentation emitted nothing"
+        problems = [
+            problem
+            for event in tracer.events
+            for problem in ev.validate_event(event.kind, event.fields)
+        ]
+        assert problems == []
+
+
+class TestPhaseTiming:
+    def test_observe_accumulates(self):
+        timing = PhaseTiming()
+        timing.observe(0.002)
+        timing.observe(0.010)
+        assert timing.count == 2
+        assert timing.total_s == pytest.approx(0.012)
+        assert timing.min_s == pytest.approx(0.002)
+        assert timing.max_s == pytest.approx(0.010)
+        assert timing.mean_s == pytest.approx(0.006)
+
+    def test_power_of_two_ms_buckets(self):
+        assert PhaseTiming.bucket_label(0.0005) == "<1ms"
+        assert PhaseTiming.bucket_label(0.0015) == "<2ms"
+        assert PhaseTiming.bucket_label(0.003) == "<4ms"
+        assert PhaseTiming.bucket_label(0.1) == "<128ms"
+
+    def test_metrics_observe_phase_and_summary(self):
+        metrics = Metrics()
+        metrics.observe_phase("backup.sweep", 0.004)
+        metrics.observe_phase("backup.sweep", 0.0001)
+        summary = metrics.phase_summary()
+        assert summary["backup.sweep"]["count"] == 2
+        assert "<1ms" in summary["backup.sweep"]["buckets"]
+
+
+class TestInstrumentationSites:
+    def _traced_run(self):
+        tracer = Tracer()
+        db = Database(pages_per_partition=[32], tracer=tracer)
+        for i in range(12):
+            db.execute(PhysicalWrite(PageId(0, i), (i,)))
+        db.start_backup(BackupConfig(steps=4))
+        db.run_backup(BackupConfig(pages_per_tick=8))
+        return tracer, db
+
+    def test_backup_lifecycle_events(self):
+        tracer, _ = self._traced_run()
+        assert len(tracer.find(ev.BACKUP_BEGIN)) == 1
+        assert len(tracer.find(ev.BACKUP_COMPLETE)) == 1
+        advances = tracer.find(ev.BACKUP_STEP_ADVANCE)
+        assert advances and all(
+            e.get("step") >= 1 for e in advances
+        )
+
+    def test_latch_acquisitions_traced(self):
+        tracer, _ = self._traced_run()
+        latches = tracer.find(ev.LATCH_ACQUIRE)
+        assert latches
+        assert {e.get("mode") for e in latches} <= {"shared", "exclusive"}
+
+    def test_flush_decisions_and_iwof_traced(self):
+        tracer = Tracer()
+        db = Database(pages_per_partition=[16], tracer=tracer)
+        for i in range(8):
+            db.execute(PhysicalWrite(PageId(0, i), (i,)))
+        db.start_backup(BackupConfig(steps=2))
+        # Interleave updates with the sweep so some flush decisions land
+        # in the in-progress regions.
+        while db.backup_in_progress():
+            db.backup_step(2)
+            db.execute(PhysicalWrite(PageId(0, 1), ("again",)))
+            db.install_some(4)
+        decisions = tracer.find(ev.FLUSH_DECISION)
+        assert decisions
+        assert {e.get("region") for e in decisions} <= {
+            "done", "doubt", "pend"
+        }
+
+    def test_log_force_traced_when_not_autoforced(self):
+        tracer = Tracer()
+        db = Database(pages_per_partition=[16], auto_force_log=False,
+                      tracer=tracer)
+        db.execute(PhysicalWrite(PageId(0, 0), ("x",)))
+        db.log.force()
+        forces = tracer.find(ev.LOG_FORCE)
+        assert len(forces) == 1
+        assert forces[0].get("lsn") == db.log.flushed_lsn
+
+    def test_crash_and_recovery_phases_traced(self):
+        tracer, db = self._traced_run()
+        db.crash()
+        assert db.recover().ok
+        assert tracer.find(ev.CRASH)
+        phases = [
+            (e.get("kind"), e.get("phase"))
+            for e in tracer.find(ev.RECOVERY_PHASE)
+        ]
+        assert ("crash", "begin") in phases
+        assert ("crash", "redo") in phases
+        assert ("crash", "complete") in phases
+        assert tracer.find(ev.REDO_OP)
+
+    def test_attach_tracer_after_construction(self):
+        db = Database(pages_per_partition=[16])
+        assert db.tracer is NULL_TRACER
+        tracer = Tracer()
+        db.attach_tracer(tracer)
+        assert db.cm.tracer is tracer
+        assert db.log.tracer is tracer
+        assert tracer.metrics is db.metrics
+        db.execute(PhysicalWrite(PageId(0, 0), ("x",)))
+        db.start_backup(BackupConfig(steps=1))
+        db.run_backup(BackupConfig(pages_per_tick=32))
+        assert tracer.find(ev.BACKUP_COMPLETE)
+
+    def test_fault_plane_injections_traced(self):
+        from repro.sim.faults import FaultKind, FaultPlane, FaultSpec, IOPoint
+
+        tracer = Tracer()
+        db = Database(pages_per_partition=[16], tracer=tracer)
+        db.attach_faults(FaultPlane([
+            FaultSpec(FaultKind.TRANSIENT, point=IOPoint.STABLE_MULTI_WRITE,
+                      at_io=1, times=1)
+        ]))
+        for i in range(4):
+            db.execute(PhysicalWrite(PageId(0, i), (i,)))
+        db.cm.flush_page(PageId(0, 0))
+        faults = tracer.find(ev.FAULT_INJECTED)
+        assert len(faults) == 1
+        assert faults[0].get("kind") == "transient"
+        assert faults[0].get("point") == IOPoint.STABLE_MULTI_WRITE
+
+
+class TestSummaryAndTimeline:
+    def _failed_recovery_trace(self):
+        tracer = Tracer()
+        tracer.emit(ev.TRACE_HEADER, scenario="unit")
+        tracer.emit(ev.FAULT_INJECTED, kind="crash",
+                    point="stable.write_multi", io=9)
+        tracer.emit(ev.RECOVERY_PHASE, kind="crash", phase="verify",
+                    diffs=2, poisoned=0)
+        tracer.emit(ev.RECOVERY_PHASE, kind="crash", phase="complete",
+                    ok=False)
+        return tracer.events
+
+    def test_summarize_names_faults_and_phases(self):
+        text = summarize(self._failed_recovery_trace())
+        assert "crash at stable.write_multi" in text
+        assert "crash:verify" in text
+        assert "diffs=2" in text
+
+    def test_summarize_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(self._failed_recovery_trace(), str(path))
+        assert "stable.write_multi" in summarize_file(str(path))
+
+    def test_summarize_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "empty trace" in summarize_file(str(path))
+
+    def test_timeline_links_fault_to_observing_phase(self):
+        text = render_timeline(self._failed_recovery_trace())
+        assert "causality:" in text
+        assert "crash at stable.write_multi (io #9)" in text
+        assert "observed by crash recovery phase 'verify'" in text
+        assert "observed by crash recovery phase 'complete'" in text
+
+    def test_timeline_indents_spans_and_elides_redo_bursts(self):
+        tracer = Tracer()
+        with tracer.span("recovery.crash.redo"):
+            for lsn in range(1, 20):
+                tracer.emit(ev.REDO_OP, lsn=lsn, action="replay")
+        text = render_timeline(tracer.events, max_redo_ops=5)
+        assert "redo ops elided" in text
+        # Events inside the span are indented one level.
+        inner = [l for l in text.splitlines() if "redo_op" in l]
+        assert inner and all(l.startswith("  ") for l in inner)
+
+    def test_timeline_reports_unobserved_fault(self):
+        tracer = Tracer()
+        tracer.emit(ev.FAULT_INJECTED, kind="transient",
+                    point="log.append", io=1)
+        text = render_timeline(tracer.events)
+        assert "no recovery phase observed damage" in text

@@ -47,8 +47,8 @@ class TestMetrics:
     def test_extra_logging_fraction(self):
         metrics = Metrics()
         assert metrics.extra_logging_fraction == 0.0
-        metrics.record_decision("done", True)
-        metrics.record_decision("pend", False)
+        metrics.record_decision("done", True, step=1)
+        metrics.record_decision("pend", False, step=1)
         assert metrics.extra_logging_fraction == pytest.approx(0.5)
         assert metrics.decisions_by_region == {"done": 1, "pend": 1}
         assert metrics.iwof_by_region == {"done": 1}
