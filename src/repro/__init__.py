@@ -12,8 +12,8 @@ Public API highlights:
   general logical, tree (``MovRec``/``RmvRec``), and identity writes.
 * Fault injection in :mod:`repro.sim.faults` — a
   :class:`~repro.sim.faults.FaultPlane` of :class:`FaultSpec`\\ s
-  injecting torn writes, transient I/O errors, and crashes at every
-  I/O boundary; tick-level schedules via
+  injecting torn writes, transient I/O errors, crashes, and silent bit
+  rot at every I/O boundary; tick-level schedules via
   :class:`~repro.sim.failure.CrashPlan` /
   :class:`~repro.sim.failure.IOFaultPlan`.
 * Flush policies in :mod:`repro.core.policy` — general (section 3.5),
@@ -25,6 +25,12 @@ Public API highlights:
   events (flush decisions, Iw/oF writes, backup steps, fault injections,
   redo decisions, recovery phases) and per-phase timing histograms; the
   default :data:`~repro.obs.NULL_TRACER` keeps hot paths at no-op cost.
+* Corruption robustness (see ``docs/ROBUSTNESS.md``) — every page image
+  and log record carries a checksum envelope; damage surfaces as
+  :class:`~repro.errors.CorruptPageError` /
+  :class:`~repro.errors.CorruptLogRecordError`, recovery heals or
+  quarantines it (``RecoveryOutcome.quarantined``), and
+  ``python -m repro scrub`` audits every store offline.
 
 ``from repro import *`` exposes exactly ``__all__`` (checked by a
 doctest in the test suite):
@@ -40,6 +46,8 @@ True
 from repro.core.config import BackupConfig
 from repro.db import Database
 from repro.errors import (
+    CorruptLogRecordError,
+    CorruptPageError,
     FaultInjectionError,
     ReproError,
     SimulatedCrash,
@@ -114,5 +122,7 @@ __all__ = [
     "TransientIOError",
     "TornWriteError",
     "SimulatedCrash",
+    "CorruptPageError",
+    "CorruptLogRecordError",
     "__version__",
 ]

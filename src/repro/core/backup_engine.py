@@ -226,21 +226,29 @@ class BackupRun:
         A torn write lands only a prefix (the device reports how much);
         the remainder is re-issued from the already-read versions — the
         backup process still holds its copy buffer, so no re-read of S is
-        needed and the span's content is unchanged.
+        needed and the span's content is unchanged.  After a resumed
+        span the whole span is verified against its integrity envelopes:
+        a tear is exactly when a device may have written garbage, so the
+        claim "torn spans are detected by checksums" is made true here
+        rather than assumed.
         """
         metrics = self.cm.metrics
         entries = list(entries)
         start = 0
+        torn = False
         while start < len(entries):
             try:
                 with_retries(
                     lambda: self.backup.record_pages(entries[start:]),
                     metrics=metrics,
                 )
-                return
+                break
             except TornWriteError as tear:
                 start += tear.landed
                 metrics.torn_spans_resumed += 1
+                torn = True
+        if torn:
+            self.backup.verify_pages(pid for pid, _ver in entries)
 
     def _plan_full(self, budget: int, spans: List[tuple]) -> int:
         """Plan a full-backup batch: round-robin budget split, O(steps).

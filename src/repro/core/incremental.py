@@ -17,14 +17,24 @@ Soundness sketch (matching the paper's two aspects):
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import NoBackupError, RecoveryError
-from repro.ids import LSN, PageId
-from repro.obs.events import RECOVERY_PHASE
+from repro.ids import LSN, NULL_LSN, PageId
+from repro.obs.events import (
+    CHAIN_FALLBACK,
+    CORRUPTION_DETECTED,
+    QUARANTINE,
+    RECOVERY_PHASE,
+)
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
-from repro.recovery.redo import RedoReplayer, surviving_poison
+from repro.recovery.redo import (
+    POISON,
+    RedoReplayer,
+    contains_poison,
+    surviving_poison,
+)
 from repro.storage.backup_db import BackupDatabase
 from repro.storage.page import PageVersion
 from repro.storage.stable_db import StableDatabase
@@ -92,10 +102,40 @@ def run_media_recovery_chain(
         tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="begin",
                     links=len(chain), target_lsn=target)
 
-    # Overlay the chain: later links override earlier ones.
+    # Overlay the chain: later links override earlier ones.  Damaged
+    # link versions (checksum failures) are skipped, so the page falls
+    # back to an earlier link's copy — replay starts from the *base*
+    # scan start, which covers every update a later copy reflected, so
+    # the earlier copy plus redo is sound (cost-only, never wrong).  A
+    # page damaged everywhere it appears has no intact source and is
+    # seeded for quarantine.
     versions: Dict[PageId, PageVersion] = {}
+    damaged_anywhere: set = set()
     for backup in chain:
-        versions.update(backup.pages())
+        damaged = set(backup.damaged_pages())
+        if damaged and tracer.enabled:
+            tracer.emit(
+                CORRUPTION_DETECTED, site="backup",
+                backup_id=backup.backup_id,
+                pages=[str(p) for p in sorted(damaged)],
+            )
+        damaged_anywhere |= damaged
+        for pid, ver in backup.pages().items():
+            if pid in damaged:
+                continue
+            versions[pid] = ver
+    quarantine_seed: List[PageId] = sorted(
+        pid for pid in damaged_anywhere if pid not in versions
+    )
+    healed_by_chain = sorted(
+        pid for pid in damaged_anywhere if pid in versions
+    )
+    if damaged_anywhere and tracer.enabled:
+        tracer.emit(
+            CHAIN_FALLBACK, action="skip-damaged-link-pages",
+            healed=[str(p) for p in healed_by_chain],
+            unrepairable=[str(p) for p in quarantine_seed],
+        )
     with tracer.span("recovery.media_chain.restore"):
         stable.restore_from(versions, initial_value=initial_value)
     if tracer.enabled:
@@ -105,6 +145,8 @@ def run_media_recovery_chain(
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
+    for pid in quarantine_seed:
+        state[pid] = PageVersion(POISON, NULL_LSN)
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     with tracer.span("recovery.media_chain.redo"):
         stats = replayer.replay(
@@ -114,18 +156,36 @@ def run_media_recovery_chain(
         tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="redo",
                     replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
+    quarantined: List[PageId] = []
+    if quarantine_seed:
+        quarantined = poisoned
+        poisoned = []
+        if tracer.enabled:
+            for pid in quarantined:
+                tracer.emit(QUARANTINE, page=str(pid), kind="media-chain")
+    quarantined_set = set(quarantined)
     diffs = []
     if oracle is not None:
-        diffs = diff_states(state, oracle, initial_value)
+        diffs = [
+            d
+            for d in diff_states(state, oracle, initial_value)
+            if d[0] not in quarantined_set
+        ]
         if tracer.enabled:
             tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="verify",
-                        diffs=len(diffs), poisoned=len(poisoned))
+                        diffs=len(diffs), poisoned=len(poisoned),
+                        quarantined=len(quarantined))
     for pid, ver in state.items():
-        if stable.layout.contains(pid):
-            stable.install_version(pid, ver)
+        if not stable.layout.contains(pid):
+            continue
+        if contains_poison(ver.value):
+            stable.install_version(pid, PageVersion(initial_value, NULL_LSN))
+            continue
+        stable.install_version(pid, ver)
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="complete",
-                    ok=not poisoned and not diffs)
+                    ok=not poisoned and not diffs,
+                    quarantined=len(quarantined))
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,
@@ -133,4 +193,5 @@ def run_media_recovery_chain(
         poisoned=poisoned,
         diffs=diffs,
         kind="media-chain",
+        quarantined=quarantined,
     )

@@ -99,6 +99,15 @@ def validate_backup(
         return report
     report.records_scanned = len(records)
 
+    # 1b. Integrity audit: every page image must match its envelope —
+    # a corrupt page restores garbage no matter how sound the order is.
+    for pid in backup.damaged_pages():
+        report.fatal(
+            "corrupt-page",
+            f"page {pid!r} fails its integrity check (checksum "
+            "mismatch); restoring it would silently propagate damage",
+        )
+
     # 2. Order soundness (the Figure 1 condition).
     image = backup.pages()
     report.pages_checked = len(image)

@@ -400,9 +400,53 @@ class Database:
         start is reconstructed from the durable log's checkpoint records
         alone, with no reliance on any surviving bookkeeping — the fully
         self-contained recovery path.
+
+        Corruption handling runs first: the log tail is truncated at the
+        first checksum-failed record (torn-tail repair), and if the
+        stable database has damaged pages — or pages provably containing
+        effects of truncated records — recovery escalates: heal from a
+        completed backup (media recovery with generation fallback) when
+        one covers the surviving log, rebuild the whole store from the
+        log when it still reaches back to LSN 1, and otherwise quarantine
+        the unhealable pages on the outcome instead of crashing.
         """
         with self._faults_suspended():
-            if from_log_only:
+            dropped = self.log.repair_tail()
+            if dropped:
+                self.metrics.log_tail_truncated += dropped
+                self.metrics.corruption_detected += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.CORRUPTION_DETECTED, site="log",
+                        dropped=dropped, end_lsn=self.log.end_lsn,
+                    )
+                    self.tracer.emit(
+                        ev.CHAIN_FALLBACK, action="truncate-log-tail",
+                        end_lsn=self.log.end_lsn,
+                    )
+                # The surviving prefix is now the whole truth; the
+                # oracle (and the truncation point) must agree.
+                self.oracle.rebuild(self.log)
+                self.cm.stable_truncation_point = min(
+                    self.cm.stable_truncation_point, self.log.end_lsn + 1
+                )
+            damaged = self.stable.damaged_pages()
+            future = (
+                self.stable.pages_ahead_of(self.log.end_lsn)
+                if dropped
+                else []
+            )
+            problems = sorted(set(damaged) | set(future))
+            if damaged:
+                self.metrics.corruption_detected += len(damaged)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.CORRUPTION_DETECTED, site="stable",
+                        pages=[str(p) for p in damaged],
+                    )
+            if problems:
+                outcome = self._recover_damaged_stable(problems, verify)
+            elif from_log_only:
                 outcome = run_analyzed_crash_recovery(
                     self.stable,
                     self.log,
@@ -423,6 +467,80 @@ class Database:
         # After redo, S holds the current state: nothing is dirty.
         self.cm.stable_truncation_point = self.log.end_lsn + 1
         return self._stamp_outcome(outcome)
+
+    def _recover_damaged_stable(
+        self, problems: Sequence[PageId], verify: bool
+    ) -> RecoveryOutcome:
+        """Escalation ladder for crash recovery over a damaged store.
+
+        ``problems`` are stable pages that cannot be trusted (checksum
+        failures plus pages ahead of a truncated log end).  Called with
+        the fault plane already suspended.
+        """
+        # (a) Heal from a backup: whole-image restore + roll forward to
+        # the log end re-creates every page, damaged ones included.
+        fulls = [
+            b
+            for b in self.engine.completed
+            if b.is_complete
+            and getattr(b, "base_backup_id", None) is None
+            and (b.completion_lsn or 0) <= self.log.end_lsn
+            and b.media_scan_start_lsn >= self.log.first_retained_lsn
+        ]
+        oracle = self.oracle.state() if verify else None
+        if fulls:
+            newest = fulls[-1]
+            older = list(reversed(fulls[:-1]))
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.CHAIN_FALLBACK, action="escalate-media",
+                    backup_id=newest.backup_id,
+                    pages=[str(p) for p in problems],
+                )
+            outcome = run_media_recovery(
+                self.stable,
+                newest,
+                self.log,
+                oracle=oracle,
+                initial_value=self.initial_value,
+                tracer=self.tracer,
+                fallback=older,
+            )
+        elif self.log.first_retained_lsn == 1:
+            # (b) Full-history rebuild: the log still reaches LSN 1, so
+            # replaying it against a freshly formatted store reproduces
+            # the current state by construction.
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.CHAIN_FALLBACK, action="rebuild-from-log",
+                    pages=[str(p) for p in problems],
+                )
+            self.stable.restore_from({}, initial_value=self.initial_value)
+            outcome = run_crash_recovery(
+                self.stable,
+                self.log,
+                scan_start_lsn=1,
+                oracle=oracle,
+                initial_value=self.initial_value,
+                tracer=self.tracer,
+                rebuild_from_log=True,
+            )
+        else:
+            # (c) No healing source: quarantine what replay cannot fix.
+            outcome = run_crash_recovery(
+                self.stable,
+                self.log,
+                scan_start_lsn=self.cm.stable_truncation_point,
+                oracle=oracle,
+                initial_value=self.initial_value,
+                tracer=self.tracer,
+                quarantine=problems,
+            )
+        self.metrics.pages_quarantined += len(outcome.quarantined)
+        self.metrics.corruption_healed += max(
+            0, len(problems) - len(outcome.quarantined)
+        )
+        return outcome
 
     def validate_backup(
         self, backup: Optional[BackupDatabase] = None,
@@ -452,10 +570,27 @@ class Database:
         verify: bool = True,
     ) -> RecoveryOutcome:
         """Restore from a backup (default: latest completed) and roll
-        forward the media recovery log."""
+        forward the media recovery log.
+
+        Older completed full backups are passed along as the fallback
+        chain: if the chosen image fails its integrity check, recovery
+        restores the newest intact generation instead (longer redo span,
+        same result) and only quarantines pages when every generation is
+        damaged.
+        """
         backup = backup or self.engine.latest_backup()
         if backup is None:
             raise NoBackupError("no completed backup to restore from")
+        fallback = [
+            b
+            for b in reversed(self.engine.completed)
+            if b is not backup
+            and b.is_complete
+            and getattr(b, "base_backup_id", None) is None
+        ]
+        damaged = backup.damaged_pages()
+        if damaged:
+            self.metrics.corruption_detected += len(damaged)
         with self._faults_suspended():
             outcome = run_media_recovery(
                 self.stable,
@@ -467,6 +602,12 @@ class Database:
                 ),
                 initial_value=self.initial_value,
                 tracer=self.tracer,
+                fallback=fallback,
+            )
+        if damaged:
+            self.metrics.pages_quarantined += len(outcome.quarantined)
+            self.metrics.corruption_healed += max(
+                0, len(damaged) - len(outcome.quarantined)
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
@@ -477,9 +618,19 @@ class Database:
         chain: Optional[Sequence[BackupDatabase]] = None,
         verify: bool = True,
     ) -> RecoveryOutcome:
-        """Restore from a full+incremental chain (section 6.1)."""
+        """Restore from a full+incremental chain (section 6.1).
+
+        Damaged link pages are skipped during the overlay (an earlier
+        link's copy plus the base-scan-start replay heals them); pages
+        damaged in every link that carries them are quarantined.
+        """
         if chain is None:
             chain = self.engine.completed
+        damaged = {
+            pid for b in chain for pid in b.damaged_pages()
+        }
+        if damaged:
+            self.metrics.corruption_detected += len(damaged)
         with self._faults_suspended():
             outcome = run_media_recovery_chain(
                 self.stable,
@@ -488,6 +639,11 @@ class Database:
                 oracle=self.oracle.state() if verify else None,
                 initial_value=self.initial_value,
                 tracer=self.tracer,
+            )
+        if damaged:
+            self.metrics.pages_quarantined += len(outcome.quarantined)
+            self.metrics.corruption_healed += max(
+                0, len(damaged) - len(outcome.quarantined)
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1

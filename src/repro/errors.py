@@ -36,6 +36,26 @@ class MediaFailureError(StorageError):
     """
 
 
+class CorruptPageError(StorageError):
+    """A page image failed its integrity check (checksum mismatch).
+
+    Raised by the stable database, a backup database, or the archive
+    loader when the stored CRC32 envelope of a page does not match the
+    page's content — bit rot, a misdirected write, or a damaged archive
+    file.  ``store`` names where the bad page was found (``"stable"``,
+    ``"backup"``, ``"archive"``).
+    """
+
+    def __init__(self, page_id, store: str = "stable", detail: str = ""):
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"corrupt page {page_id!r} in {store} store: "
+            f"checksum mismatch{extra}"
+        )
+        self.page_id = page_id
+        self.store = store
+
+
 class FaultInjectionError(ReproError):
     """Base class for faults raised by the simulated fault plane."""
 
@@ -103,6 +123,23 @@ class WALViolationError(LogError):
 
 class LogTruncatedError(LogError):
     """A log record before the truncation point was requested."""
+
+
+class CorruptLogRecordError(LogError):
+    """A log record failed its integrity check (checksum mismatch).
+
+    Raised when the CRC32 stamped on a record at append time no longer
+    matches its payload — bit rot on the log device or a damaged log
+    file.  Crash recovery treats the first corrupt record as the end of
+    the trustworthy log and truncates the tail there (torn-tail repair).
+    """
+
+    def __init__(self, lsn, detail: str = ""):
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"corrupt log record at LSN {lsn}: checksum mismatch{extra}"
+        )
+        self.lsn = lsn
 
 
 class RecoveryError(ReproError):

@@ -211,8 +211,13 @@ def run_suite(
     output: str = DEFAULT_OUTPUT,
     only: Optional[List[str]] = None,
     quiet: bool = False,
+    note: Optional[str] = None,
 ) -> Dict:
-    """Run the suite, append an entry to ``output``, return the entry."""
+    """Run the suite, append an entry to ``output``, return the entry.
+
+    ``note`` attaches a free-form annotation to the entry — e.g. what
+    changed since the previous entry and the measured overhead delta.
+    """
     names = list(BENCHMARKS) if not only else list(only)
     unknown = [n for n in names if n not in BENCHMARKS]
     if unknown:
@@ -234,6 +239,8 @@ def run_suite(
         "environment": collect_environment(),
         "results": results,
     }
+    if note:
+        entry["note"] = note
     if data["entries"]:
         first = data["entries"][0]
         entry["baseline_label"] = first["label"]
@@ -281,12 +288,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--only", action="append", choices=sorted(BENCHMARKS),
         help="run only this benchmark (repeatable)",
     )
+    parser.add_argument(
+        "--note", default=None,
+        help="free-form annotation stored on the entry",
+    )
     args = parser.parse_args(argv)
     run_suite(
         rounds=args.rounds,
         label=args.label,
         output=args.output,
         only=args.only,
+        note=args.note,
     )
     return 0
 

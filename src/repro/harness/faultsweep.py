@@ -18,7 +18,11 @@ class at every instrumented I/O boundary:
   crash injected at the 1st, (1+stride)th, … I/O operation, and crash
   recovery must succeed after *every* one;
 * **seeded mix** — a random (but seed-deterministic) schedule of
-  transient and torn faults across all points.
+  transient and torn faults across all points;
+* **bit rot** — seeded silent bit flips landed in the stable database,
+  the backup image, or the log tail; the integrity envelopes must detect
+  the damage and recovery must heal it (older generation, log-driven
+  rebuild) or quarantine it — never restore silently-wrong state.
 
 Every scenario is run for both the serial (page-at-a-time) and batched
 (bulk-span) copy engines.  All randomness derives from the single
@@ -33,7 +37,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.config import BackupConfig
 from repro.db import Database
-from repro.errors import SimulatedCrash
+from repro.errors import CorruptPageError, SimulatedCrash
 from repro.sim.faults import FaultKind, FaultPlane, FaultSpec, IOPoint
 from repro.sim.failure import FailureInjector, crash_sweep_plans
 from repro.workloads import mixed_logical_workload
@@ -285,6 +289,103 @@ def _seeded_mix_scenario(
     return result
 
 
+def _run_bitrot_one(
+    spec: FaultSpec, seed: int, batched: bool, finish: str, tracer=None
+):
+    """One bitrot run: drive the workload, then force a recovery check.
+
+    ``finish`` picks the recovery path that exercises the rotted store:
+    ``"crash"`` (stable pages / log tail must be healed or quarantined
+    by crash recovery's escalation ladder) or ``"media"`` (a rotted
+    backup must be caught by media recovery's integrity gate).  Damage
+    detected *mid-run* — a checksummed read tripping over the rot —
+    downgrades to a crash + recover check on the spot.
+    """
+    db = _fresh_db()
+    if tracer is not None:
+        db.attach_tracer(tracer)
+    db.attach_faults(FaultPlane([spec]))
+    rng = random.Random(seed)
+    source = mixed_logical_workload(db.layout, seed=seed, count=120)
+    try:
+        db.start_backup(BackupConfig(steps=4, batched=batched))
+        exhausted = False
+        while db.backup_in_progress() or not exhausted:
+            if db.backup_in_progress():
+                db.backup_step(4)
+            exhausted = True
+            for _ in range(2):
+                op = next(source, None)
+                if op is None:
+                    break
+                db.execute(op)
+                exhausted = False
+            db.install_some(2, rng)
+    except (SimulatedCrash, CorruptPageError):
+        db.crash()
+        return db.recover(), db
+    if finish == "media":
+        db.media_failure()
+        return db.media_recover(), db
+    db.crash()
+    return db.recover(), db
+
+
+def _bitrot_at_ios(budget: int, samples: int) -> List[int]:
+    """Evenly spread ``samples`` 1-indexed I/O ordinals over ``budget``."""
+    if budget <= 0:
+        return []
+    return sorted({max(1, (budget * i) // samples)
+                   for i in range(1, samples + 1)})
+
+
+def _bitrot_scenarios(
+    seed: int, batched: bool, samples: int = 3
+) -> List[ScenarioResult]:
+    """Seeded bit flips per store; every run must heal or quarantine.
+
+    Three scenarios per engine mode, one per rot site: ``bitrot-stable``
+    (a stable page image rots during an install), ``bitrot-backup`` (a
+    copied backup page rots while the backup is recorded), and
+    ``bitrot-logtail`` (a log record's envelope rots at append time).
+    ``recovered`` counts runs whose recovery outcome is *honest*: the
+    state matches the oracle everywhere outside an explicitly reported
+    quarantine set.  A silently-wrong restore counts as a failure.
+    """
+    mode = "batched" if batched else "serial"
+    _, per_point = _measure_io_budget(seed, batched)
+    targets = (
+        ("stable", IOPoint.STABLE_MULTI_WRITE, "crash"),
+        ("backup",
+         IOPoint.BACKUP_BULK_RECORD if batched else IOPoint.BACKUP_RECORD,
+         "media"),
+        ("logtail", IOPoint.LOG_APPEND, "crash"),
+    )
+    results = []
+    for target, point, finish in targets:
+        budget = per_point.get(point, 0)
+        result = ScenarioResult(
+            f"bitrot-{target}-{mode}", detail=f" point_budget={budget}"
+        )
+        quarantined = 0
+        for at_io in _bitrot_at_ios(budget, samples):
+            spec = FaultSpec(FaultKind.BITROT, point=point, at_io=at_io,
+                             seed=seed)
+            outcome, db = _run_bitrot_one(spec, seed, batched, finish)
+            result.total += 1
+            if outcome.ok:
+                result.recovered += 1
+            else:
+                result.record_failure(f"at_io={at_io}", [spec], seed,
+                                      batched)
+            result.faults_injected += db.faults.injected_total
+            result.io_retries += db.metrics.io_retries
+            quarantined += len(getattr(outcome, "quarantined", []))
+        result.detail += f" quarantined={quarantined}"
+        results.append(result)
+    return results
+
+
 # ------------------------------------------------------------------ the sweep
 
 
@@ -318,6 +419,9 @@ def run_faultsweep(
         emit(_torn_install_scenario(seed, batched))
         emit(_crash_sweep_scenario(seed, batched, stride))
         emit(_seeded_mix_scenario(seed, batched, rounds=2 if quick else 4))
+        for result in _bitrot_scenarios(seed, batched,
+                                        samples=2 if quick else 3):
+            emit(result)
     emit(_torn_span_scenario(seed))
     return report
 
@@ -346,18 +450,25 @@ def capture_failure_trace(case: FailureCase):
         batched=case.batched,
         specs=[
             dict(kind=s.kind, point=s.point, at_io=s.at_io,
-                 times=s.times, keep=s.keep)
+                 times=s.times, keep=s.keep, seed=s.seed)
             for s in case.specs
         ],
     )
-    db = _fresh_db()
-    db.attach_tracer(tracer)
-    db.attach_faults(FaultPlane(list(case.specs)))
     try:
-        ok, outcome = _drive(db, case.seed, case.batched)
+        if any(s.kind == FaultKind.BITROT for s in case.specs):
+            spec = case.specs[0]
+            finish = ("media" if spec.point in (
+                IOPoint.BACKUP_RECORD, IOPoint.BACKUP_BULK_RECORD
+            ) else "crash")
+            _run_bitrot_one(spec, case.seed, case.batched, finish,
+                            tracer=tracer)
+        else:
+            db = _fresh_db()
+            db.attach_tracer(tracer)
+            db.attach_faults(FaultPlane(list(case.specs)))
+            _drive(db, case.seed, case.batched)
     except Exception as exc:  # a failing case may die outright
         tracer.emit(ev.TRACE_HEADER, error=f"{type(exc).__name__}: {exc}")
-        ok = False
     return tracer.events
 
 

@@ -49,6 +49,13 @@ LOG_FORCE = "log_force"
 CRASH = "crash"
 #: The stable medium failed.
 MEDIA_FAILURE = "media_failure"
+#: A checksummed read (page or log record) failed its integrity check.
+CORRUPTION_DETECTED = "corruption_detected"
+#: Recovery fell back to an older backup generation / longer redo span
+#: (or truncated a damaged log tail) to heal detected corruption.
+CHAIN_FALLBACK = "chain_fallback"
+#: A page had no intact copy anywhere and was excluded from recovery.
+QUARANTINE = "quarantine"
 #: Span timers (``with tracer.span(name): ...``).
 SPAN_BEGIN = "span_begin"
 SPAN_END = "span_end"
@@ -70,6 +77,9 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     LOG_FORCE: ("lsn",),
     CRASH: (),
     MEDIA_FAILURE: (),
+    CORRUPTION_DETECTED: ("site",),
+    CHAIN_FALLBACK: ("action",),
+    QUARANTINE: ("page",),
     SPAN_BEGIN: ("span",),
     SPAN_END: ("span", "ms"),
     TRACE_HEADER: (),

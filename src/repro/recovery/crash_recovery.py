@@ -4,17 +4,32 @@ After a crash the volatile cache is gone; S plus the durable log prefix
 must reconstruct the current state.  Recovery loads S's pages, replays the
 durable log from the scan-start (truncation) point with the LSN redo test,
 and — when an oracle is supplied — verifies the result.
+
+Corruption handling: pages the caller has identified as damaged (stable
+checksum failures with no backup to heal from) are passed as
+``quarantine``; they are seeded as POISON so replay either rebuilds them
+from blind records or honestly propagates the loss into
+``RecoveryOutcome.quarantined``.  ``rebuild_from_log=True`` ignores the
+stable image entirely and replays the full retained log against an empty
+initial state — the full-history rebuild used when the log still reaches
+back to LSN 1, which is sound by construction (it is exactly how the
+oracle state is produced).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.ids import LSN, PageId
-from repro.obs.events import RECOVERY_PHASE
+from repro.ids import LSN, NULL_LSN, PageId
+from repro.obs.events import QUARANTINE, RECOVERY_PHASE
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
-from repro.recovery.redo import RedoReplayer, surviving_poison
+from repro.recovery.redo import (
+    POISON,
+    RedoReplayer,
+    contains_poison,
+    surviving_poison,
+)
 from repro.storage.page import PageVersion
 from repro.storage.stable_db import StableDatabase
 from repro.wal.log_manager import LogManager
@@ -28,6 +43,8 @@ def run_crash_recovery(
     initial_value: Any = None,
     apply_to_stable: bool = True,
     tracer=None,
+    quarantine: Sequence[PageId] = (),
+    rebuild_from_log: bool = False,
 ) -> RecoveryOutcome:
     """Recover the current state from S and the durable log.
 
@@ -46,9 +63,14 @@ def run_crash_recovery(
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="crash", phase="repair_torn",
                     rolled_back=repaired)
-    state: Dict[PageId, PageVersion] = {
-        pid: ver for pid, ver in stable.iter_pages()
-    }
+    if rebuild_from_log:
+        # Empty state: every page materializes at the initial value and
+        # the full log replay reconstructs the store from scratch.
+        state: Dict[PageId, PageVersion] = {}
+    else:
+        state = {pid: ver for pid, ver in stable.iter_pages()}
+    for pid in quarantine:
+        state[pid] = PageVersion(POISON, NULL_LSN)
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     with tracer.span("recovery.crash.redo"):
         stats = replayer.replay(log.durable_scan(scan_start_lsn), state)
@@ -56,19 +78,41 @@ def run_crash_recovery(
         tracer.emit(RECOVERY_PHASE, kind="crash", phase="redo",
                     replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
+    quarantined: List[PageId] = []
+    if quarantine:
+        # With damage seeded, surviving POISON is the quarantine report:
+        # the seeds replay could not heal, plus pages their loss tainted.
+        quarantined = poisoned
+        poisoned = []
+        if tracer.enabled:
+            for pid in quarantined:
+                tracer.emit(QUARANTINE, page=str(pid), kind="crash")
+    quarantined_set = set(quarantined)
     diffs = []
     if oracle is not None:
-        diffs = diff_states(state, oracle, initial_value)
+        diffs = [
+            d
+            for d in diff_states(state, oracle, initial_value)
+            if d[0] not in quarantined_set
+        ]
         if tracer.enabled:
             tracer.emit(RECOVERY_PHASE, kind="crash", phase="verify",
-                        diffs=len(diffs), poisoned=len(poisoned))
+                        diffs=len(diffs), poisoned=len(poisoned),
+                        quarantined=len(quarantined))
     if apply_to_stable:
         for pid, ver in state.items():
-            if stable.layout.contains(pid):
-                stable.install_version(pid, ver)
+            if not stable.layout.contains(pid):
+                continue
+            if contains_poison(ver.value):
+                stable.install_version(
+                    pid, PageVersion(initial_value, NULL_LSN)
+                )
+                continue
+            stable.install_version(pid, ver)
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="crash", phase="complete",
-                    ok=not poisoned and not diffs)
+                    ok=not poisoned and not diffs,
+                    quarantined=len(quarantined))
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,
@@ -76,4 +120,5 @@ def run_crash_recovery(
         poisoned=poisoned,
         diffs=diffs,
         kind="crash",
+        quarantined=quarantined,
     )

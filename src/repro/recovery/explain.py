@@ -41,6 +41,13 @@ class RecoveryOutcome:
     :mod:`repro.sim.faults`) the run lived through before this recovery
     verified; ``analysis`` carries the taint analysis for selective
     recovery, ``None`` otherwise.
+
+    ``quarantined`` is the degraded-mode report of the corruption layer:
+    pages for which *no* intact copy existed anywhere (every backup
+    generation damaged, no log path to rebuild).  A recovery with
+    quarantined pages is degraded but honest — the pages are excluded
+    from verification instead of silently restored wrong, and ``ok``
+    still holds for the rest of the store.
     """
 
     state: Dict[PageId, PageVersion]
@@ -51,10 +58,16 @@ class RecoveryOutcome:
     kind: str = ""
     faults_survived: int = 0
     analysis: Optional[Any] = None  # TaintAnalysis for kind="selective"
+    quarantined: List[PageId] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.diffs and not self.poisoned
+
+    @property
+    def degraded(self) -> bool:
+        """Recovery succeeded for all but the quarantined pages."""
+        return self.ok and bool(self.quarantined)
 
     @property
     def redone(self) -> int:
@@ -83,10 +96,15 @@ class RecoveryOutcome:
             if self.faults_survived
             else ""
         )
+        quarantined = (
+            f" quarantined={len(self.quarantined)}" if self.quarantined else ""
+        )
+        if self.degraded:
+            status = "DEGRADED"
         return (
             f"{kind}recovery {status}: redone={self.replayed} "
             f"skipped={self.skipped} diffs={len(self.diffs)} "
-            f"poisoned={len(self.poisoned)}{faults}"
+            f"poisoned={len(self.poisoned)}{faults}{quarantined}"
         )
 
 
@@ -217,6 +235,15 @@ def render_timeline(events, max_redo_ops: int = 8) -> str:
             depth += 1
         if event.kind == ev.FAULT_INJECTED:
             faults.append(event)
+        if event.kind in (
+            ev.CORRUPTION_DETECTED,
+            ev.CHAIN_FALLBACK,
+            ev.QUARANTINE,
+        ):
+            # Corruption observations and the healing actions taken for
+            # them belong in the causality footer: they are how a
+            # bit-flip injection links to the recovery that absorbed it.
+            observed.append(event)
         if event.kind == ev.RECOVERY_PHASE:
             phase = event.get("phase")
             damaged = (
@@ -237,15 +264,23 @@ def render_timeline(events, max_redo_ops: int = 8) -> str:
             later = [o for o in observed if o.seq > fault.seq]
             if later:
                 for obs in later:
-                    detail = " ".join(
-                        f"{k}={v}"
-                        for k, v in obs.fields.items()
-                        if k not in ("kind", "phase")
-                    )
-                    lines.append(
-                        f"    -> observed by {obs.get('kind')} recovery "
-                        f"phase {obs.get('phase')!r} [{obs.seq}] {detail}"
-                    )
+                    if obs.kind == ev.RECOVERY_PHASE:
+                        detail = " ".join(
+                            f"{k}={v}"
+                            for k, v in obs.fields.items()
+                            if k not in ("kind", "phase")
+                        )
+                        lines.append(
+                            f"    -> observed by {obs.get('kind')} recovery "
+                            f"phase {obs.get('phase')!r} [{obs.seq}] {detail}"
+                        )
+                    else:
+                        detail = " ".join(
+                            f"{k}={v}" for k, v in obs.fields.items()
+                        )
+                        lines.append(
+                            f"    -> {obs.kind} [{obs.seq}] {detail}"
+                        )
             else:
                 lines.append("    -> no recovery phase observed damage")
     return "\n".join(lines)

@@ -8,22 +8,75 @@ Roll-forward can target any LSN at or after the backup's completion LSN
 ("to the desired time, usually the most recent committed state").  Earlier
 targets are rejected: the backup is fuzzy and may already contain effects
 of operations up to its completion point.
+
+Corruption handling (self-healing): before restoring, the backup image is
+verified against its integrity envelopes.  If any page is damaged the
+recovery falls back to the *previous generation* in the backup chain
+(``fallback``, newest first) — an older but fully intact image plus a
+longer redo span, which the LSN redo test makes cost-only, never wrong.
+Whole images are preferred over mixing pages across generations because a
+per-page mix can hand a replayed logical operation inputs from the wrong
+point in time.  Only when *no* intact generation exists does recovery
+degrade: the damaged pages are seeded as POISON so replay either heals
+them (a later blind physical/identity record rewrites them) or honestly
+propagates the loss, and whatever remains unrecoverable is reported in
+``RecoveryOutcome.quarantined`` instead of crashing or silently restoring
+garbage.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import NoBackupError, RecoveryError
-from repro.ids import LSN, PageId
-from repro.obs.events import RECOVERY_PHASE
+from repro.ids import LSN, NULL_LSN, PageId
+from repro.obs.events import (
+    CHAIN_FALLBACK,
+    CORRUPTION_DETECTED,
+    QUARANTINE,
+    RECOVERY_PHASE,
+)
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
-from repro.recovery.redo import RedoReplayer, surviving_poison
+from repro.recovery.redo import (
+    POISON,
+    RedoReplayer,
+    contains_poison,
+    surviving_poison,
+)
 from repro.storage.backup_db import BackupDatabase
 from repro.storage.page import PageVersion
 from repro.storage.stable_db import StableDatabase
 from repro.wal.log_manager import LogManager
+
+
+def _usable_fallback(
+    older: Optional[BackupDatabase],
+    target: LSN,
+    log: LogManager,
+    tracer,
+) -> bool:
+    """Can media recovery restore from this older generation?
+
+    It must be sealed, complete at or before the roll-forward target,
+    have its whole redo span still on the log, and verify clean.
+    """
+    if older is None or not older.is_complete:
+        return False
+    if older.completion_lsn is not None and older.completion_lsn > target:
+        return False
+    if older.media_scan_start_lsn < log.first_retained_lsn:
+        return False
+    damaged = older.damaged_pages()
+    if damaged:
+        if tracer.enabled:
+            tracer.emit(
+                CORRUPTION_DETECTED, site="backup",
+                backup_id=older.backup_id,
+                pages=[str(p) for p in damaged],
+            )
+        return False
+    return True
 
 
 def run_media_recovery(
@@ -34,8 +87,14 @@ def run_media_recovery(
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
     tracer=None,
+    fallback: Sequence[BackupDatabase] = (),
 ) -> RecoveryOutcome:
-    """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``."""
+    """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``.
+
+    ``fallback`` lists older completed backup generations, newest first;
+    they are consulted (whole-image, longer redo span) when ``backup``
+    fails its integrity check.
+    """
     tracer = tracer or NULL_TRACER
     if backup is None:
         raise NoBackupError("no backup available for media recovery")
@@ -55,38 +114,102 @@ def run_media_recovery(
         tracer.emit(RECOVERY_PHASE, kind="media", phase="begin",
                     backup_id=backup.backup_id, target_lsn=target)
 
-    # (1) Off-line restore: re-format S from the backup image.
+    # Integrity gate: pick the newest generation whose image is intact.
+    chosen = backup
+    quarantine_seed: List[PageId] = []
+    damaged = backup.damaged_pages()
+    if damaged:
+        if tracer.enabled:
+            tracer.emit(
+                CORRUPTION_DETECTED, site="backup",
+                backup_id=backup.backup_id,
+                pages=[str(p) for p in damaged],
+            )
+        chosen = None
+        for older in fallback:
+            if _usable_fallback(older, target, log, tracer):
+                chosen = older
+                if tracer.enabled:
+                    tracer.emit(
+                        CHAIN_FALLBACK, action="older-generation",
+                        from_backup=backup.backup_id,
+                        to_backup=older.backup_id,
+                        scan_start_lsn=older.media_scan_start_lsn,
+                    )
+                break
+        if chosen is None:
+            # No intact generation anywhere: degrade, don't crash.  The
+            # newest image is used minus its damaged pages, which replay
+            # either heals (blind rewrite) or proves lost.
+            chosen = backup
+            quarantine_seed = damaged
+            if tracer.enabled:
+                tracer.emit(
+                    CHAIN_FALLBACK, action="quarantine",
+                    backup_id=backup.backup_id, pages=len(damaged),
+                )
+
+    # (1) Off-line restore: re-format S from the chosen backup image.
+    restore_pages = chosen.pages()
+    for pid in quarantine_seed:
+        restore_pages.pop(pid, None)
     with tracer.span("recovery.media.restore"):
-        stable.restore_from(backup.pages(), initial_value=initial_value)
+        stable.restore_from(restore_pages, initial_value=initial_value)
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="restore",
-                    scan_start_lsn=backup.media_scan_start_lsn)
+                    backup_id=chosen.backup_id,
+                    scan_start_lsn=chosen.media_scan_start_lsn)
 
     # (2) Roll forward with the media recovery log.
     state: Dict[PageId, PageVersion] = {
         pid: ver for pid, ver in stable.iter_pages()
     }
+    for pid in quarantine_seed:
+        # Content lost; POISON propagates honestly through replay unless
+        # a later blind record rewrites the page.
+        state[pid] = PageVersion(POISON, NULL_LSN)
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     with tracer.span("recovery.media.redo"):
         stats = replayer.replay(
-            log.scan(backup.media_scan_start_lsn, target), state
+            log.scan(chosen.media_scan_start_lsn, target), state
         )
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="redo",
                     replayed=stats.ops_replayed, skipped=stats.ops_skipped)
     poisoned = surviving_poison(state)
+    quarantined: List[PageId] = []
+    if quarantine_seed:
+        # Every surviving POISON traces back to the corrupted pages (the
+        # seeds plus anything their loss transitively tainted).
+        quarantined = poisoned
+        poisoned = []
+        if tracer.enabled:
+            for pid in quarantined:
+                tracer.emit(QUARANTINE, page=str(pid), kind="media")
+    quarantined_set = set(quarantined)
     diffs = []
     if oracle is not None:
-        diffs = diff_states(state, oracle, initial_value)
+        diffs = [
+            d
+            for d in diff_states(state, oracle, initial_value)
+            if d[0] not in quarantined_set
+        ]
         if tracer.enabled:
             tracer.emit(RECOVERY_PHASE, kind="media", phase="verify",
-                        diffs=len(diffs), poisoned=len(poisoned))
+                        diffs=len(diffs), poisoned=len(poisoned),
+                        quarantined=len(quarantined))
     for pid, ver in state.items():
-        if stable.layout.contains(pid):
-            stable.install_version(pid, ver)
+        if not stable.layout.contains(pid):
+            continue
+        if contains_poison(ver.value):
+            # Quarantined: format the cell rather than install garbage.
+            stable.install_version(pid, PageVersion(initial_value, NULL_LSN))
+            continue
+        stable.install_version(pid, ver)
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="complete",
-                    ok=not poisoned and not diffs)
+                    ok=not poisoned and not diffs,
+                    quarantined=len(quarantined))
     return RecoveryOutcome(
         state=state,
         replayed=stats.ops_replayed,
@@ -94,4 +217,5 @@ def run_media_recovery(
         poisoned=poisoned,
         diffs=diffs,
         kind="media",
+        quarantined=quarantined,
     )

@@ -123,8 +123,29 @@ class RedoReplayer:
         return stats
 
 
+def contains_poison(value: Any) -> bool:
+    """True if ``value`` is, or transitively embeds, the POISON sentinel.
+
+    An op that *raises* on a poisoned read produces a page whose value
+    is POISON itself; an op that merely carries a read along (tucking it
+    into a tuple) propagates the taint silently as a nested value.  Both
+    are unrecoverable and both must be reported, so poison checks look
+    inside containers rather than only at the top level.
+    """
+    if value is POISON:
+        return True
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return any(contains_poison(item) for item in value)
+    if isinstance(value, dict):
+        return any(
+            contains_poison(k) or contains_poison(v)
+            for k, v in value.items()
+        )
+    return False
+
+
 def surviving_poison(state: MutableMapping[PageId, PageVersion]) -> List[PageId]:
-    """Pages whose value is still POISON after replay (unrecoverable)."""
+    """Pages still tainted by POISON after replay (unrecoverable)."""
     return sorted(
-        page for page, ver in state.items() if ver.value is POISON
+        page for page, ver in state.items() if contains_poison(ver.value)
     )

@@ -63,6 +63,7 @@ class IOFaultPlan:
     point: str = IOPoint.ANY
     times: int = 1
     keep: int = 1
+    seed: int = 0
 
     def __post_init__(self):
         if self.at_io < 1:
@@ -77,6 +78,7 @@ class IOFaultPlan:
             at_io=self.at_io,
             times=self.times,
             keep=self.keep,
+            seed=self.seed,
         )
 
 

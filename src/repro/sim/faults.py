@@ -15,8 +15,11 @@ systematically:
   armed :class:`FaultSpec`\\ s when their trigger count is reached.
 * :class:`FaultSpec` — one armed fault: *transient* (a bounded number of
   :class:`~repro.errors.TransientIOError`\\ s the caller must retry
-  through), *torn* (only a prefix of a multi-part write lands), or
-  *crash* (:class:`~repro.errors.SimulatedCrash` raised mid-I/O).
+  through), *torn* (only a prefix of a multi-part write lands), *crash*
+  (:class:`~repro.errors.SimulatedCrash` raised mid-I/O), or *bitrot*
+  (silent corruption: the device's corruptor callback flips stored
+  content without refreshing its integrity envelope, so the damage is
+  only visible to a later checksummed read).
 * :func:`with_retries` — the bounded retry-with-backoff helper callers
   use to survive transient faults.  Backoff is simulated (recorded in
   :class:`~repro.sim.metrics.Metrics`, never slept) so runs stay fast
@@ -26,18 +29,29 @@ Torn-write semantics differ by device, mirroring reality:
 
 * A torn write to the *backup* database raises
   :class:`~repro.errors.TornWriteError` carrying how many pages landed;
-  the backup process detects it (checksums) and re-issues the remainder
-  of the span — the sweep survives without a crash.
+  the backup process re-issues the remainder of the span and then
+  verifies the whole span against its CRC32 integrity envelopes
+  (``BackupDatabase.verify_pages``) — the sweep survives without a
+  crash, and a span that re-read damaged content is detected rather
+  than silently archived.
 * A torn multi-page install into the *stable* database is only
   discoverable after a failure, so it surfaces as
   :class:`~repro.errors.SimulatedCrash`; the prefix stays on disk and
   the shadow (doublewrite) journal kept by ``StableDatabase`` rolls it
   back during recovery, restoring the multi-page atomicity the paper
   assumes.
+
+Bitrot is different from every other kind: it never raises at the
+injection site.  The plane invokes the device's ``corrupt`` callback
+with a deterministic per-spec RNG; the device mutates one stored page
+(or log record) in place, leaving the stale checksum behind.  Detection
+is the *store's* job, at read/verify time — which is exactly the gap
+the integrity envelopes close.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -77,8 +91,9 @@ class FaultKind:
     TORN = "torn"
     TRANSIENT = "transient"
     CRASH = "crash"
+    BITROT = "bitrot"
 
-    ALL = (TORN, TRANSIENT, CRASH)
+    ALL = (TORN, TRANSIENT, CRASH, BITROT)
 
 
 @dataclass(frozen=True)
@@ -90,7 +105,8 @@ class FaultSpec:
     counter for :data:`IOPoint.ANY`) reaches ``at_io``.  ``times`` is the
     number of consecutive failures a transient fault injects; ``keep``
     is how many parts of a multi-part write land before a torn fault
-    truncates it.
+    truncates it.  ``seed`` feeds the per-spec RNG handed to the
+    device's corruptor when a bitrot fault fires (ignored otherwise).
     """
 
     kind: str
@@ -98,6 +114,7 @@ class FaultSpec:
     at_io: int = 1
     times: int = 1
     keep: int = 1
+    seed: int = 0
 
     def __post_init__(self):
         if self.kind not in FaultKind.ALL:
@@ -218,13 +235,24 @@ class FaultPlane:
 
     # ------------------------------------------------------------ checking
 
-    def check(self, point: str, parts: int = 1) -> Optional[int]:
+    def check(
+        self,
+        point: str,
+        parts: int = 1,
+        corrupt: Optional[Callable] = None,
+    ) -> Optional[int]:
         """Count one I/O event at ``point`` and fire any due fault.
 
         ``parts`` is the number of parts (pages) of a multi-part write;
         torn faults only fire when ``parts >= 2`` (a single-part write
         is atomic by the disk-write-atomicity assumption) and stay armed
-        otherwise.  Returns the torn prefix length, or ``None``.
+        otherwise.  ``corrupt`` is the device's bitrot corruptor: called
+        with a deterministic RNG when a due bitrot fault fires, it must
+        silently damage one stored item and return ``True`` (or
+        ``False`` to leave the fault armed — e.g. nothing stored yet).
+        Devices that cannot be corrupted pass ``None`` and bitrot specs
+        simply stay armed at their points.  Returns the torn prefix
+        length, or ``None``.
         """
         if not self.enabled:
             return None
@@ -248,6 +276,14 @@ class FaultPlane:
                 self._record(FaultKind.TRANSIENT, point)
                 raise TransientIOError(point, self.io_count)
             if armed.fired:
+                continue
+            if spec.kind == FaultKind.BITROT:
+                if corrupt is None:
+                    continue
+                rng = random.Random(f"{spec.seed}:{point}:{spec.at_io}")
+                if corrupt(rng):
+                    armed.fired = True
+                    self._record(FaultKind.BITROT, point)
                 continue
             if spec.kind == FaultKind.CRASH:
                 armed.fired = True

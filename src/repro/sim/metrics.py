@@ -106,6 +106,14 @@ class Metrics:
     torn_spans_resumed: int = 0
     torn_writes_repaired: int = 0
 
+    # Corruption robustness: checksum failures observed, damage healed
+    # (chain fallback / tail truncation), pages given up on, and log
+    # records dropped by torn-tail repair.
+    corruption_detected: int = 0
+    corruption_healed: int = 0
+    pages_quarantined: int = 0
+    log_tail_truncated: int = 0
+
     # Per-phase timing histograms, fed by tracer spans (repro.obs).
     phase_timings: Dict[str, PhaseTiming] = field(default_factory=dict)
 

@@ -10,19 +10,26 @@ bookkeeping plus one entry per page.  Page values are arbitrary
 immutable Python data; they are encoded with a small self-describing
 scheme (``_encode``/``_decode``) rather than pickle, so archives are
 inspectable, diffable, and safe to load.
+
+Every page entry carries a ``crc`` integrity envelope
+(:func:`~repro.storage.page.page_checksum`) stamped at save time.
+:func:`load_backup` verifies each page and raises
+:class:`~repro.errors.CorruptPageError` on the first mismatch;
+:func:`scan_archive` is the tolerant variant the scrubber uses — it
+loads what it can and reports the damaged page ids instead of raising.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from repro.codec import CodecError, decode_value, encode_value
-from repro.errors import BackupError
+from repro.errors import BackupError, CorruptPageError
 from repro.ids import PageId
 from repro.storage.backup_db import BackupDatabase, BackupStatus
-from repro.storage.page import PageVersion
+from repro.storage.page import PageVersion, page_checksum
 
 FORMAT_VERSION = 1
 
@@ -61,6 +68,9 @@ def save_backup(backup: BackupDatabase, path: str) -> int:
                 "slot": pid.slot,
                 "lsn": version.page_lsn,
                 "value": _encode(version.value),
+                # The copy-time envelope, not a recomputation: damage
+                # that crept in since the copy must stay detectable.
+                "crc": backup.stored_checksum(pid),
             }
             for pid, version in sorted(backup.pages().items())
         ],
@@ -71,8 +81,14 @@ def save_backup(backup: BackupDatabase, path: str) -> int:
     return os.path.getsize(path)
 
 
-def load_backup(path: str) -> BackupDatabase:
-    """Reconstruct a completed backup from an archive file."""
+def scan_archive(path: str) -> Tuple[BackupDatabase, List[PageId]]:
+    """Load an archive, tolerating damaged pages.
+
+    Returns ``(backup, damaged)``: every page whose stored ``crc`` no
+    longer matches its content is *skipped* (not recorded into the
+    backup) and reported in ``damaged``.  Archives written before the
+    integrity envelope existed (no ``crc`` key) load as fully trusted.
+    """
     with open(path) as handle:
         envelope = json.load(handle)
     if envelope.get("format") != FORMAT_VERSION:
@@ -83,10 +99,34 @@ def load_backup(path: str) -> BackupDatabase:
         envelope["backup_id"], envelope["media_scan_start_lsn"]
     )
     backup.base_backup_id = envelope.get("base_backup_id")
+    damaged: List[PageId] = []
     for entry in envelope["pages"]:
-        backup.record_page(
-            PageId(entry["partition"], entry["slot"]),
-            PageVersion(_decode(entry["value"]), entry["lsn"]),
-        )
+        pid = PageId(entry["partition"], entry["slot"])
+        try:
+            version = PageVersion(_decode(entry["value"]), entry["lsn"])
+        except (BackupError, ValueError, TypeError, KeyError):
+            damaged.append(pid)
+            continue
+        crc = entry.get("crc")
+        if crc is not None and crc != page_checksum(version.value, version.page_lsn):
+            damaged.append(pid)
+            continue
+        backup.record_page(pid, version)
     backup.complete(envelope["completion_lsn"])
+    return backup, damaged
+
+
+def load_backup(path: str) -> BackupDatabase:
+    """Reconstruct a completed backup from an archive file.
+
+    Raises :class:`~repro.errors.CorruptPageError` if any page fails its
+    integrity check — restoring from a silently damaged archive is never
+    acceptable; use :func:`scan_archive` to inspect a damaged file.
+    """
+    backup, damaged = scan_archive(path)
+    if damaged:
+        raise CorruptPageError(
+            damaged[0], store="archive",
+            detail=f"{len(damaged)} damaged page(s) in {path}",
+        )
     return backup

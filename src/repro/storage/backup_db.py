@@ -18,11 +18,11 @@ ever reads completed backups.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import BackupError, TornWriteError
+from repro.errors import BackupError, CorruptPageError, TornWriteError
 from repro.ids import LSN, PageId
-from repro.storage.page import PageVersion
+from repro.storage.page import PageVersion, rot_value
 
 
 class BackupStatus(enum.Enum):
@@ -32,17 +32,78 @@ class BackupStatus(enum.Enum):
 
 
 class BackupDatabase:
-    """One backup image of the database, fuzzy w.r.t. transaction boundaries."""
+    """One backup image of the database, fuzzy w.r.t. transaction boundaries.
+
+    Like the stable database, every recorded page carries a CRC32
+    integrity envelope stamped at record time; :meth:`read_page` and
+    :meth:`verify_pages` check it, and media recovery consults
+    :meth:`damaged_pages` before trusting the image — a rotted backup
+    page triggers fallback to an older generation instead of silently
+    restoring garbage.
+    """
 
     def __init__(self, backup_id: int, media_scan_start_lsn: LSN):
         self.backup_id = backup_id
         self.media_scan_start_lsn = media_scan_start_lsn
         self._versions: Dict[PageId, PageVersion] = {}
+        self._checksums: Dict[PageId, int] = {}
         self._copy_order: List[PageId] = []
         self._status = BackupStatus.IN_PROGRESS
         self.completion_lsn: Optional[LSN] = None
         # Optional FaultPlane (see repro.sim.faults), wired by the engine.
         self.faults = None
+
+    # ------------------------------------------------------------- integrity
+
+    def verify_page(self, page_id: PageId) -> bool:
+        """Does a recorded page still match its integrity envelope?"""
+        version = self._versions.get(page_id)
+        if version is None:
+            return True
+        return version.checksum() == self._checksums[page_id]
+
+    def verify_pages(self, page_ids: Iterable[PageId]) -> None:
+        """Raise :class:`CorruptPageError` if any given page is damaged."""
+        for pid in page_ids:
+            if not self.verify_page(pid):
+                raise CorruptPageError(
+                    pid, store="backup",
+                    detail=f"backup {self.backup_id}",
+                )
+
+    def damaged_pages(self) -> List[PageId]:
+        """Every recorded page failing its integrity check."""
+        return sorted(
+            pid
+            for pid, version in self._versions.items()
+            if version.checksum() != self._checksums[pid]
+        )
+
+    def stored_checksum(self, page_id: PageId) -> int:
+        """The envelope recorded at copy time, *not* recomputed.
+
+        Archiving must carry the original envelope along so damage that
+        crept in after the copy still fails verification downstream;
+        recomputing from the current value would launder it.
+        """
+        crc = self._checksums.get(page_id)
+        if crc is None:  # pre-envelope image (e.g. hand-built in tests)
+            return self._versions[page_id].checksum()
+        return crc
+
+    def _bitrot(self, rng) -> bool:
+        """Silently rot one recorded page (fault-plane corruptor).
+
+        The envelope is left stale — detection happens at the next
+        verified read.  Returns ``False`` when nothing has been recorded
+        yet (the fault stays armed).
+        """
+        if not self._copy_order:
+            return False
+        pid = self._copy_order[rng.randrange(len(self._copy_order))]
+        old = self._versions[pid]
+        self._versions[pid] = PageVersion(rot_value(old.value), old.page_lsn)
+        return True
 
     # --------------------------------------------------------------- writing
 
@@ -60,8 +121,9 @@ class BackupDatabase:
         if self.faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.BACKUP_RECORD)
+            self.faults.check(IOPoint.BACKUP_RECORD, corrupt=self._bitrot)
         self._versions[page_id] = version
+        self._checksums[page_id] = version.checksum()
         self._copy_order.append(page_id)
 
     def record_pages(self, entries) -> None:
@@ -85,9 +147,11 @@ class BackupDatabase:
             from repro.sim.faults import IOPoint
 
             torn_keep = self.faults.check(
-                IOPoint.BACKUP_BULK_RECORD, parts=len(entries)
+                IOPoint.BACKUP_BULK_RECORD, parts=len(entries),
+                corrupt=self._bitrot,
             )
         versions = self._versions
+        checksums = self._checksums
         order = self._copy_order
         landing = entries if torn_keep is None else entries[:torn_keep]
         for page_id, version in landing:
@@ -97,6 +161,7 @@ class BackupDatabase:
                     f"{self.backup_id}"
                 )
             versions[page_id] = version
+            checksums[page_id] = version.checksum()
             order.append(page_id)
         if torn_keep is not None:
             raise TornWriteError(
@@ -124,7 +189,12 @@ class BackupDatabase:
         return self._status is BackupStatus.COMPLETE
 
     def read_page(self, page_id: PageId) -> Optional[PageVersion]:
-        return self._versions.get(page_id)
+        version = self._versions.get(page_id)
+        if version is not None and version.checksum() != self._checksums[page_id]:
+            raise CorruptPageError(
+                page_id, store="backup", detail=f"backup {self.backup_id}"
+            )
+        return version
 
     def pages(self) -> Dict[PageId, PageVersion]:
         return dict(self._versions)

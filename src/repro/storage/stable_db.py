@@ -24,19 +24,39 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
-from repro.errors import MediaFailureError, PageNotFoundError, SimulatedCrash
-from repro.ids import LSN, PageId
+from repro.errors import (
+    CorruptPageError,
+    MediaFailureError,
+    PageNotFoundError,
+    SimulatedCrash,
+)
+from repro.ids import LSN, NULL_LSN, PageId
 from repro.storage.layout import Layout
-from repro.storage.page import Page, PageVersion
+from repro.storage.page import Page, PageVersion, page_checksum, rot_value
 
 
 class StableDatabase:
-    """Simulated stable medium holding one page cell per layout slot."""
+    """Simulated stable medium holding one page cell per layout slot.
+
+    Every page carries a CRC32 integrity envelope
+    (:func:`~repro.storage.page.page_checksum`) stamped on write and
+    verified on read; a mismatch raises
+    :class:`~repro.errors.CorruptPageError`.  Silent corruption injected
+    by the fault plane (:data:`~repro.sim.faults.FaultKind.BITROT`)
+    mutates a page cell *without* refreshing its envelope, which is
+    exactly how real bit rot presents to a checksummed store.
+    """
 
     def __init__(self, layout: Layout, initial_value: Any = None):
         self.layout = layout
         self._pages: Dict[PageId, Page] = {
             pid: Page.empty(pid, initial_value) for pid in layout.all_pages()
+        }
+        # Integrity envelopes, one per page cell.  Every freshly
+        # formatted page shares the same (value, NULL_LSN) checksum.
+        self._initial_crc = page_checksum(initial_value, NULL_LSN)
+        self._checksums: Dict[PageId, int] = {
+            pid: self._initial_crc for pid in self._pages
         }
         self._failed = False
         self._failed_partitions: set = set()
@@ -50,6 +70,68 @@ class StableDatabase:
         self.faults = None
         self._shadow: List[Tuple[PageId, PageVersion]] = []
 
+    # ------------------------------------------------------------- integrity
+
+    def _store_version(self, page_id: PageId, version: PageVersion) -> None:
+        """Install a version into its cell, refreshing the envelope."""
+        self._pages[page_id].version = version
+        self._checksums[page_id] = version.checksum()
+
+    def _verify(self, page_id: PageId, version: PageVersion) -> PageVersion:
+        if version.checksum() != self._checksums[page_id]:
+            raise CorruptPageError(page_id, store="stable")
+        return version
+
+    def verify_page(self, page_id: PageId) -> bool:
+        """Does this page's content still match its integrity envelope?"""
+        page = self._page(page_id)
+        return page.version.checksum() == self._checksums[page_id]
+
+    def damaged_pages(self) -> List[PageId]:
+        """Every page failing its integrity check (raw scan, no media
+        gate — scrubbing and recovery must see damage on failed media)."""
+        return sorted(
+            pid
+            for pid, page in self._pages.items()
+            if page.version.checksum() != self._checksums[pid]
+        )
+
+    def pages_ahead_of(self, lsn: LSN) -> List[PageId]:
+        """Pages stamped *after* ``lsn`` (raw scan).
+
+        Under WAL no stable page can be ahead of the durable log end;
+        after a corrupt log tail is truncated, any such page provably
+        contains effects of discarded records and must be healed from a
+        backup or quarantined.
+        """
+        return sorted(
+            pid
+            for pid, page in self._pages.items()
+            if page.version.page_lsn > lsn
+        )
+
+    def _bitrot(self, rng) -> bool:
+        """Silently rot one page (fault-plane corruptor callback).
+
+        Prefers a page that has been written (a rotted never-touched
+        page is indistinguishable from a formatting quirk and exercises
+        nothing).  The envelope is deliberately left stale — that is the
+        corruption.  Returns ``True`` if damage landed.
+        """
+        written = [
+            pid
+            for pid, page in self._pages.items()
+            if page.version.page_lsn > NULL_LSN
+        ]
+        candidates = written or sorted(self._pages)
+        if not candidates:
+            return False
+        pid = candidates[rng.randrange(len(candidates))]
+        page = self._pages[pid]
+        old = page.version
+        page.version = PageVersion(rot_value(old.value), old.page_lsn)
+        return True
+
     # ------------------------------------------------------------------ reads
 
     def read_page(self, page_id: PageId) -> PageVersion:
@@ -57,8 +139,8 @@ class StableDatabase:
         if self.faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.STABLE_READ)
-        return self._page(page_id).snapshot()
+            self.faults.check(IOPoint.STABLE_READ, corrupt=self._bitrot)
+        return self._verify(page_id, self._page(page_id).snapshot())
 
     def read_pages(self, page_ids) -> "list":
         """Bulk read used by the batched backup sweep.
@@ -71,9 +153,10 @@ class StableDatabase:
         if self.faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.STABLE_BULK_READ)
+            self.faults.check(IOPoint.STABLE_BULK_READ, corrupt=self._bitrot)
         failed_partitions = self._failed_partitions
         pages = self._pages
+        checksums = self._checksums
         checked: set = set()
         out = []
         for pid in page_ids:
@@ -85,9 +168,12 @@ class StableDatabase:
                     )
                 checked.add(partition)
             try:
-                out.append((pid, pages[pid].version))
+                version = pages[pid].version
             except KeyError:
                 raise PageNotFoundError(pid) from None
+            if version.checksum() != checksums[pid]:
+                raise CorruptPageError(pid, store="stable")
+            out.append((pid, version))
         return out
 
     def page_lsn(self, page_id: PageId) -> LSN:
@@ -111,8 +197,9 @@ class StableDatabase:
         if self.faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.STABLE_WRITE)
-        self._page(page_id).update(value, lsn)
+            self.faults.check(IOPoint.STABLE_WRITE, corrupt=self._bitrot)
+        page = self._page(page_id)
+        self._store_version(page_id, page.version.with_update(value, lsn))
         self.page_writes += 1
 
     def write_pages_atomically(
@@ -131,7 +218,7 @@ class StableDatabase:
         self._check_media()
         for pid in versions:
             self._check_media(pid.partition)
-        cells = [(self._page(pid), ver) for pid, ver in versions.items()]
+        cells = [(pid, self._page(pid), ver) for pid, ver in versions.items()]
         torn_keep: Optional[int] = None
         if self.faults is not None:
             from repro.sim.faults import IOPoint
@@ -139,21 +226,22 @@ class StableDatabase:
             # The check may raise (transient / crash) before anything is
             # mutated, so callers can retry cleanly.
             torn_keep = self.faults.check(
-                IOPoint.STABLE_MULTI_WRITE, parts=len(cells)
+                IOPoint.STABLE_MULTI_WRITE, parts=len(cells),
+                corrupt=self._bitrot,
             )
             if len(cells) > 1:
                 self._shadow = [
                     (pid, self._pages[pid].version) for pid in versions
                 ]
         if torn_keep is not None:
-            for cell, ver in cells[:torn_keep]:
-                cell.version = ver
+            for pid, _cell, ver in cells[:torn_keep]:
+                self._store_version(pid, ver)
                 self.page_writes += 1
             raise SimulatedCrash(
                 "stable.write_multi", self.faults.io_count, torn=True
             )
-        for cell, ver in cells:
-            cell.version = ver
+        for pid, _cell, ver in cells:
+            self._store_version(pid, ver)
             self.page_writes += 1
         self._shadow = []
         if len(cells) > 1:
@@ -178,7 +266,7 @@ class StableDatabase:
             return 0
         reverted = 0
         for pid, version in self._shadow:
-            self._pages[pid].version = version
+            self._store_version(pid, version)
             reverted += 1
         self._shadow = []
         if self.faults is not None and self.faults.metrics is not None:
@@ -215,10 +303,11 @@ class StableDatabase:
         self._failed_partitions.discard(partition)
         for pid in self.layout.pages_in_partition(partition):
             self._pages[pid] = Page.empty(pid, initial_value)
+            self._checksums[pid] = page_checksum(initial_value, NULL_LSN)
         for pid, ver in versions.items():
             if pid.partition != partition:
                 raise PageNotFoundError(pid)
-            self._page(pid).version = ver
+            self._store_version(pid, ver)
 
     def restore_from(
         self, versions: Mapping[PageId, PageVersion], initial_value: Any = None
@@ -235,8 +324,11 @@ class StableDatabase:
             pid: Page.empty(pid, initial_value)
             for pid in self.layout.all_pages()
         }
+        fresh_crc = page_checksum(initial_value, NULL_LSN)
+        self._checksums = {pid: fresh_crc for pid in self._pages}
         for pid, ver in versions.items():
-            self._page(pid).version = ver
+            self._page(pid)  # validates the id
+            self._store_version(pid, ver)
 
     # --------------------------------------------------------------- plumbing
 

@@ -26,6 +26,9 @@ from repro.obs.tracer import NULL_TRACER
 from repro.ops.base import Operation
 from repro.wal.records import LogRecord, RecordFlag
 
+# Cached late import (see LogManager._checksum).
+_record_checksum = None
+
 
 class LogManager:
     def __init__(self, auto_force: bool = True):
@@ -44,6 +47,9 @@ class LogManager:
         self.faults = None
         # Tracer (repro.obs): explicit forces emit log_force events.
         self.tracer = NULL_TRACER
+        # Records dropped when a damaged tail was truncated (repair_tail
+        # here, or load_log(repair_tail=True) for shipped log files).
+        self.tail_repair_dropped = 0
 
     # --------------------------------------------------------------- appends
 
@@ -56,9 +62,10 @@ class LogManager:
         if self.faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.LOG_APPEND)
+            self.faults.check(IOPoint.LOG_APPEND, corrupt=self._bitrot)
         lsn = self._first_lsn + len(self._records)
         record = LogRecord(lsn, op, flags, source)
+        record.crc = self._checksum(record)
         self._records.append(record)
         if self.auto_force:
             self._flushed_lsn = lsn
@@ -78,12 +85,76 @@ class LogManager:
             if self.faults is not None:
                 from repro.sim.faults import IOPoint
 
-                self.faults.check(IOPoint.LOG_FORCE)
+                self.faults.check(IOPoint.LOG_FORCE, corrupt=self._bitrot)
             if self.tracer.enabled:
                 self.tracer.emit(
                     LOG_FORCE, lsn=end, from_lsn=self._flushed_lsn
                 )
             self._flushed_lsn = end
+
+    # ------------------------------------------------------------- integrity
+
+    @staticmethod
+    def _checksum(record: LogRecord) -> int:
+        # Late import: repro.wal.serialize imports this module at top
+        # level, so the checksum helper must be resolved lazily.
+        global _record_checksum
+        if _record_checksum is None:
+            from repro.wal.serialize import record_checksum
+
+            _record_checksum = record_checksum
+        return _record_checksum(record)
+
+    def verify_record(self, record: LogRecord) -> bool:
+        """Does a record still match its append-time integrity envelope?
+
+        Records without an envelope (built outside the manager) are
+        trusted — there is nothing to verify against.
+        """
+        return record.crc is None or record.crc == self._checksum(record)
+
+    def damaged_records(self) -> List[LSN]:
+        """LSNs of retained records failing their integrity check."""
+        return [r.lsn for r in self._records if not self.verify_record(r)]
+
+    def repair_tail(self) -> int:
+        """Truncate the log at the first corrupt record (torn-tail repair).
+
+        Crash recovery calls this before analysis: the first record
+        whose integrity envelope no longer matches marks the end of the
+        trustworthy log, and it plus everything after it is discarded.
+        ``flushed_lsn`` is pulled back accordingly.  Returns the number
+        of records dropped (also accumulated on
+        ``tail_repair_dropped``).
+        """
+        cut = None
+        for i, record in enumerate(self._records):
+            if not self.verify_record(record):
+                cut = i
+                break
+        if cut is None:
+            return 0
+        dropped = len(self._records) - cut
+        del self._records[cut:]
+        if self._flushed_lsn > self.end_lsn:
+            self._flushed_lsn = self.end_lsn
+        self.tail_repair_dropped += dropped
+        return dropped
+
+    def _bitrot(self, rng) -> bool:
+        """Silently rot one log record (fault-plane corruptor).
+
+        Flips one bit of the *last* record's stored envelope — tail rot,
+        the damage torn-tail repair is built for.  Returns ``False``
+        when the log is empty (the fault stays armed).
+        """
+        if not self._records:
+            return False
+        record = self._records[-1]
+        if record.crc is None:
+            record.crc = 0
+        record.crc ^= 1 << rng.randrange(32)
+        return True
 
     def discard_unflushed(self) -> int:
         """Crash simulation: drop the volatile log tail.

@@ -27,7 +27,7 @@ class RecordFlag(enum.Flag):
 class LogRecord:
     """One log record; slotted, one is built per executed operation."""
 
-    __slots__ = ("lsn", "op", "flags", "source")
+    __slots__ = ("lsn", "op", "flags", "source", "crc")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class LogRecord:
         op: Operation,
         flags: RecordFlag = RecordFlag.NONE,
         source: str = "",
+        crc=None,
     ):
         self.lsn = lsn
         self.op = op
@@ -42,6 +43,10 @@ class LogRecord:
         # Who logged this operation (transaction / application name); used
         # by selective redo (§6.3) to identify a corrupting source.
         self.source = source
+        # CRC32 integrity envelope stamped by LogManager.append (see
+        # repro.wal.serialize.record_checksum); None for records built
+        # outside the manager (tests, ad-hoc construction).
+        self.crc = crc
 
     @property
     def is_cm_injected(self) -> bool:

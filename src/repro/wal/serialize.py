@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import zlib
 from typing import Any, Dict, List
 
 from repro.codec import decode_value, encode_value
-from repro.errors import LogError
+from repro.errors import CorruptLogRecordError, LogError
 from repro.ids import PageId
 from repro.ops.base import Operation
 from repro.ops.identity import IdentityWrite
@@ -175,21 +177,66 @@ def op_from_spec(spec: Dict[str, Any]) -> Operation:
     raise LogError(f"unknown operation spec kind {kind!r}")
 
 
+def spec_checksum(spec: Dict[str, Any]) -> int:
+    """CRC32 integrity envelope over a record spec's canonical form.
+
+    Covers the LSN, flags, source and the full operation spec (the
+    ``crc`` key itself is excluded).  Computed over the spec dict rather
+    than the reconstructed record, so verification does not depend on
+    operation round-trip stability.
+    """
+    body = {
+        "lsn": spec["lsn"],
+        "flags": spec["flags"],
+        "source": spec.get("source", ""),
+        "op": spec["op"],
+    }
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def record_checksum(record: LogRecord) -> int:
+    """The integrity envelope :class:`LogManager` stamps at append time.
+
+    Operations the serializer does not know (test fakes) are covered via
+    their ``repr`` — stable within a process, which is the lifetime of
+    an in-memory log.
+    """
+    try:
+        op_spec = op_to_spec(record.op)
+    except LogError:
+        op_spec = {"kind": "opaque", "repr": repr(record.op)}
+    return spec_checksum(
+        {
+            "lsn": record.lsn,
+            "flags": record.flags.value,
+            "source": record.source,
+            "op": op_spec,
+        }
+    )
+
+
 def record_to_spec(record: LogRecord) -> Dict[str, Any]:
-    return {
+    spec = {
         "lsn": record.lsn,
         "flags": record.flags.value,
         "source": record.source,
         "op": op_to_spec(record.op),
     }
+    spec["crc"] = record.crc if record.crc is not None else spec_checksum(spec)
+    return spec
 
 
 def record_from_spec(spec: Dict[str, Any]) -> LogRecord:
+    crc = spec.get("crc")
+    if crc is not None and crc != spec_checksum(spec):
+        raise CorruptLogRecordError(spec.get("lsn", "?"))
     return LogRecord(
         lsn=spec["lsn"],
         op=op_from_spec(spec["op"]),
         flags=RecordFlag(spec["flags"]),
         source=spec.get("source", ""),
+        crc=crc,
     )
 
 
@@ -223,23 +270,85 @@ def save_log(log: LogManager, path: str) -> int:
     return os.path.getsize(path)
 
 
-def load_log(path: str) -> LogManager:
-    """Reconstruct a LogManager (with original LSNs) from a file."""
+_HEADER_RE = re.compile(
+    r'^\{"format":\s*(-?\d+),\s*"first_lsn":\s*(-?\d+),'
+    r'\s*"flushed_lsn":\s*(-?\d+),\s*"records":\s*\['
+)
+
+
+def _salvage_specs(text: str, pos: int):
+    """Yield record specs decoded one at a time from ``text``.
+
+    Stops (without raising) at the first position that is not a
+    decodable JSON object — the boundary of the surviving prefix of a
+    damaged file.
+    """
+    decoder = json.JSONDecoder()
+    length = len(text)
+    while True:
+        while pos < length and text[pos] in ", \t\r\n":
+            pos += 1
+        if pos >= length or text[pos] != "{":
+            return
+        try:
+            spec, pos = decoder.raw_decode(text, pos)
+        except ValueError:
+            return
+        yield spec
+
+
+def load_log(path: str, repair_tail: bool = False) -> LogManager:
+    """Reconstruct a LogManager (with original LSNs) from a file.
+
+    With ``repair_tail=False`` (the default) any damage — invalid JSON,
+    a checksum-failed record, an out-of-sequence LSN — raises.  With
+    ``repair_tail=True`` the loader is tolerant: records are decoded one
+    at a time and the log is truncated at the first record that cannot
+    be decoded or fails its integrity check, yielding the longest clean
+    prefix (torn-tail repair for shipped log files).  The number of
+    records dropped is exposed as ``log.tail_repair_dropped``.
+    """
     with open(path) as handle:
-        envelope = json.load(handle)
-    if envelope.get("format") != FORMAT_VERSION:
-        raise LogError(
-            f"unsupported log format {envelope.get('format')!r}"
-        )
-    log = LogManager(auto_force=True)
-    log._first_lsn = envelope["first_lsn"]  # noqa: SLF001
-    for spec in envelope["records"]:
-        record = record_from_spec(spec)
-        if record.lsn != log.next_lsn:
+        text = handle.read()
+    envelope = None
+    try:
+        envelope = json.loads(text)
+    except ValueError:
+        if not repair_tail:
+            raise LogError(f"log file {path} is not valid JSON") from None
+    if envelope is not None:
+        if envelope.get("format") != FORMAT_VERSION:
             raise LogError(
-                f"log file out of sequence at LSN {record.lsn} "
-                f"(expected {log.next_lsn})"
+                f"unsupported log format {envelope.get('format')!r}"
             )
+        first_lsn = envelope["first_lsn"]
+        claimed_flushed = envelope["flushed_lsn"]
+        specs = iter(envelope["records"])
+    else:
+        header = _HEADER_RE.match(text)
+        if header is None or int(header.group(1)) != FORMAT_VERSION:
+            raise LogError(
+                f"log file {path}: header unreadable, nothing salvageable"
+            )
+        first_lsn = int(header.group(2))
+        claimed_flushed = int(header.group(3))
+        specs = _salvage_specs(text, header.end())
+    log = LogManager(auto_force=True)
+    log._first_lsn = first_lsn  # noqa: SLF001
+    for spec in specs:
+        try:
+            record = record_from_spec(spec)
+            if record.lsn != log.next_lsn:
+                raise LogError(
+                    f"log file out of sequence at LSN {record.lsn} "
+                    f"(expected {log.next_lsn})"
+                )
+        except (LogError, KeyError, TypeError, ValueError):
+            if repair_tail:
+                break  # everything from here on is untrustworthy
+            raise
         log._records.append(record)  # noqa: SLF001
     log.force()
+    # How many records the file claimed beyond what survived.
+    log.tail_repair_dropped = max(0, claimed_flushed - (log.next_lsn - 1))
     return log

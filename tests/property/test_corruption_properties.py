@@ -1,0 +1,111 @@
+"""Property tests: log files corrupted at any suffix stay loadable.
+
+The tolerant loader (``load_log(..., repair_tail=True)``) must, for
+*any* corruption of a serialized log file's suffix — truncation at an
+arbitrary byte, or a flipped byte anywhere in the records region —
+salvage a clean prefix: contiguous LSNs from 1, every surviving record
+passing its checksum, and the analysis pass running cleanly over it.
+"""
+
+import os
+import tempfile
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import Database
+from repro.ids import PageId
+from repro.ops.physical import PhysicalWrite
+from repro.ops.physiological import PhysiologicalWrite
+from repro.recovery.analysis_pass import analyze_log
+from repro.wal.serialize import save_log
+
+_TEXT_CACHE = {}
+
+
+def log_file_text():
+    """One deterministic serialized log (built once, reused per example)."""
+    if "text" not in _TEXT_CACHE:
+        db = Database(pages_per_partition=[16], policy="general")
+        for step in range(12):
+            db.execute(PhysicalWrite(PageId(0, step % 16), ("r", step)))
+            if step % 5 == 4:
+                db.execute(
+                    PhysiologicalWrite(PageId(0, step % 16), "stamp", (step,))
+                )
+            if step == 6:
+                db.checkpoint()
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", delete=False
+        ) as handle:
+            path = handle.name
+        try:
+            save_log(db.log, path)
+            with open(path) as handle:
+                _TEXT_CACHE["text"] = handle.read()
+        finally:
+            os.unlink(path)
+        _TEXT_CACHE["record_count"] = len(db.log)
+    return _TEXT_CACHE["text"], _TEXT_CACHE["record_count"]
+
+
+def load_corrupted(text):
+    from repro.wal.serialize import load_log
+
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", delete=False
+    ) as handle:
+        handle.write(text)
+        path = handle.name
+    try:
+        return load_log(path, repair_tail=True)
+    finally:
+        os.unlink(path)
+
+
+def records_start(text):
+    """First byte of record data: damage from here on is tail damage.
+
+    Anything before this point is the file header; destroying it is
+    total loss, not a corrupted suffix, and the loader rejects it."""
+    return text.index('"records":[') + len('"records":[')
+
+
+def assert_clean_prefix(log, original_count):
+    assert 0 <= len(log) <= original_count
+    assert log.damaged_records() == []
+    lsns = [record.lsn for record in log.scan(1)] if len(log) else []
+    assert lsns == list(range(1, len(log) + 1))
+    result = analyze_log(log)
+    assert result.redo_scan_start >= 1
+    assert result.records_analyzed <= len(log)
+
+
+class TestCorruptedSuffix:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_at_any_byte(self, data):
+        text, count = log_file_text()
+        cut = data.draw(
+            st.integers(records_start(text), len(text) - 1), label="cut"
+        )
+        assert_clean_prefix(load_corrupted(text[:cut]), count)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_byte_flip_anywhere_in_records(self, data):
+        text, count = log_file_text()
+        pos = data.draw(
+            st.integers(records_start(text), len(text) - 1), label="pos"
+        )
+        flip = data.draw(st.integers(1, 255), label="flip")
+        corrupted = (
+            text[:pos] + chr((ord(text[pos]) ^ flip) % 128) + text[pos + 1:]
+        )
+        assert_clean_prefix(load_corrupted(corrupted), count)
+
+    def test_undamaged_file_keeps_every_record(self):
+        text, count = log_file_text()
+        log = load_corrupted(text)
+        assert len(log) == count
+        assert log.tail_repair_dropped == 0

@@ -1,0 +1,385 @@
+"""Unit tests for the corruption-robustness layer.
+
+Integrity envelopes on stable/backup/archive page images and serialized
+log records; the BITROT fault kind; tolerant log loading with tail
+repair; the scrubber; the corruption-related trace event kinds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import BackupConfig
+from repro.core.scrub import scrub_archive, scrub_database, scrub_log_file
+from repro.db import Database
+from repro.errors import CorruptLogRecordError, CorruptPageError
+from repro.ids import NULL_LSN, PageId
+from repro.obs import events as ev
+from repro.obs.tracer import Tracer
+from repro.ops.physical import PhysicalWrite
+from repro.recovery.redo import POISON, contains_poison
+from repro.sim.faults import FaultKind, FaultPlane, FaultSpec, IOPoint
+from repro.sim.failure import IOFaultPlan
+from repro.storage.archive import load_backup, save_backup, scan_archive
+from repro.storage.backup_db import BackupDatabase
+from repro.storage.layout import Layout
+from repro.storage.page import page_checksum, rot_value, PageVersion
+from repro.storage.stable_db import StableDatabase
+from repro.wal.log_manager import LogManager
+from repro.wal.serialize import (
+    load_log,
+    record_checksum,
+    record_from_spec,
+    record_to_spec,
+    save_log,
+)
+
+
+def pid(slot, partition=0):
+    return PageId(partition, slot)
+
+
+def wp(slot, value=0):
+    return PhysicalWrite(pid(slot), value)
+
+
+# ------------------------------------------------------------ page envelopes
+
+
+class TestPageChecksum:
+    def test_deterministic(self):
+        assert page_checksum(("v", 1), 7) == page_checksum(("v", 1), 7)
+
+    def test_sensitive_to_value_and_lsn(self):
+        base = page_checksum(("v", 1), 7)
+        assert page_checksum(("v", 2), 7) != base
+        assert page_checksum(("v", 1), 8) != base
+
+    def test_rot_value_changes_checksum(self):
+        version = PageVersion(("v", 1), 7)
+        rotted = PageVersion(rot_value(version.value), 7)
+        assert rotted.checksum() != version.checksum()
+
+    def test_uncodecable_values_still_checksum(self):
+        # POISON has no codec encoding; the repr fallback must cover it.
+        assert isinstance(page_checksum(POISON, 1), int)
+
+
+class TestStableEnvelopes:
+    @pytest.fixture
+    def stable(self):
+        return StableDatabase(Layout([8]), initial_value=())
+
+    def test_clean_store_has_no_damage(self, stable):
+        stable.write_page(pid(1), ("v",), 5)
+        assert stable.damaged_pages() == []
+        assert stable.verify_page(pid(1))
+
+    def test_bitrot_detected_on_read(self, stable):
+        stable.write_page(pid(1), ("v",), 5)
+        assert stable._bitrot(random.Random(0))
+        [damaged] = stable.damaged_pages()
+        with pytest.raises(CorruptPageError) as excinfo:
+            stable.read_page(damaged)
+        assert excinfo.value.store == "stable"
+        assert excinfo.value.page_id == damaged
+
+    def test_rewrite_heals_the_envelope(self, stable):
+        stable.write_page(pid(1), ("v",), 5)
+        stable._bitrot(random.Random(0))
+        [damaged] = stable.damaged_pages()
+        stable.write_page(damaged, ("fresh",), 9)
+        assert stable.damaged_pages() == []
+
+    def test_pages_ahead_of(self, stable):
+        stable.write_page(pid(1), ("v",), 5)
+        stable.write_page(pid(2), ("w",), 9)
+        assert stable.pages_ahead_of(5) == [pid(2)]
+        assert stable.pages_ahead_of(9) == []
+
+
+class TestBackupEnvelopes:
+    def make_backup(self):
+        backup = BackupDatabase(1, media_scan_start_lsn=1)
+        backup.record_page(pid(0), PageVersion(("a",), 1))
+        backup.record_page(pid(1), PageVersion(("b",), 2))
+        return backup
+
+    def test_clean_backup_verifies(self):
+        backup = self.make_backup()
+        assert backup.damaged_pages() == []
+        backup.verify_pages([pid(0), pid(1)])
+
+    def test_bitrot_detected(self):
+        backup = self.make_backup()
+        assert backup._bitrot(random.Random(0))
+        [damaged] = backup.damaged_pages()
+        with pytest.raises(CorruptPageError) as excinfo:
+            backup.read_page(damaged)
+        assert excinfo.value.store == "backup"
+        with pytest.raises(CorruptPageError):
+            backup.verify_pages([pid(0), pid(1)])
+
+    def test_bitrot_on_empty_backup_stays_unfired(self):
+        backup = BackupDatabase(1, media_scan_start_lsn=1)
+        assert backup._bitrot(random.Random(0)) is False
+
+
+class TestArchiveEnvelopes:
+    def make_archived(self, tmp_path):
+        backup = BackupDatabase(1, media_scan_start_lsn=1)
+        backup.record_page(pid(0), PageVersion(("a",), 1))
+        backup.record_page(pid(1), PageVersion(("b",), 2))
+        backup.complete(3)
+        path = str(tmp_path / "backup.json")
+        save_backup(backup, path)
+        return backup, path
+
+    def test_clean_roundtrip(self, tmp_path):
+        backup, path = self.make_archived(tmp_path)
+        loaded = load_backup(path)
+        assert loaded.pages() == backup.pages()
+        assert loaded.damaged_pages() == []
+
+    def test_tampered_archive_detected(self, tmp_path):
+        _, path = self.make_archived(tmp_path)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace('"a"', '"tampered"'))
+        _, damaged = scan_archive(path)
+        assert damaged == [pid(0)]
+        with pytest.raises(CorruptPageError) as excinfo:
+            load_backup(path)
+        assert excinfo.value.store == "archive"
+
+
+# ------------------------------------------------------------- log envelopes
+
+
+class TestLogRecordChecksums:
+    def test_append_stamps_crc(self):
+        log = LogManager()
+        record = log.append(wp(0, 1))
+        assert record.crc == record_checksum(record)
+        assert log.damaged_records() == []
+
+    def test_spec_roundtrip_verifies(self):
+        log = LogManager()
+        record = log.append(wp(0, 1))
+        clone = record_from_spec(record_to_spec(record))
+        assert clone.crc == record.crc
+
+    def test_tampered_spec_rejected(self):
+        log = LogManager()
+        spec = record_to_spec(log.append(wp(0, 1)))
+        spec["crc"] ^= 1
+        with pytest.raises(CorruptLogRecordError) as excinfo:
+            record_from_spec(spec)
+        assert excinfo.value.lsn == 1
+
+    def test_bitrot_and_repair_tail(self):
+        log = LogManager()
+        for slot in range(4):
+            log.append(wp(slot, slot))
+        assert log._bitrot(random.Random(0))  # rots the last record
+        assert log.damaged_records() == [4]
+        dropped = log.repair_tail()
+        assert dropped == 1
+        assert log.end_lsn == 3
+        assert log.tail_repair_dropped == 1
+        assert log.damaged_records() == []
+
+    def test_repair_tail_truncates_at_first_damage(self):
+        log = LogManager()
+        for slot in range(3):
+            log.append(wp(slot, slot))
+        log._bitrot(random.Random(0))  # damages LSN 3 (the tail so far)
+        log.append(wp(3, 3))  # a good record lands after the rot
+        assert log.repair_tail() == 2
+        assert log.end_lsn == 2
+
+
+class TestTolerantLogLoading:
+    def write_log(self, tmp_path, records=4):
+        db = Database(pages_per_partition=[8], policy="general")
+        for slot in range(records):
+            db.execute(PhysicalWrite(pid(slot), ("r", slot)))
+        path = str(tmp_path / "log.json")
+        save_log(db.log, path)
+        return path
+
+    def test_clean_file_loads(self, tmp_path):
+        path = self.write_log(tmp_path)
+        log = load_log(path, repair_tail=True)
+        assert len(log) == 4
+        assert log.tail_repair_dropped == 0
+
+    def test_truncated_file_salvages_prefix(self, tmp_path):
+        path = self.write_log(tmp_path)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) - 40])
+        log = load_log(path, repair_tail=True)
+        assert 0 < len(log) < 4
+        assert log.tail_repair_dropped > 0
+
+    def test_tampered_record_truncates_there(self, tmp_path):
+        path = self.write_log(tmp_path)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace('["r",2]', '["X",2]'))
+        log = load_log(path, repair_tail=True)
+        assert log.end_lsn == 2
+        assert log.tail_repair_dropped > 0
+
+
+# ---------------------------------------------------------- bitrot fault kind
+
+
+class TestBitrotFaultKind:
+    def test_fires_via_corruptor(self):
+        plane = FaultPlane([
+            FaultSpec(FaultKind.BITROT, point=IOPoint.STABLE_WRITE,
+                      at_io=2, seed=7),
+        ])
+        fired = []
+        plane.check(IOPoint.STABLE_WRITE, corrupt=lambda rng: True)
+        plane.check(IOPoint.STABLE_WRITE,
+                    corrupt=lambda rng: fired.append(rng.random()) or True)
+        assert len(fired) == 1
+        assert plane.injected_total == 1
+
+    def test_deterministic_in_seed(self):
+        def draws(seed):
+            plane = FaultPlane([
+                FaultSpec(FaultKind.BITROT, point=IOPoint.STABLE_WRITE,
+                          at_io=1, seed=seed),
+            ])
+            out = []
+            plane.check(IOPoint.STABLE_WRITE,
+                        corrupt=lambda rng: out.append(rng.random()) or True)
+            return out
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_stays_armed_without_corruptor(self):
+        plane = FaultPlane([
+            FaultSpec(FaultKind.BITROT, point=IOPoint.STABLE_WRITE, at_io=1),
+        ])
+        plane.check(IOPoint.STABLE_WRITE)  # device without a corruptor
+        assert plane.injected_total == 0
+        plane.check(IOPoint.STABLE_WRITE, corrupt=lambda rng: True)
+        assert plane.injected_total == 1
+
+    def test_stays_armed_when_corruptor_declines(self):
+        plane = FaultPlane([
+            FaultSpec(FaultKind.BITROT, point=IOPoint.STABLE_WRITE, at_io=1),
+        ])
+        plane.check(IOPoint.STABLE_WRITE, corrupt=lambda rng: False)
+        assert plane.injected_total == 0
+
+    def test_io_fault_plan_threads_seed(self):
+        plan = IOFaultPlan(at_io=3, kind=FaultKind.BITROT,
+                           point=IOPoint.LOG_APPEND, seed=42)
+        assert plan.to_spec().seed == 42
+
+
+# ----------------------------------------------------------------- poison
+
+
+class TestContainsPoison:
+    def test_identity(self):
+        assert contains_poison(POISON)
+        assert not contains_poison(("clean", 1))
+
+    def test_nested_containers(self):
+        assert contains_poison(("stamped", 4, POISON))
+        assert contains_poison([1, {"k": (POISON,)}])
+        assert contains_poison({POISON: 1})
+        assert not contains_poison({"k": [1, (2, "x")]})
+
+
+# ------------------------------------------------------------------ scrubber
+
+
+def build_backed_up_db(pages=16, writes=8):
+    db = Database(pages_per_partition=[pages], policy="general")
+    for slot in range(writes):
+        db.execute(PhysicalWrite(pid(slot), ("record", slot)))
+    db.start_backup(BackupConfig(steps=4))
+    db.run_backup()
+    return db
+
+
+class TestScrubber:
+    def test_clean_database(self):
+        report = scrub_database(build_backed_up_db())
+        assert report.ok
+        assert report.findings == []
+        assert report.pages_scanned > 0
+        assert report.records_scanned > 0
+        assert report.backups_scanned == 1
+        assert "CLEAN" in report.summary()
+
+    def test_detects_damage_at_every_site(self):
+        db = build_backed_up_db()
+        rng = random.Random(0)
+        assert db.stable._bitrot(rng)
+        assert db.latest_backup()._bitrot(rng)
+        assert db.log._bitrot(rng)
+        report = scrub_database(db)
+        assert not report.ok
+        sites = {f.site for f in report.findings if f.severity == "fatal"}
+        assert sites == {"stable", "log", "backup"}
+        assert "DAMAGED" in report.summary()
+
+    def test_emits_corruption_events(self):
+        db = build_backed_up_db()
+        tracer = Tracer()
+        db.attach_tracer(tracer)
+        db.stable._bitrot(random.Random(0))
+        scrub_database(db)
+        kinds = [e.kind for e in tracer.events]
+        assert ev.CORRUPTION_DETECTED in kinds
+
+    def test_scrub_archive(self, tmp_path):
+        db = build_backed_up_db()
+        path = str(tmp_path / "backup.json")
+        save_backup(db.latest_backup(), path)
+        assert scrub_archive(path).ok
+        db.latest_backup()._bitrot(random.Random(0))
+        save_backup(db.latest_backup(), path)
+        report = scrub_archive(path)
+        assert not report.ok
+
+    def test_scrub_log_file(self, tmp_path):
+        db = build_backed_up_db()
+        path = str(tmp_path / "log.json")
+        save_log(db.log, path)
+        assert scrub_log_file(path).ok
+        db.log._bitrot(random.Random(0))
+        save_log(db.log, path)
+        report = scrub_log_file(path)
+        assert not report.ok
+
+
+# ------------------------------------------------------------- event schema
+
+
+class TestCorruptionEvents:
+    def test_kinds_registered_with_required_fields(self):
+        assert ev.EVENT_FIELDS[ev.CORRUPTION_DETECTED] == ("site",)
+        assert ev.EVENT_FIELDS[ev.CHAIN_FALLBACK] == ("action",)
+        assert ev.EVENT_FIELDS[ev.QUARANTINE] == ("page",)
+
+    def test_validate_roundtrip(self):
+        assert ev.validate_event(
+            ev.CORRUPTION_DETECTED, {"site": "stable"}) == []
+        assert ev.validate_event(
+            ev.CHAIN_FALLBACK, {"action": "older-generation"}) == []
+        assert ev.validate_event(ev.QUARANTINE, {"page": "P0:3"}) == []
+        assert ev.validate_event(ev.QUARANTINE, {}) != []
