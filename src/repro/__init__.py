@@ -43,6 +43,7 @@ doctest in the test suite):
 True
 """
 
+from repro.core.backup_engine import ParallelBackupEngine
 from repro.core.config import BackupConfig
 from repro.db import Database
 from repro.errors import (
@@ -85,6 +86,7 @@ __all__ = [
     # The system
     "Database",
     "BackupConfig",
+    "ParallelBackupEngine",
     "RecoveryOutcome",
     "PageId",
     "LSN",

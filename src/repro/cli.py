@@ -38,12 +38,31 @@ from repro.harness.reporting import format_table
 def cmd_bench(args) -> int:
     from repro.harness import bench
 
+    if args.compare:
+        bench.compare_entries(
+            args.output or bench.DEFAULT_OUTPUT,
+            args.compare[0], args.compare[1],
+        )
+        return 0
     kwargs = {"label": args.label, "only": args.only, "note": args.note}
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
     if args.output is not None:
         kwargs["output"] = args.output
-    bench.run_suite(**kwargs)
+    entry = bench.run_suite(**kwargs)
+    if args.check:
+        failures = bench.check_regressions(
+            entry["results"],
+            baseline_path=args.baseline or bench.DEFAULT_OUTPUT,
+            baseline_label=args.baseline_label,
+            threshold=(args.gate_threshold
+                       if args.gate_threshold is not None
+                       else bench.REGRESSION_THRESHOLD),
+        )
+        if failures:
+            print(f"REGRESSION GATE FAILED: {', '.join(failures)}")
+            return 1
+        print("regression gate passed")
     return 0
 
 
@@ -358,6 +377,17 @@ def main(argv=None) -> int:
         "--note", default=None,
         help="free-form annotation stored on the entry",
     )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("LABEL_A", "LABEL_B"), default=None,
+        help="compare two labelled entries of the baseline file and exit",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="gate min_ms against --baseline; exit non-zero on regression",
+    )
+    bench.add_argument("--baseline", default=None)
+    bench.add_argument("--baseline-label", default=None)
+    bench.add_argument("--gate-threshold", type=float, default=None)
     bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)

@@ -13,10 +13,21 @@ is flushed while still "pending" would silently miss the backup, so the
 run either (a) treats it as Done — forcing Iw/oF (conservative), or
 (b) with ``dynamic_extend`` adds it to the copy set on the spot, since
 the frontier has yet to reach it.
+
+Section 3.4 observes that disjoint partitions with partition-local D/P
+bounds "permit us to back up partitions in parallel".
+:class:`ParallelBackupRun` realizes that: planning (and every D/P move)
+stays on the coordinating thread, the planned span *reads* fan out to a
+``concurrent.futures.ThreadPoolExecutor`` taking the per-partition latch
+shared, and the span *records* into B happen back on the coordinator in
+plan order — so a parallel sweep produces a byte-identical sealed backup
+to the serial batched sweep while overlapping the per-span device time of
+independent partitions (and, on multi-core hosts, their CRC work).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
 from typing import Dict, List, Optional, Set
 
 from typing import TYPE_CHECKING
@@ -413,6 +424,119 @@ class BackupRun:
             )
 
 
+class ParallelBackupRun(BackupRun):
+    """A batched sweep whose span reads run on a thread pool.
+
+    The division of labour keeps the paper's protocol — and the backup
+    image — deterministic:
+
+    * **Planning** (``_plan_full`` / ``_plan_filtered``) runs on the
+      coordinating thread, so every D/P advance happens under the
+      exclusive latch in exactly the serial schedule's order.
+    * **Span reads** are submitted to the pool.  Each worker takes the
+      span's partition latch *shared* around its bulk read (coexisting
+      with concurrent flushes, excluded by a D/P move) and accumulates
+      I/O-retry accounting into a private metrics shard.
+    * **Span records** into B are consumed on the coordinating thread in
+      plan order — B's insertion order, and therefore the sealed image
+      and its archive serialization, are byte-identical to the serial
+      batched sweep's.
+
+    Faults raised inside a worker (transients exhaust their retries,
+    crashes, media failures) propagate to the coordinator via
+    ``future.result()``; before re-raising, the remaining span futures
+    are cancelled and awaited so no worker touches the stores while the
+    caller unwinds into crash recovery.  Metric shards are absorbed
+    deterministically on both paths.
+    """
+
+    def __init__(
+        self,
+        cm: "CacheManager",
+        backup: BackupDatabase,
+        steps: int,
+        update_set: Optional[Set[PageId]] = None,
+        dynamic_extend: bool = True,
+        workers: int = 2,
+    ):
+        if workers < 1:
+            raise BackupError("ParallelBackupRun needs workers >= 1")
+        super().__init__(
+            cm,
+            backup,
+            steps,
+            update_set=update_set,
+            dynamic_extend=dynamic_extend,
+            batched=True,
+        )
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix=f"backup-{self.backup.backup_id}",
+            )
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _read_span(self, span, shard):
+        partition, start, stop = span
+        stable = self.cm.stable
+        with self.cm.latches[partition].shared():
+            return with_retries(
+                lambda: stable.read_pages(
+                    [PageId(partition, slot) for slot in range(start, stop)]
+                ),
+                metrics=shard,
+            )
+
+    def _copy_batched(self, pages: int) -> int:
+        spans: List[tuple] = []
+        if self.copy_set is None:
+            copied = self._plan_full(pages, spans)
+        else:
+            copied = self._plan_filtered(pages, spans)
+        if not spans:
+            return copied
+        pool = self._ensure_pool()
+        metrics = self.cm.metrics
+        tasks = []
+        for span in spans:
+            shard = metrics.shard()
+            tasks.append((span, shard, pool.submit(self._read_span, span, shard)))
+        try:
+            for (partition, start, stop), _shard, future in tasks:
+                entries = future.result()
+                self._record_span(entries)
+                metrics.backup_pages_copied += stop - start
+                metrics.backup_bulk_reads += 1
+        except BaseException:
+            # Quiesce the pool before unwinding: a worker still reading
+            # while the caller runs crash recovery would race the stores.
+            for _span, _shard, future in tasks:
+                future.cancel()
+            futures_wait([task[2] for task in tasks])
+            raise
+        finally:
+            for _span, shard, _future in tasks:
+                metrics.absorb(shard)
+        return copied
+
+    def seal(self) -> BackupDatabase:
+        self._shutdown_pool()
+        return super().seal()
+
+    def abort(self) -> None:
+        self._shutdown_pool()
+        super().abort()
+
+
 class BackupEngine:
     """Creates and tracks backup runs against one cache manager."""
 
@@ -431,9 +555,14 @@ class BackupEngine:
         base_backup: Optional[BackupDatabase] = None,
         dynamic_extend: bool = True,
         batched: bool = True,
+        workers: int = 1,
     ) -> BackupRun:
         if self.active is not None and not self.active.is_sealed:
             raise BackupInProgressError("a backup is already in progress")
+        if workers > 1 and not batched:
+            raise BackupError(
+                "parallel sweeps (workers > 1) require batched=True"
+            )
         scan_start = self.cm.rec.truncation_point(self.cm.log.end_lsn)
         # The scan start may not exceed end_lsn + 1; for media recovery we
         # additionally never scan later than the backup's own start point.
@@ -444,14 +573,24 @@ class BackupEngine:
             base_backup.backup_id if base_backup is not None else None
         )
         self._next_id += 1
-        run = BackupRun(
-            self.cm,
-            backup,
-            steps,
-            update_set=update_set,
-            dynamic_extend=dynamic_extend,
-            batched=batched,
-        )
+        if workers > 1:
+            run: BackupRun = ParallelBackupRun(
+                self.cm,
+                backup,
+                steps,
+                update_set=update_set,
+                dynamic_extend=dynamic_extend,
+                workers=workers,
+            )
+        else:
+            run = BackupRun(
+                self.cm,
+                backup,
+                steps,
+                update_set=update_set,
+                dynamic_extend=dynamic_extend,
+                batched=batched,
+            )
         self.active = run
         return run
 
@@ -482,3 +621,38 @@ class BackupEngine:
 
     def latest_backup(self) -> Optional[BackupDatabase]:
         return self.completed[-1] if self.completed else None
+
+
+class ParallelBackupEngine(BackupEngine):
+    """A :class:`BackupEngine` whose runs sweep on a thread pool.
+
+    Convenience front for the concurrent subsystem: every
+    :meth:`start_backup` defaults to ``workers`` pool threads (pass
+    ``workers=`` explicitly to override per run, ``workers=1`` for a
+    plain serial run).  ``Database`` routes here automatically when a
+    :class:`~repro.core.config.BackupConfig` carries ``workers > 1``.
+    """
+
+    def __init__(self, cm: "CacheManager", workers: int = 4):
+        if workers < 1:
+            raise BackupError("ParallelBackupEngine needs workers >= 1")
+        super().__init__(cm)
+        self.workers = workers
+
+    def start_backup(
+        self,
+        steps: int = 8,
+        update_set: Optional[Set[PageId]] = None,
+        base_backup: Optional[BackupDatabase] = None,
+        dynamic_extend: bool = True,
+        batched: bool = True,
+        workers: Optional[int] = None,
+    ) -> BackupRun:
+        return super().start_backup(
+            steps,
+            update_set=update_set,
+            base_backup=base_backup,
+            dynamic_extend=dynamic_extend,
+            batched=batched,
+            workers=self.workers if workers is None else workers,
+        )

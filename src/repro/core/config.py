@@ -9,7 +9,7 @@ legacy keyword signatures remain as deprecated aliases.
 
 >>> from repro.core.config import BackupConfig
 >>> BackupConfig(steps=4, batched=False)
-BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine')
+BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1)
 """
 
 from __future__ import annotations
@@ -35,7 +35,11 @@ class BackupConfig:
     ``batched``        — bulk per-partition spans vs page-at-a-time
                          round-robin copying;
     ``engine``         — ``"engine"`` (section 3), ``"naive"`` (§1.2
-                         fuzzy dump) or ``"linked"`` (§1.3 strawman).
+                         fuzzy dump) or ``"linked"`` (§1.3 strawman);
+    ``workers``        — sweep thread count: 1 copies on the calling
+                         thread, >1 fans the batched span reads out to a
+                         thread pool (§3.4: disjoint partitions "permit
+                         us to back up partitions in parallel").
     """
 
     steps: int = 8
@@ -44,6 +48,7 @@ class BackupConfig:
     dynamic_extend: bool = True
     batched: bool = True
     engine: str = "engine"
+    workers: int = 1
 
     def __post_init__(self):
         if self.steps < 1:
@@ -58,4 +63,15 @@ class BackupConfig:
         if self.incremental and self.engine != "engine":
             raise ReproError(
                 "incremental backups require the section-3 engine"
+            )
+        if self.workers < 1:
+            raise ReproError("BackupConfig.workers must be >= 1")
+        if self.workers > 1 and not self.batched:
+            raise ReproError(
+                "parallel sweeps (workers > 1) require batched=True: the "
+                "thread pool fans out the batched per-partition span reads"
+            )
+        if self.workers > 1 and self.engine != "engine":
+            raise ReproError(
+                "parallel sweeps (workers > 1) require the section-3 engine"
             )

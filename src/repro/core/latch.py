@@ -5,16 +5,25 @@ cache manager takes it **shared** around a flush so the progress values it
 read cannot change mid-flush.  Share mode lets a multi-threaded cache
 manager flush concurrently.
 
-The simulation is cooperative (single OS thread), so the latch's job here
-is protocol verification: conflicting acquisitions raise
-:class:`~repro.errors.LatchError`, and the engine/cache-manager code paths
-are written so the discipline is exercised on every progress change and
-every flush.  Hold counts are tracked so tests can assert the discipline.
+The latch is genuinely thread-safe: it is a share/exclusive lock built on
+:class:`threading.Condition`, and the parallel backup engine's worker
+threads take it shared around their span reads while the planning thread
+takes it exclusive to move D/P.  Cross-thread conflicts **block** until
+the latch frees, like any real latch.  Same-thread conflicts — acquiring
+exclusive while this thread already holds it shared, re-entering
+exclusive, releasing without a hold — can never be satisfied by waiting
+and still raise :class:`~repro.errors.LatchError` immediately: within one
+thread the latch remains a protocol verifier, and the engine/cache-manager
+code paths are written so the discipline is exercised on every progress
+change and every flush.  Hold counts are tracked so tests can assert the
+discipline.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
+from typing import Dict, Optional
 
 from repro.errors import LatchError
 from repro.obs.events import LATCH_ACQUIRE
@@ -24,8 +33,10 @@ from repro.obs.tracer import NULL_TRACER
 class BackupLatch:
     def __init__(self, partition: int):
         self.partition = partition
-        self._shared_holders = 0
-        self._exclusive = False
+        self._cond = threading.Condition(threading.Lock())
+        # Thread ident -> number of shared holds by that thread.
+        self._shared_by: Dict[int, int] = {}
+        self._exclusive_owner: Optional[int] = None
         # Acquisition counters for tests.
         self.shared_acquisitions = 0
         self.exclusive_acquisitions = 0
@@ -35,24 +46,36 @@ class BackupLatch:
     # --------------------------------------------------------------- shared
 
     def acquire_shared(self) -> None:
-        if self._exclusive:
-            raise LatchError(
-                f"partition {self.partition}: shared acquire while held "
-                "exclusive (backup is moving D/P)"
-            )
-        self._shared_holders += 1
-        self.shared_acquisitions += 1
+        me = threading.get_ident()
+        with self._cond:
+            while self._exclusive_owner is not None:
+                if self._exclusive_owner == me:
+                    raise LatchError(
+                        f"partition {self.partition}: shared acquire while "
+                        "held exclusive (backup is moving D/P)"
+                    )
+                self._cond.wait()
+            self._shared_by[me] = self._shared_by.get(me, 0) + 1
+            self.shared_acquisitions += 1
         if self.tracer.enabled:
             self.tracer.emit(
                 LATCH_ACQUIRE, partition=self.partition, mode="shared"
             )
 
     def release_shared(self) -> None:
-        if self._shared_holders <= 0:
-            raise LatchError(
-                f"partition {self.partition}: shared release without hold"
-            )
-        self._shared_holders -= 1
+        me = threading.get_ident()
+        with self._cond:
+            count = self._shared_by.get(me, 0)
+            if count <= 0:
+                raise LatchError(
+                    f"partition {self.partition}: shared release without hold"
+                )
+            if count == 1:
+                del self._shared_by[me]
+                if not self._shared_by:
+                    self._cond.notify_all()
+            else:
+                self._shared_by[me] = count - 1
 
     @contextmanager
     def shared(self):
@@ -65,29 +88,40 @@ class BackupLatch:
     # ------------------------------------------------------------ exclusive
 
     def acquire_exclusive(self) -> None:
-        if self._exclusive:
-            raise LatchError(
-                f"partition {self.partition}: exclusive acquire while held "
-                "exclusive"
-            )
-        if self._shared_holders:
-            raise LatchError(
-                f"partition {self.partition}: exclusive acquire while "
-                f"{self._shared_holders} shared holder(s) are flushing"
-            )
-        self._exclusive = True
-        self.exclusive_acquisitions += 1
+        me = threading.get_ident()
+        with self._cond:
+            while True:
+                if self._exclusive_owner == me:
+                    raise LatchError(
+                        f"partition {self.partition}: exclusive acquire "
+                        "while held exclusive"
+                    )
+                mine = self._shared_by.get(me, 0)
+                if mine:
+                    raise LatchError(
+                        f"partition {self.partition}: exclusive acquire "
+                        f"while {mine} shared holder(s) are flushing"
+                    )
+                if self._exclusive_owner is None and not self._shared_by:
+                    break
+                self._cond.wait()
+            self._exclusive_owner = me
+            self.exclusive_acquisitions += 1
         if self.tracer.enabled:
             self.tracer.emit(
                 LATCH_ACQUIRE, partition=self.partition, mode="exclusive"
             )
 
     def release_exclusive(self) -> None:
-        if not self._exclusive:
-            raise LatchError(
-                f"partition {self.partition}: exclusive release without hold"
-            )
-        self._exclusive = False
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_owner != me:
+                raise LatchError(
+                    f"partition {self.partition}: exclusive release "
+                    "without hold"
+                )
+            self._exclusive_owner = None
+            self._cond.notify_all()
 
     @contextmanager
     def exclusive(self):
@@ -101,18 +135,19 @@ class BackupLatch:
 
     @property
     def held_shared(self) -> bool:
-        return self._shared_holders > 0
+        return bool(self._shared_by)
 
     @property
     def held_exclusive(self) -> bool:
-        return self._exclusive
+        return self._exclusive_owner is not None
 
     def __repr__(self):
+        holds = sum(self._shared_by.values())
         mode = (
             "X"
-            if self._exclusive
-            else f"S[{self._shared_holders}]"
-            if self._shared_holders
+            if self._exclusive_owner is not None
+            else f"S[{holds}]"
+            if holds
             else "free"
         )
         return f"BackupLatch(partition={self.partition}, {mode})"

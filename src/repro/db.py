@@ -288,6 +288,10 @@ class Database:
         completed backup are copied (requires a prior backup as base);
         ``config.batched=False`` forces page-at-a-time round-robin
         copying (see :meth:`BackupRun.copy_some`);
+        ``config.workers > 1`` fans the batched span reads out to a
+        thread pool (§3.4 partition parallelism; see
+        :class:`~repro.core.backup_engine.ParallelBackupRun` — the
+        sealed image stays byte-identical to the serial sweep's);
         ``config.engine="naive"`` starts the §1.2 fuzzy-dump baseline
         instead (``"linked"`` is synchronous — use :meth:`run_backup`).
         """
@@ -318,10 +322,11 @@ class Database:
                 base_backup=base,
                 dynamic_extend=cfg.dynamic_extend,
                 batched=cfg.batched,
+                workers=cfg.workers,
             )
         else:
             run = self.engine.start_backup(
-                steps=cfg.steps, batched=cfg.batched
+                steps=cfg.steps, batched=cfg.batched, workers=cfg.workers
             )
         self.updated_since_backup = set()
         return run

@@ -13,10 +13,24 @@ Usage::
 
     python -m repro bench --rounds 40 --label after
     python benchmarks/run_bench.py --label seed --output BENCH_hotpath.json
+    python -m repro bench --compare after integrity-envelopes
+    python -m repro bench --check --output results/bench_ci.json
 
 Speedups are computed on the per-benchmark *minimum* round time — the
 standard robust statistic for microbenchmarks, insensitive to GC pauses
 and scheduler noise that inflate means.
+
+``--compare A B`` reads two labelled entries back out of the baseline
+file and prints a per-benchmark min_ms table with the B-over-A speedup —
+no benchmarks are run.  ``--check`` runs the suite and then gates it:
+the run fails (non-zero exit) if any benchmark's min_ms regresses more
+than ``--gate-threshold`` (default 25%) against the gate baseline — the
+most recent entry of ``--baseline`` that has that benchmark, or a
+specific entry named with ``--baseline-label``.  The gate deliberately
+tracks the *accepted current* baseline rather than the all-time best:
+old entries may predate feature costs that are now part of the contract
+(the integrity envelopes, for instance), and all-time bests measured on
+different hardware would make the threshold meaningless.
 """
 
 from __future__ import annotations
@@ -112,11 +126,42 @@ def _bench_replay() -> Callable[[], object]:
     return run
 
 
+def _bench_partition_sweep(workers: int) -> Callable[[], object]:
+    """Full backup sweep over four partitions, ``workers`` threads.
+
+    Each partition models an independent disk arm: ``io_delay_s`` makes
+    every bulk span read cost one simulated device access, and
+    ``time.sleep`` releases the GIL, so the thread pool overlaps the
+    per-partition latencies exactly the way a parallel sweep overlaps
+    seeks on a real multi-spindle layout.  The serial/2-worker/4-worker
+    triple documents the scaling curve.
+    """
+    from repro.core.config import BackupConfig
+    from repro.db import Database
+
+    db = Database(pages_per_partition=[12, 12, 12, 12], policy="general")
+    db.stable.io_delay_s = 0.0004
+    cfg = BackupConfig(steps=4, pages_per_tick=48, workers=workers)
+
+    def run() -> int:
+        db.engine.completed.clear()
+        db.start_backup(cfg)
+        backup = db.run_backup(cfg)
+        if backup.copied_count() != 48:
+            raise AssertionError("sweep did not copy every page")
+        return backup.copied_count()
+
+    return run
+
+
 BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "copy_chain_checkpoint": _bench_copy_chain_checkpoint,
     "backup_sweep": _bench_backup_sweep,
     "mixed_execute": _bench_mixed_execute,
     "replay": _bench_replay,
+    "partition_sweep_serial": lambda: _bench_partition_sweep(1),
+    "partition_sweep_2w": lambda: _bench_partition_sweep(2),
+    "partition_sweep_4w": lambda: _bench_partition_sweep(4),
 }
 
 
@@ -203,6 +248,121 @@ def _speedups(baseline: Dict, current: Dict) -> Dict[str, float]:
         if base and base.get("min_ms") and stats.get("min_ms"):
             out[name] = round(base["min_ms"] / stats["min_ms"], 2)
     return out
+
+
+# ------------------------------------------------------- compare / gate
+
+#: Default regression-gate tolerance: fail a min_ms more than 25% above
+#: the gate baseline's.
+REGRESSION_THRESHOLD = 0.25
+
+
+def _entry_by_label(data: Dict, label: str) -> Dict:
+    matches = [e for e in data.get("entries", [])
+               if e.get("label") == label]
+    if not matches:
+        known = sorted({e.get("label", "?") for e in data.get("entries", [])})
+        raise ValueError(
+            f"no entry labelled {label!r} in baseline file (have: {known})"
+        )
+    return matches[-1]
+
+
+def compare_entries(
+    path: str,
+    label_a: str,
+    label_b: str,
+    quiet: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Compare two labelled entries of a baseline file, benchmark by
+    benchmark.
+
+    Returns ``{benchmark: {"a_min_ms", "b_min_ms", "speedup"}}`` over the
+    benchmarks both entries ran; ``speedup`` > 1 means B is faster than
+    A.  When two entries share a label the most recent one wins.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no baseline file at {path}")
+    data = _load(path)
+    entry_a = _entry_by_label(data, label_a)
+    entry_b = _entry_by_label(data, label_b)
+    results_a = entry_a.get("results", {})
+    results_b = entry_b.get("results", {})
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, stats_a in results_a.items():
+        stats_b = results_b.get(name)
+        if not stats_b:
+            continue
+        a_ms, b_ms = stats_a.get("min_ms"), stats_b.get("min_ms")
+        if not a_ms or not b_ms:
+            continue
+        rows[name] = {
+            "a_min_ms": a_ms,
+            "b_min_ms": b_ms,
+            "speedup": round(a_ms / b_ms, 2),
+        }
+    if not quiet:
+        width = max((len(n) for n in rows), default=9)
+        print(f"{path}: '{label_a}' vs '{label_b}' (min_ms)")
+        print(f"  {'benchmark'.ljust(width)}  {label_a[:12]:>12}  "
+              f"{label_b[:12]:>12}  speedup")
+        for name, row in rows.items():
+            print(f"  {name.ljust(width)}  {row['a_min_ms']:>12.4f}  "
+                  f"{row['b_min_ms']:>12.4f}  {row['speedup']:>6.2f}x")
+        only_a = sorted(set(results_a) - set(rows))
+        only_b = sorted(set(results_b) - set(rows))
+        if only_a:
+            print(f"  (only in '{label_a}': {', '.join(only_a)})")
+        if only_b:
+            print(f"  (only in '{label_b}': {', '.join(only_b)})")
+    return rows
+
+
+def check_regressions(
+    results: Dict[str, Dict[str, float]],
+    baseline_path: str = DEFAULT_OUTPUT,
+    baseline_label: Optional[str] = None,
+    threshold: float = REGRESSION_THRESHOLD,
+    quiet: bool = False,
+) -> List[str]:
+    """The CI regression gate.  Returns the benchmarks that regressed.
+
+    Each benchmark of ``results`` is held against the gate baseline: the
+    entry of ``baseline_path`` named by ``baseline_label``, or — when no
+    label is given — the most recent entry that ran that benchmark.  A
+    benchmark fails when its min_ms exceeds the baseline's by more than
+    ``threshold``; benchmarks with no baseline number are reported as
+    new and always pass.
+    """
+    if not os.path.exists(baseline_path):
+        raise FileNotFoundError(f"no baseline file at {baseline_path}")
+    data = _load(baseline_path)
+    entries = data.get("entries", [])
+    if baseline_label is not None:
+        entries = [_entry_by_label(data, baseline_label)]
+    baseline: Dict[str, float] = {}
+    for entry in entries:  # later entries win: gate vs the newest number
+        for name, stats in entry.get("results", {}).items():
+            if stats.get("min_ms"):
+                baseline[name] = stats["min_ms"]
+    failures: List[str] = []
+    for name, stats in results.items():
+        ms = stats.get("min_ms")
+        base = baseline.get(name)
+        if not ms:
+            continue
+        if base is None:
+            if not quiet:
+                print(f"  gate {name}: {ms} ms (new benchmark, no baseline)")
+            continue
+        limit = base * (1.0 + threshold)
+        ok = ms <= limit
+        if not quiet:
+            print(f"  gate {name}: {ms} ms vs baseline {base} ms "
+                  f"(limit {limit:.4f} ms) {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(name)
+    return failures
 
 
 def run_suite(
@@ -292,14 +452,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--note", default=None,
         help="free-form annotation stored on the entry",
     )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("LABEL_A", "LABEL_B"), default=None,
+        help="compare two labelled entries of the baseline file and exit "
+        "(runs no benchmarks)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="after running, gate min_ms against --baseline; exit non-zero "
+        "on any regression past --gate-threshold",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_OUTPUT,
+        help="baseline file the --check gate reads "
+        f"(default {DEFAULT_OUTPUT}); keep --output pointed elsewhere so "
+        "a gated run never pollutes its own baseline",
+    )
+    parser.add_argument(
+        "--baseline-label", default=None,
+        help="gate against this labelled entry instead of the most recent",
+    )
+    parser.add_argument(
+        "--gate-threshold", type=float, default=REGRESSION_THRESHOLD,
+        help="allowed fractional min_ms regression before --check fails "
+        f"(default {REGRESSION_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
-    run_suite(
+    if args.compare:
+        compare_entries(args.output, args.compare[0], args.compare[1])
+        return 0
+    entry = run_suite(
         rounds=args.rounds,
         label=args.label,
         output=args.output,
         only=args.only,
         note=args.note,
     )
+    if args.check:
+        failures = check_regressions(
+            entry["results"],
+            baseline_path=args.baseline,
+            baseline_label=args.baseline_label,
+            threshold=args.gate_threshold,
+        )
+        if failures:
+            print(f"REGRESSION GATE FAILED: {', '.join(failures)}")
+            return 1
+        print("regression gate passed")
     return 0
 
 

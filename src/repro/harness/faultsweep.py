@@ -24,9 +24,15 @@ class at every instrumented I/O boundary:
   the damage and recovery must heal it (older generation, log-driven
   rebuild) or quarantine it — never restore silently-wrong state.
 
-Every scenario is run for both the serial (page-at-a-time) and batched
-(bulk-span) copy engines.  All randomness derives from the single
-``seed`` argument, so a sweep is exactly reproducible.
+Every scenario is run for the serial (page-at-a-time) and batched
+(bulk-span) copy engines, and again for the thread-parallel engine (a
+4-worker batched sweep over a four-partition layout).  All randomness
+derives from the single ``seed`` argument, so the serial and batched
+sweeps are exactly reproducible; in the parallel mode the *set* of
+I/O events is deterministic but their global order depends on thread
+scheduling, so a seeded fault may land on a different read between
+runs — recoverability must hold for every interleaving, which is
+precisely what the mode is there to check.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ class FailureCase:
     specs: Tuple[FaultSpec, ...]
     seed: int
     batched: bool
+    workers: int = 1
 
 
 @dataclass
@@ -78,12 +85,13 @@ class ScenarioResult:
         return self.total > 0 and self.recovered == self.total
 
     def record_failure(
-        self, label: str, specs, seed: int, batched: bool
+        self, label: str, specs, seed: int, batched: bool,
+        workers: int = 1,
     ) -> None:
         self.detail += f" {label}:FAILED"
         self.failures.append(FailureCase(
             scenario=self.name, label=label, specs=tuple(specs),
-            seed=seed, batched=batched,
+            seed=seed, batched=batched, workers=workers,
         ))
 
 
@@ -112,7 +120,23 @@ class SweepReport:
 # --------------------------------------------------------------- scenario core
 
 
-def _fresh_db(pages: int = 48) -> Database:
+def _mode_name(batched: bool, workers: int = 1) -> str:
+    if workers > 1:
+        return "parallel"
+    return "batched" if batched else "serial"
+
+
+def _fresh_db(pages: int = 48, workers: int = 1) -> Database:
+    """A fresh database for one sweep run.
+
+    The serial and batched modes use a single partition; the parallel
+    mode spreads the same page count over four partitions so the
+    4-worker sweep actually fans span reads out across latches.
+    """
+    if workers > 1:
+        per_part = max(1, pages // 4)
+        return Database(pages_per_partition=[per_part] * 4,
+                        policy="general")
     return Database(pages_per_partition=[pages], policy="general")
 
 
@@ -121,6 +145,7 @@ def _drive(
     seed: int,
     batched: bool,
     op_count: int = 120,
+    workers: int = 1,
 ) -> Tuple[bool, object]:
     """Run workload + backup to completion under whatever faults are armed.
 
@@ -131,12 +156,19 @@ def _drive(
     """
     rng = random.Random(seed)
     source = mixed_logical_workload(db.layout, seed=seed, count=op_count)
+    # The tick budget scales with the partition count so every layout
+    # advances each partition by the same 4 pages per tick: the
+    # round-robin planner deals a tick across partitions, and a flat
+    # budget would degenerate multi-partition sweeps to one-page spans
+    # (which, among other things, can never tear).
+    tick = 4 * db.layout.num_partitions
     try:
-        db.start_backup(BackupConfig(steps=4, batched=batched))
+        db.start_backup(BackupConfig(steps=4, batched=batched,
+                                     workers=workers))
         exhausted = False
         while db.backup_in_progress() or not exhausted:
             if db.backup_in_progress():
-                db.backup_step(4)
+                db.backup_step(tick)
             exhausted = True
             for _ in range(2):
                 op = next(source, None)
@@ -155,23 +187,27 @@ def _drive(
 
 
 def _run_one(
-    specs: List[FaultSpec], seed: int, batched: bool
+    specs: List[FaultSpec], seed: int, batched: bool, workers: int = 1
 ) -> Tuple[bool, Database]:
-    db = _fresh_db()
+    db = _fresh_db(workers=workers)
     db.attach_faults(FaultPlane(specs))
-    ok, _ = _drive(db, seed, batched)
+    ok, _ = _drive(db, seed, batched, workers=workers)
     return ok, db
 
 
-def _measure_io_budget(seed: int, batched: bool) -> Tuple[int, dict]:
+def _measure_io_budget(
+    seed: int, batched: bool, workers: int = 1
+) -> Tuple[int, dict]:
     """One fault-free run with a bare plane, counting every I/O event.
 
     Returns the global I/O count and the per-point counters (the
-    ``point_budgets`` seeded schedules draw from).
+    ``point_budgets`` seeded schedules draw from).  Both are
+    deterministic even in the parallel mode — threads reorder the
+    events but never change the set.
     """
-    db = _fresh_db()
+    db = _fresh_db(workers=workers)
     plane = db.attach_faults(FaultPlane())
-    ok, _ = _drive(db, seed, batched)
+    ok, _ = _drive(db, seed, batched, workers=workers)
     if not ok:
         raise AssertionError("fault-free baseline run failed to recover")
     return plane.io_count, dict(plane.count_by_point)
@@ -180,14 +216,16 @@ def _measure_io_budget(seed: int, batched: bool) -> Tuple[int, dict]:
 # ------------------------------------------------------------------- scenarios
 
 
-def _transient_scenario(seed: int, batched: bool) -> ScenarioResult:
+def _transient_scenario(
+    seed: int, batched: bool, workers: int = 1
+) -> ScenarioResult:
     """Transient faults at every instrumented point, one run per point."""
-    name = f"transient-{'batched' if batched else 'serial'}"
+    name = f"transient-{_mode_name(batched, workers)}"
     result = ScenarioResult(name)
     for point in IOPoint.ALL:
         specs = [FaultSpec(FaultKind.TRANSIENT, point=point, at_io=2,
                            times=2)]
-        ok, db = _run_one(specs, seed, batched)
+        ok, db = _run_one(specs, seed, batched, workers)
         result.total += 1
         plane = db.faults
         # A point the run never reaches (fault never fired) still counts
@@ -195,25 +233,28 @@ def _transient_scenario(seed: int, batched: bool) -> ScenarioResult:
         if ok:
             result.recovered += 1
         else:
-            result.record_failure(point, specs, seed, batched)
+            result.record_failure(point, specs, seed, batched, workers)
         result.faults_injected += plane.injected_total
         result.io_retries += db.metrics.io_retries
     return result
 
 
-def _torn_span_scenario(seed: int) -> ScenarioResult:
+def _torn_span_scenario(seed: int, workers: int = 1) -> ScenarioResult:
     """Torn bulk backup spans: detected, resumed, and still recoverable."""
-    result = ScenarioResult("torn-backup-span")
+    name = ("torn-backup-span" if workers == 1
+            else "torn-backup-span-parallel")
+    result = ScenarioResult(name)
     resumed = 0
     for at_io in (1, 2, 3):
         specs = [FaultSpec(FaultKind.TORN, point=IOPoint.BACKUP_BULK_RECORD,
                            at_io=at_io, keep=1)]
-        ok, db = _run_one(specs, seed, batched=True)
+        ok, db = _run_one(specs, seed, batched=True, workers=workers)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
-            result.record_failure(f"at_io={at_io}", specs, seed, True)
+            result.record_failure(f"at_io={at_io}", specs, seed, True,
+                                  workers)
         result.faults_injected += db.faults.injected_total
         result.io_retries += db.metrics.io_retries
         resumed += db.metrics.torn_spans_resumed
@@ -221,20 +262,23 @@ def _torn_span_scenario(seed: int) -> ScenarioResult:
     return result
 
 
-def _torn_install_scenario(seed: int, batched: bool) -> ScenarioResult:
+def _torn_install_scenario(
+    seed: int, batched: bool, workers: int = 1
+) -> ScenarioResult:
     """Torn multi-page installs: doublewrite rollback + crash recovery."""
-    name = f"torn-install-{'batched' if batched else 'serial'}"
+    name = f"torn-install-{_mode_name(batched, workers)}"
     result = ScenarioResult(name)
     repaired = 0
     for at_io in (1, 2, 4):
         specs = [FaultSpec(FaultKind.TORN, point=IOPoint.STABLE_MULTI_WRITE,
                            at_io=at_io, keep=1)]
-        ok, db = _run_one(specs, seed, batched)
+        ok, db = _run_one(specs, seed, batched, workers)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
-            result.record_failure(f"at_io={at_io}", specs, seed, batched)
+            result.record_failure(f"at_io={at_io}", specs, seed, batched,
+                                  workers)
         result.faults_injected += db.faults.injected_total
         repaired += db.metrics.torn_writes_repaired
     result.detail += f" repaired={repaired}"
@@ -242,39 +286,39 @@ def _torn_install_scenario(seed: int, batched: bool) -> ScenarioResult:
 
 
 def _crash_sweep_scenario(
-    seed: int, batched: bool, stride: int
+    seed: int, batched: bool, stride: int, workers: int = 1
 ) -> ScenarioResult:
     """Crash at every Nth I/O point of the deterministic baseline run."""
-    name = f"crash-sweep-{'batched' if batched else 'serial'}"
-    budget, _ = _measure_io_budget(seed, batched)
+    name = f"crash-sweep-{_mode_name(batched, workers)}"
+    budget, _ = _measure_io_budget(seed, batched, workers)
     result = ScenarioResult(name, detail=f" io_budget={budget}")
     for plan in crash_sweep_plans(budget, stride=stride):
         specs = [plan.to_spec()]
-        ok, db = _run_one(specs, seed, batched)
+        ok, db = _run_one(specs, seed, batched, workers)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
             result.record_failure(f"at_io={plan.at_io}", specs, seed,
-                                  batched)
+                                  batched, workers)
         result.faults_injected += db.faults.injected_total
     return result
 
 
 def _seeded_mix_scenario(
-    seed: int, batched: bool, rounds: int
+    seed: int, batched: bool, rounds: int, workers: int = 1
 ) -> ScenarioResult:
     """Seeded random transient/torn schedules across all points."""
-    name = f"seeded-mix-{'batched' if batched else 'serial'}"
-    budget, per_point = _measure_io_budget(seed, batched)
+    name = f"seeded-mix-{_mode_name(batched, workers)}"
+    budget, per_point = _measure_io_budget(seed, batched, workers)
     result = ScenarioResult(name)
     for round_index in range(rounds):
-        db = _fresh_db()
+        db = _fresh_db(workers=workers)
         injector = FailureInjector.seeded(
             db, seed * 1000 + round_index, budget, count=4,
             point_budgets=per_point,
         )
-        ok, _ = _drive(db, seed, batched)
+        ok, _ = _drive(db, seed, batched, workers=workers)
         result.total += 1
         if ok:
             result.recovered += 1
@@ -282,7 +326,7 @@ def _seeded_mix_scenario(
             result.record_failure(
                 f"round={round_index}",
                 [plan.to_spec() for plan in injector.io_plans],
-                seed, batched,
+                seed, batched, workers,
             )
         result.faults_injected += injector.faults_injected
         result.io_retries += db.metrics.io_retries
@@ -290,7 +334,8 @@ def _seeded_mix_scenario(
 
 
 def _run_bitrot_one(
-    spec: FaultSpec, seed: int, batched: bool, finish: str, tracer=None
+    spec: FaultSpec, seed: int, batched: bool, finish: str, tracer=None,
+    workers: int = 1,
 ):
     """One bitrot run: drive the workload, then force a recovery check.
 
@@ -301,18 +346,20 @@ def _run_bitrot_one(
     detected *mid-run* — a checksummed read tripping over the rot —
     downgrades to a crash + recover check on the spot.
     """
-    db = _fresh_db()
+    db = _fresh_db(workers=workers)
     if tracer is not None:
         db.attach_tracer(tracer)
     db.attach_faults(FaultPlane([spec]))
     rng = random.Random(seed)
     source = mixed_logical_workload(db.layout, seed=seed, count=120)
+    tick = 4 * db.layout.num_partitions  # see _drive
     try:
-        db.start_backup(BackupConfig(steps=4, batched=batched))
+        db.start_backup(BackupConfig(steps=4, batched=batched,
+                                     workers=workers))
         exhausted = False
         while db.backup_in_progress() or not exhausted:
             if db.backup_in_progress():
-                db.backup_step(4)
+                db.backup_step(tick)
             exhausted = True
             for _ in range(2):
                 op = next(source, None)
@@ -340,7 +387,7 @@ def _bitrot_at_ios(budget: int, samples: int) -> List[int]:
 
 
 def _bitrot_scenarios(
-    seed: int, batched: bool, samples: int = 3
+    seed: int, batched: bool, samples: int = 3, workers: int = 1
 ) -> List[ScenarioResult]:
     """Seeded bit flips per store; every run must heal or quarantine.
 
@@ -352,8 +399,8 @@ def _bitrot_scenarios(
     state matches the oracle everywhere outside an explicitly reported
     quarantine set.  A silently-wrong restore counts as a failure.
     """
-    mode = "batched" if batched else "serial"
-    _, per_point = _measure_io_budget(seed, batched)
+    mode = _mode_name(batched, workers)
+    _, per_point = _measure_io_budget(seed, batched, workers)
     targets = (
         ("stable", IOPoint.STABLE_MULTI_WRITE, "crash"),
         ("backup",
@@ -371,13 +418,14 @@ def _bitrot_scenarios(
         for at_io in _bitrot_at_ios(budget, samples):
             spec = FaultSpec(FaultKind.BITROT, point=point, at_io=at_io,
                              seed=seed)
-            outcome, db = _run_bitrot_one(spec, seed, batched, finish)
+            outcome, db = _run_bitrot_one(spec, seed, batched, finish,
+                                          workers=workers)
             result.total += 1
             if outcome.ok:
                 result.recovered += 1
             else:
                 result.record_failure(f"at_io={at_io}", [spec], seed,
-                                      batched)
+                                      batched, workers)
             result.faults_injected += db.faults.injected_total
             result.io_retries += db.metrics.io_retries
             quarantined += len(getattr(outcome, "quarantined", []))
@@ -400,6 +448,10 @@ def run_faultsweep(
     ``stride`` thins the exhaustive crash sweep (crash after every
     ``stride``-th I/O instead of every single one); ``quick`` picks a
     stride that keeps the whole sweep around a hundred runs.
+
+    The matrix runs three engine modes: serial (page-at-a-time copies),
+    batched (bulk spans on the calling thread), and parallel (bulk spans
+    fanned out to a 4-thread pool over a four-partition layout).
     """
     report = SweepReport(seed=seed)
 
@@ -414,15 +466,19 @@ def run_faultsweep(
         budget, _ = _measure_io_budget(seed, batched=True)
         stride = max(stride, budget // 24 or 1)
 
-    for batched in (False, True):
-        emit(_transient_scenario(seed, batched))
-        emit(_torn_install_scenario(seed, batched))
-        emit(_crash_sweep_scenario(seed, batched, stride))
-        emit(_seeded_mix_scenario(seed, batched, rounds=2 if quick else 4))
+    for batched, workers in ((False, 1), (True, 1), (True, 4)):
+        emit(_transient_scenario(seed, batched, workers))
+        emit(_torn_install_scenario(seed, batched, workers))
+        emit(_crash_sweep_scenario(seed, batched, stride, workers))
+        emit(_seeded_mix_scenario(seed, batched,
+                                  rounds=2 if quick else 4,
+                                  workers=workers))
         for result in _bitrot_scenarios(seed, batched,
-                                        samples=2 if quick else 3):
+                                        samples=2 if quick else 3,
+                                        workers=workers):
             emit(result)
     emit(_torn_span_scenario(seed))
+    emit(_torn_span_scenario(seed, workers=4))
     return report
 
 
@@ -448,6 +504,7 @@ def capture_failure_trace(case: FailureCase):
         label=case.label,
         seed=case.seed,
         batched=case.batched,
+        workers=case.workers,
         specs=[
             dict(kind=s.kind, point=s.point, at_io=s.at_io,
                  times=s.times, keep=s.keep, seed=s.seed)
@@ -461,12 +518,12 @@ def capture_failure_trace(case: FailureCase):
                 IOPoint.BACKUP_RECORD, IOPoint.BACKUP_BULK_RECORD
             ) else "crash")
             _run_bitrot_one(spec, case.seed, case.batched, finish,
-                            tracer=tracer)
+                            tracer=tracer, workers=case.workers)
         else:
-            db = _fresh_db()
+            db = _fresh_db(workers=case.workers)
             db.attach_tracer(tracer)
             db.attach_faults(FaultPlane(list(case.specs)))
-            _drive(db, case.seed, case.batched)
+            _drive(db, case.seed, case.batched, workers=case.workers)
     except Exception as exc:  # a failing case may die outright
         tracer.emit(ev.TRACE_HEADER, error=f"{type(exc).__name__}: {exc}")
     return tracer.events

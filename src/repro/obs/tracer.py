@@ -23,6 +23,7 @@ Traces serialize to JSONL — one flat object per event — via
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
@@ -140,6 +141,15 @@ class Tracer:
     ``capacity`` (when given) keeps only the most recent N events — a
     ring buffer for long runs where only the tail matters.  ``metrics``
     receives per-span timings into its phase histograms.
+
+    Concurrency contract: ``emit`` is safe from any thread.  The thread
+    that created the tracer (the *owner*) appends directly — no lock on
+    the single-thread path.  Other threads (parallel sweep workers, whose
+    fault-plane checks may emit) append to lock-free per-thread buffers;
+    the owner flushes them in emit order — merged by timestamp, sequence
+    numbers assigned at flush — the next time it emits or reads the
+    stream (:meth:`drain`).  Span timers feed ``metrics`` on exit and
+    should only be opened on the owner thread.
     """
 
     enabled = True
@@ -156,25 +166,69 @@ class Tracer:
         self._t0 = clock()
         self._seq = 0
         self.events: List[TraceEvent] = []
+        self._owner = threading.get_ident()
+        # Per-thread pending buffers for non-owner emits.  Each worker
+        # thread appends to its own list (list.append is atomic), so the
+        # registry lock is only taken once per thread, at registration.
+        self._local = threading.local()
+        self._buffers: List[List[TraceEvent]] = []
+        self._registry_lock = threading.Lock()
 
     def emit(self, kind: str, /, **fields: Any) -> TraceEvent:
+        event = TraceEvent(0, self._clock() - self._t0, kind, fields)
+        if threading.get_ident() != self._owner:
+            buffer = getattr(self._local, "buffer", None)
+            if buffer is None:
+                buffer = self._local.buffer = []
+                with self._registry_lock:
+                    self._buffers.append(buffer)
+            buffer.append(event)
+            return event
+        if self._buffers:
+            self._flush_pending()
+        self._append(event)
+        return event
+
+    def _append(self, event: TraceEvent) -> None:
         self._seq += 1
-        event = TraceEvent(self._seq, self._clock() - self._t0, kind, fields)
+        event.seq = self._seq
         events = self.events
         events.append(event)
         capacity = self.capacity
         if capacity is not None and len(events) > capacity:
             del events[: len(events) - capacity]
-        return event
+
+    def _flush_pending(self) -> None:
+        """Merge worker-thread buffers into the stream in emit order."""
+        pending: List[TraceEvent] = []
+        with self._registry_lock:
+            for buffer in self._buffers:
+                while buffer:
+                    pending.append(buffer.pop(0))
+        pending.sort(key=lambda event: event.t)
+        for event in pending:
+            self._append(event)
+
+    def drain(self) -> None:
+        """Flush any worker-thread buffers (owner thread only).
+
+        Called implicitly by owner-thread emits and by the stream
+        readers below; call explicitly before touching ``events``
+        directly after multi-threaded activity.
+        """
+        if self._buffers:
+            self._flush_pending()
 
     def span(self, name: str, /, **fields: Any) -> _Span:
         return _Span(self, name, fields)
 
     def clear(self) -> None:
+        self.drain()
         self.events.clear()
 
     def find(self, kind: str) -> List[TraceEvent]:
         """Events of one kind, in emission order (test/report helper)."""
+        self.drain()
         return [e for e in self.events if e.kind == kind]
 
     def write_jsonl(
@@ -185,9 +239,11 @@ class Tracer:
         ``extra`` keys are merged into every line (harnesses tag events
         with their scenario).  Returns the number of lines written.
         """
+        self.drain()
         return write_jsonl(self.events, path, mode=mode, extra=extra)
 
     def __len__(self) -> int:
+        self.drain()
         return len(self.events)
 
     def __repr__(self):

@@ -52,6 +52,7 @@ the integrity envelopes close.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -205,6 +206,12 @@ class FaultPlane:
         self.count_by_point: Dict[str, int] = {}
         self.injected_by_kind: Dict[str, int] = {}
         self.injected_total = 0
+        # Parallel sweep workers hit the plane concurrently with the
+        # planning thread; the counters and armed-fault state are
+        # read-modify-write, so checks serialize on one lock.  Totals
+        # stay deterministic across schedules — only the interleaving of
+        # which I/O index lands on which thread varies.
+        self._lock = threading.Lock()
 
     # -------------------------------------------------------------- arming
 
@@ -256,6 +263,15 @@ class FaultPlane:
         """
         if not self.enabled:
             return None
+        with self._lock:
+            return self._check_locked(point, parts, corrupt)
+
+    def _check_locked(
+        self,
+        point: str,
+        parts: int,
+        corrupt: Optional[Callable],
+    ) -> Optional[int]:
         self.io_count += 1
         count = self.count_by_point.get(point, 0) + 1
         self.count_by_point[point] = count

@@ -8,6 +8,17 @@ Iw/oF logging *while a backup is in progress*.
 (see :mod:`repro.obs`): each named phase (``backup.sweep``,
 ``recovery.crash.redo``, …) accumulates count/total/min/max plus a
 power-of-two millisecond bucket histogram.
+
+Concurrency contract
+--------------------
+A ``Metrics`` instance is **not** internally locked; single-thread hot
+paths increment plain attributes with zero synchronization overhead.
+Multi-threaded producers (the parallel backup sweep's span readers) do
+not share the main instance: each worker task gets a fresh **shard**
+(:meth:`Metrics.shard`), accumulates into it privately, and the
+coordinating thread merges shards deterministically with
+:meth:`Metrics.absorb` after joining the workers — sharded counters,
+merged on aggregation, never racing.
 """
 
 from __future__ import annotations
@@ -50,6 +61,17 @@ class PhaseTiming:
             self.max_s = seconds
         label = self.bucket_label(seconds)
         self.buckets[label] = self.buckets.get(label, 0) + 1
+
+    def absorb(self, other: "PhaseTiming") -> None:
+        """Merge another histogram into this one (shard aggregation)."""
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.min_s < self.min_s:
+            self.min_s = other.min_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+        for label, count in other.buckets.items():
+            self.buckets[label] = self.buckets.get(label, 0) + count
 
     @property
     def mean_s(self) -> float:
@@ -169,6 +191,42 @@ class Metrics:
             name: timing.summary()
             for name, timing in sorted(self.phase_timings.items())
         }
+
+    # ---------------------------------------------------------------- shards
+
+    def shard(self) -> "Metrics":
+        """A fresh, zeroed ``Metrics`` for one worker task.
+
+        Parallel sweep workers never touch the shared instance: each
+        task accumulates into its own shard and the coordinating thread
+        calls :meth:`absorb` after the worker is joined, so totals are
+        deterministic and the single-thread hot paths stay lock-free.
+        """
+        return Metrics()
+
+    def absorb(self, other: "Metrics") -> None:
+        """Merge a worker shard's counters into this instance.
+
+        Scalar fields add; dict-valued counter fields merge by summing
+        per-key; phase timing histograms merge via
+        :meth:`PhaseTiming.absorb`.  Must be called from the owning
+        thread after the shard's worker has finished.
+        """
+        for spec in dataclasses.fields(self):
+            value = getattr(other, spec.name)
+            if isinstance(value, (int, float)):
+                if value:
+                    setattr(self, spec.name, getattr(self, spec.name) + value)
+            elif spec.name == "phase_timings":
+                for name, timing in value.items():
+                    mine = self.phase_timings.get(name)
+                    if mine is None:
+                        mine = self.phase_timings[name] = PhaseTiming()
+                    mine.absorb(timing)
+            else:  # dict counters keyed by region/step/kind
+                mine = getattr(self, spec.name)
+                for key, count in value.items():
+                    mine[key] = mine.get(key, 0) + count
 
     # -------------------------------------------------------------- snapshot
 

@@ -34,9 +34,15 @@ class BackupStatus(enum.Enum):
 class BackupDatabase:
     """One backup image of the database, fuzzy w.r.t. transaction boundaries.
 
-    Like the stable database, every recorded page carries a CRC32
-    integrity envelope stamped at record time; :meth:`read_page` and
-    :meth:`verify_pages` check it, and media recovery consults
+    Like the stable database, every recorded page carries a **lazy**
+    integrity envelope: the stamp is a reference to the exact
+    :class:`~repro.storage.page.PageVersion` recorded at copy time, so
+    verifying an undamaged page is an identity check and costs no CRC
+    arithmetic.  Simulated rot replaces the recorded version object
+    without touching the stamp; the identity miss then forces a CRC
+    comparison (always computed from the *stamp*, never laundered from
+    the rotted cell) and the page reads as damaged.  :meth:`read_page`
+    and :meth:`verify_pages` check this, and media recovery consults
     :meth:`damaged_pages` before trusting the image — a rotted backup
     page triggers fallback to an older generation instead of silently
     restoring garbage.
@@ -46,7 +52,7 @@ class BackupDatabase:
         self.backup_id = backup_id
         self.media_scan_start_lsn = media_scan_start_lsn
         self._versions: Dict[PageId, PageVersion] = {}
-        self._checksums: Dict[PageId, int] = {}
+        self._stamps: Dict[PageId, PageVersion] = {}
         self._copy_order: List[PageId] = []
         self._status = BackupStatus.IN_PROGRESS
         self.completion_lsn: Optional[LSN] = None
@@ -60,7 +66,8 @@ class BackupDatabase:
         version = self._versions.get(page_id)
         if version is None:
             return True
-        return version.checksum() == self._checksums[page_id]
+        stamp = self._stamps[page_id]
+        return version is stamp or version.checksum() == stamp.checksum()
 
     def verify_pages(self, page_ids: Iterable[PageId]) -> None:
         """Raise :class:`CorruptPageError` if any given page is damaged."""
@@ -73,23 +80,27 @@ class BackupDatabase:
 
     def damaged_pages(self) -> List[PageId]:
         """Every recorded page failing its integrity check."""
+        stamps = self._stamps
         return sorted(
             pid
             for pid, version in self._versions.items()
-            if version.checksum() != self._checksums[pid]
+            if version is not stamps[pid]
+            and version.checksum() != stamps[pid].checksum()
         )
 
     def stored_checksum(self, page_id: PageId) -> int:
         """The envelope recorded at copy time, *not* recomputed.
 
         Archiving must carry the original envelope along so damage that
-        crept in after the copy still fails verification downstream;
-        recomputing from the current value would launder it.
+        crept in after the copy still fails verification downstream.
+        The CRC is materialized here from the *stamp* — the version
+        object recorded at copy time — never from the current cell, so
+        post-copy rot cannot launder itself into the archive envelope.
         """
-        crc = self._checksums.get(page_id)
-        if crc is None:  # pre-envelope image (e.g. hand-built in tests)
+        stamp = self._stamps.get(page_id)
+        if stamp is None:  # pre-envelope image (e.g. hand-built in tests)
             return self._versions[page_id].checksum()
-        return crc
+        return stamp.checksum()
 
     def _bitrot(self, rng) -> bool:
         """Silently rot one recorded page (fault-plane corruptor).
@@ -123,7 +134,7 @@ class BackupDatabase:
 
             self.faults.check(IOPoint.BACKUP_RECORD, corrupt=self._bitrot)
         self._versions[page_id] = version
-        self._checksums[page_id] = version.checksum()
+        self._stamps[page_id] = version
         self._copy_order.append(page_id)
 
     def record_pages(self, entries) -> None:
@@ -151,7 +162,7 @@ class BackupDatabase:
                 corrupt=self._bitrot,
             )
         versions = self._versions
-        checksums = self._checksums
+        stamps = self._stamps
         order = self._copy_order
         landing = entries if torn_keep is None else entries[:torn_keep]
         for page_id, version in landing:
@@ -161,7 +172,7 @@ class BackupDatabase:
                     f"{self.backup_id}"
                 )
             versions[page_id] = version
-            checksums[page_id] = version.checksum()
+            stamps[page_id] = version
             order.append(page_id)
         if torn_keep is not None:
             raise TornWriteError(
@@ -190,10 +201,12 @@ class BackupDatabase:
 
     def read_page(self, page_id: PageId) -> Optional[PageVersion]:
         version = self._versions.get(page_id)
-        if version is not None and version.checksum() != self._checksums[page_id]:
-            raise CorruptPageError(
-                page_id, store="backup", detail=f"backup {self.backup_id}"
-            )
+        if version is not None:
+            stamp = self._stamps[page_id]
+            if version is not stamp and version.checksum() != stamp.checksum():
+                raise CorruptPageError(
+                    page_id, store="backup", detail=f"backup {self.backup_id}"
+                )
         return version
 
     def pages(self) -> Dict[PageId, PageVersion]:

@@ -39,10 +39,17 @@ def page_checksum(value: Any, page_lsn: LSN) -> int:
 
     The checksum covers both the value and its LSN stamp, so a
     misdirected write (right value, wrong LSN epoch) is detected too.
-    Values the shared codec cannot encode (e.g. the replayer's POISON
-    sentinel) fall back to ``repr`` — stable within a process, which is
-    the lifetime of an in-memory store.
+    ``bytes`` payloads — the shape real page images have — take a fast
+    path: the CRC runs directly over a :class:`memoryview` of the
+    payload, seeded with the LSN prefix, so no intermediate encoding or
+    concatenation is allocated.  Structured values go through the shared
+    codec; values it cannot encode (e.g. the replayer's POISON sentinel)
+    fall back to ``repr`` — stable within a process, which is the
+    lifetime of an in-memory store.
     """
+    if type(value) is bytes:
+        return zlib.crc32(memoryview(value), zlib.crc32(b"%d|" % page_lsn))
+
     from repro.codec import CodecError, encode_value
 
     try:

@@ -22,6 +22,7 @@ Write counts are tracked so benchmarks can report I/O volume.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import (
@@ -32,19 +33,25 @@ from repro.errors import (
 )
 from repro.ids import LSN, NULL_LSN, PageId
 from repro.storage.layout import Layout
-from repro.storage.page import Page, PageVersion, page_checksum, rot_value
+from repro.storage.page import Page, PageVersion, rot_value
 
 
 class StableDatabase:
     """Simulated stable medium holding one page cell per layout slot.
 
-    Every page carries a CRC32 integrity envelope
-    (:func:`~repro.storage.page.page_checksum`) stamped on write and
-    verified on read; a mismatch raises
-    :class:`~repro.errors.CorruptPageError`.  Silent corruption injected
-    by the fault plane (:data:`~repro.sim.faults.FaultKind.BITROT`)
-    mutates a page cell *without* refreshing its envelope, which is
-    exactly how real bit rot presents to a checksummed store.
+    Every page carries a **lazy** CRC32 integrity envelope.  The store
+    stamps each write by retaining a reference to the exact
+    :class:`~repro.storage.page.PageVersion` object installed; because
+    versions are immutable, a cell whose current version *is* the stamp
+    is provably undamaged with no CRC arithmetic at all.  Simulated
+    corruption (:data:`~repro.sim.faults.FaultKind.BITROT`) replaces the
+    cell's version object wholesale without refreshing the stamp — the
+    identity check then misses and the CRC comparison (computed from the
+    *stamp*, never from the possibly-rotted cell) raises
+    :class:`~repro.errors.CorruptPageError`, exactly how real bit rot
+    presents to a checksummed store.  The actual CRC is materialized
+    only when an envelope leaves the process (archive serialization) or
+    when an identity miss demands a content check.
     """
 
     def __init__(self, layout: Layout, initial_value: Any = None):
@@ -52,16 +59,22 @@ class StableDatabase:
         self._pages: Dict[PageId, Page] = {
             pid: Page.empty(pid, initial_value) for pid in layout.all_pages()
         }
-        # Integrity envelopes, one per page cell.  Every freshly
-        # formatted page shares the same (value, NULL_LSN) checksum.
-        self._initial_crc = page_checksum(initial_value, NULL_LSN)
-        self._checksums: Dict[PageId, int] = {
-            pid: self._initial_crc for pid in self._pages
+        # Integrity stamps, one per page cell: the version object that
+        # was legitimately installed there (see class docstring).
+        self._stamps: Dict[PageId, PageVersion] = {
+            pid: page.version for pid, page in self._pages.items()
         }
         self._failed = False
         self._failed_partitions: set = set()
         self.page_writes = 0
         self.multi_page_flushes = 0
+        # Simulated per-request device latency (seconds), slept once per
+        # read call — a bulk span read models one seek + one contiguous
+        # transfer.  ``time.sleep`` releases the GIL, so concurrent span
+        # reads against different partitions overlap exactly like the
+        # independent disk arms of the paper's partitioned stores (§3.4).
+        # Left at 0.0 (no sleep) outside latency-sensitive benchmarks.
+        self.io_delay_s = 0.0
         # Fault plane (None = no injection) and the shadow journal: the
         # pre-images of an in-flight multi-page install, conceptually on
         # stable storage, so it survives a crash and lets recovery undo a
@@ -73,27 +86,31 @@ class StableDatabase:
     # ------------------------------------------------------------- integrity
 
     def _store_version(self, page_id: PageId, version: PageVersion) -> None:
-        """Install a version into its cell, refreshing the envelope."""
+        """Install a version into its cell, refreshing the stamp."""
         self._pages[page_id].version = version
-        self._checksums[page_id] = version.checksum()
+        self._stamps[page_id] = version
 
     def _verify(self, page_id: PageId, version: PageVersion) -> PageVersion:
-        if version.checksum() != self._checksums[page_id]:
+        stamp = self._stamps[page_id]
+        if version is not stamp and version.checksum() != stamp.checksum():
             raise CorruptPageError(page_id, store="stable")
         return version
 
     def verify_page(self, page_id: PageId) -> bool:
         """Does this page's content still match its integrity envelope?"""
-        page = self._page(page_id)
-        return page.version.checksum() == self._checksums[page_id]
+        version = self._page(page_id).version
+        stamp = self._stamps[page_id]
+        return version is stamp or version.checksum() == stamp.checksum()
 
     def damaged_pages(self) -> List[PageId]:
         """Every page failing its integrity check (raw scan, no media
         gate — scrubbing and recovery must see damage on failed media)."""
+        stamps = self._stamps
         return sorted(
             pid
             for pid, page in self._pages.items()
-            if page.version.checksum() != self._checksums[pid]
+            if page.version is not stamps[pid]
+            and page.version.checksum() != stamps[pid].checksum()
         )
 
     def pages_ahead_of(self, lsn: LSN) -> List[PageId]:
@@ -140,6 +157,8 @@ class StableDatabase:
             from repro.sim.faults import IOPoint
 
             self.faults.check(IOPoint.STABLE_READ, corrupt=self._bitrot)
+        if self.io_delay_s:
+            time.sleep(self.io_delay_s)
         return self._verify(page_id, self._page(page_id).snapshot())
 
     def read_pages(self, page_ids) -> "list":
@@ -154,9 +173,11 @@ class StableDatabase:
             from repro.sim.faults import IOPoint
 
             self.faults.check(IOPoint.STABLE_BULK_READ, corrupt=self._bitrot)
+        if self.io_delay_s:
+            time.sleep(self.io_delay_s)
         failed_partitions = self._failed_partitions
         pages = self._pages
-        checksums = self._checksums
+        stamps = self._stamps
         checked: set = set()
         out = []
         for pid in page_ids:
@@ -171,7 +192,8 @@ class StableDatabase:
                 version = pages[pid].version
             except KeyError:
                 raise PageNotFoundError(pid) from None
-            if version.checksum() != checksums[pid]:
+            stamp = stamps[pid]
+            if version is not stamp and version.checksum() != stamp.checksum():
                 raise CorruptPageError(pid, store="stable")
             out.append((pid, version))
         return out
@@ -302,8 +324,9 @@ class StableDatabase:
         are untouched."""
         self._failed_partitions.discard(partition)
         for pid in self.layout.pages_in_partition(partition):
-            self._pages[pid] = Page.empty(pid, initial_value)
-            self._checksums[pid] = page_checksum(initial_value, NULL_LSN)
+            page = Page.empty(pid, initial_value)
+            self._pages[pid] = page
+            self._stamps[pid] = page.version
         for pid, ver in versions.items():
             if pid.partition != partition:
                 raise PageNotFoundError(pid)
@@ -324,8 +347,7 @@ class StableDatabase:
             pid: Page.empty(pid, initial_value)
             for pid in self.layout.all_pages()
         }
-        fresh_crc = page_checksum(initial_value, NULL_LSN)
-        self._checksums = {pid: fresh_crc for pid in self._pages}
+        self._stamps = {pid: page.version for pid, page in self._pages.items()}
         for pid, ver in versions.items():
             self._page(pid)  # validates the id
             self._store_version(pid, ver)

@@ -16,8 +16,11 @@ writes:
   anywhere;
 * ``abort()`` simply drops the buffer — nothing was ever logged.
 
-The simulation is single-threaded, so deferred application at commit
-reproduces exactly the states the operations saw when buffered.
+The workload/recovery loop runs on one thread (only the backup sweep's
+span reads fan out to worker threads — see
+``repro.core.backup_engine.ParallelBackupRun``), so deferred
+application at commit reproduces exactly the states the operations saw
+when buffered.
 
 >>> from repro import Database, PhysicalWrite
 >>> from repro.ids import PageId

@@ -65,7 +65,6 @@ class LogManager:
             self.faults.check(IOPoint.LOG_APPEND, corrupt=self._bitrot)
         lsn = self._first_lsn + len(self._records)
         record = LogRecord(lsn, op, flags, source)
-        record.crc = self._checksum(record)
         self._records.append(record)
         if self.auto_force:
             self._flushed_lsn = lsn
@@ -106,10 +105,16 @@ class LogManager:
         return _record_checksum(record)
 
     def verify_record(self, record: LogRecord) -> bool:
-        """Does a record still match its append-time integrity envelope?
+        """Does a record still match its integrity envelope?
 
-        Records without an envelope (built outside the manager) are
-        trusted — there is nothing to verify against.
+        Envelopes are **lazy**: an in-memory append does not compute a
+        CRC (``record.crc`` stays ``None``) — the envelope is stamped
+        when the record is serialized to a shipped log file
+        (:func:`repro.wal.serialize.record_to_spec`), which is the only
+        boundary where bit rot can creep in undetected.  Records without
+        an envelope are therefore trusted; records carrying one (loaded
+        from a file, or rotted in place by the fault plane, which stamps
+        a bogus CRC) are checked against it.
         """
         return record.crc is None or record.crc == self._checksum(record)
 

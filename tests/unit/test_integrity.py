@@ -158,17 +158,21 @@ class TestArchiveEnvelopes:
 
 
 class TestLogRecordChecksums:
-    def test_append_stamps_crc(self):
+    def test_append_is_lazy_serialize_stamps_crc(self):
+        # The envelope is lazy: an in-memory append does no CRC work,
+        # the stamp happens at the serialization boundary.
         log = LogManager()
         record = log.append(wp(0, 1))
-        assert record.crc == record_checksum(record)
+        assert record.crc is None
         assert log.damaged_records() == []
+        spec = record_to_spec(record)
+        assert spec["crc"] == record_checksum(record)
 
     def test_spec_roundtrip_verifies(self):
         log = LogManager()
         record = log.append(wp(0, 1))
         clone = record_from_spec(record_to_spec(record))
-        assert clone.crc == record.crc
+        assert clone.crc == record_checksum(record)
 
     def test_tampered_spec_rejected(self):
         log = LogManager()

@@ -1,5 +1,8 @@
 """Unit tests for the backup latch."""
 
+import threading
+import time
+
 import pytest
 
 from repro.core.latch import BackupLatch
@@ -70,3 +73,89 @@ class TestContextManagers:
             pass
         assert latch.shared_acquisitions == 1
         assert latch.exclusive_acquisitions == 1
+
+
+class TestCrossThread:
+    """Real-thread semantics: same-thread conflicts raise (the protocol
+    bug they catch is a deadlock-in-waiting), cross-thread conflicts
+    block until the holder releases."""
+
+    def test_exclusive_blocks_other_thread_shared(self, latch):
+        order = []
+        latch.acquire_exclusive()
+
+        def reader():
+            latch.acquire_shared()  # must block until release below
+            order.append("acquired")
+            latch.release_shared()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=0.05)
+        assert thread.is_alive(), "reader got the latch under exclusive"
+        order.append("releasing")
+        latch.release_exclusive()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert order == ["releasing", "acquired"]
+
+    def test_shared_blocks_other_thread_exclusive(self, latch):
+        latch.acquire_shared()
+        acquired = threading.Event()
+
+        def writer():
+            latch.acquire_exclusive()
+            acquired.set()
+            latch.release_exclusive()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert not acquired.wait(timeout=0.05)
+        latch.release_shared()
+        thread.join(timeout=5)
+        assert acquired.is_set()
+
+    def test_stress_invariants(self, latch):
+        """Hammer the latch from real threads; mutual exclusion and the
+        shared counter must hold at every instant."""
+        state = {"readers": 0, "writers": 0}
+        violations = []
+        check_lock = threading.Lock()
+        rounds = 60
+
+        def note(delta_readers, delta_writers):
+            with check_lock:
+                state["readers"] += delta_readers
+                state["writers"] += delta_writers
+                if state["writers"] > 1:
+                    violations.append("two writers")
+                if state["writers"] and state["readers"]:
+                    violations.append("writer alongside readers")
+
+        def reader():
+            for index in range(rounds):
+                with latch.shared():
+                    note(+1, 0)
+                    if index % 8 == 0:  # widen the hold so overlaps show
+                        time.sleep(0.0005)
+                    note(-1, 0)
+
+        def writer():
+            for index in range(rounds):
+                with latch.exclusive():
+                    note(0, +1)
+                    if index % 8 == 0:
+                        time.sleep(0.0005)
+                    note(0, -1)
+
+        threads = ([threading.Thread(target=reader) for _ in range(3)]
+                   + [threading.Thread(target=writer) for _ in range(2)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert violations == []
+        assert not latch.held_shared and not latch.held_exclusive
+        assert latch.shared_acquisitions == 3 * rounds
+        assert latch.exclusive_acquisitions == 2 * rounds
