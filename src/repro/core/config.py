@@ -9,7 +9,7 @@ legacy keyword signatures remain as deprecated aliases.
 
 >>> from repro.core.config import BackupConfig
 >>> BackupConfig(steps=4, batched=False)
-BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1)
+BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1)
 """
 
 from __future__ import annotations
@@ -39,7 +39,17 @@ class BackupConfig:
     ``workers``        — sweep thread count: 1 copies on the calling
                          thread, >1 fans the batched span reads out to a
                          thread pool (§3.4: disjoint partitions "permit
-                         us to back up partitions in parallel").
+                         us to back up partitions in parallel");
+    ``log_streams``    — WAL stream count for the database under test: 1
+                         keeps the plain single-stream
+                         :class:`~repro.wal.log_manager.LogManager`, >1
+                         stripes the log across that many streams with
+                         group commit
+                         (:class:`~repro.wal.multi_log.MultiLogManager`).
+                         A harness knob — it shapes the *database* the
+                         harnesses (faultsweep, experiments) construct,
+                         not the backup algorithm itself, which is
+                         stream-agnostic via ``merge_scan``.
     """
 
     steps: int = 8
@@ -49,6 +59,7 @@ class BackupConfig:
     batched: bool = True
     engine: str = "engine"
     workers: int = 1
+    log_streams: int = 1
 
     def __post_init__(self):
         if self.steps < 1:
@@ -75,3 +86,5 @@ class BackupConfig:
             raise ReproError(
                 "parallel sweeps (workers > 1) require the section-3 engine"
             )
+        if self.log_streams < 1:
+            raise ReproError("BackupConfig.log_streams must be >= 1")

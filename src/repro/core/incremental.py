@@ -150,7 +150,7 @@ def run_media_recovery_chain(
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     with tracer.span("recovery.media_chain.redo"):
         stats = replayer.replay(
-            log.scan(chain[0].media_scan_start_lsn, target), state
+            log.merge_scan(chain[0].media_scan_start_lsn, target), state
         )
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media-chain", phase="redo",

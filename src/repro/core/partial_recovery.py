@@ -49,7 +49,7 @@ def check_partition_confinement(
     """All records whose operation spans more than one partition."""
     return [
         record
-        for record in log.scan(max(from_lsn, log.first_retained_lsn))
+        for record in log.merge_scan(max(from_lsn, log.first_retained_lsn))
         if len(op_partitions(record)) > 1
     ]
 
@@ -80,7 +80,7 @@ def run_partition_media_recovery(
     # failed partition and any other.
     offenders = [
         record
-        for record in log.scan(backup.media_scan_start_lsn)
+        for record in log.merge_scan(backup.media_scan_start_lsn)
         if partition in op_partitions(record)
         and len(op_partitions(record)) > 1
     ]
@@ -112,7 +112,7 @@ def run_partition_media_recovery(
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     relevant = (
         record
-        for record in log.scan(backup.media_scan_start_lsn)
+        for record in log.merge_scan(backup.media_scan_start_lsn)
         if op_partitions(record) == {partition}
     )
     with tracer.span("recovery.partition.redo"):

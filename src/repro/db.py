@@ -104,7 +104,14 @@ class Database:
         auto_force_log: bool = True,
         faults: Optional[FaultPlane] = None,
         tracer=None,
+        log_streams: int = 1,
     ):
+        """``log_streams=1`` (the default) keeps the plain single-stream
+        :class:`~repro.wal.log_manager.LogManager`; ``log_streams > 1``
+        stripes the WAL across that many independent streams with group
+        commit (:class:`~repro.wal.multi_log.MultiLogManager`) — the
+        same LSN/recovery contract, concurrent appends without a shared
+        hot counter."""
         if isinstance(policy, str):
             try:
                 policy = _POLICIES[policy]()
@@ -116,8 +123,16 @@ class Database:
         self.layout = Layout(list(pages_per_partition))
         self.initial_value = initial_value
         self.stable = StableDatabase(self.layout, initial_value)
-        self.log = LogManager(auto_force=auto_force_log)
         self.metrics = Metrics()
+        if log_streams > 1:
+            from repro.wal.multi_log import MultiLogManager
+
+            self.log = MultiLogManager(
+                streams=log_streams, auto_force=auto_force_log
+            )
+            self.log.metrics = self.metrics
+        else:
+            self.log = LogManager(auto_force=auto_force_log)
         self.cm = CacheManager(
             self.stable,
             self.log,
@@ -417,6 +432,9 @@ class Database:
         """
         with self._faults_suspended():
             dropped = self.log.repair_tail()
+            # Mirror the log's cumulative repair counter so it is always
+            # visible in Metrics.snapshot() (faultsweep/bench reports).
+            self.metrics.tail_repair_dropped = self.log.tail_repair_dropped
             if dropped:
                 self.metrics.log_tail_truncated += dropped
                 self.metrics.corruption_detected += 1

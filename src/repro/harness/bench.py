@@ -23,8 +23,10 @@ and scheduler noise that inflate means.
 ``--compare A B`` reads two labelled entries back out of the baseline
 file and prints a per-benchmark min_ms table with the B-over-A speedup —
 no benchmarks are run.  ``--check`` runs the suite and then gates it:
-the run fails (non-zero exit) if any benchmark's min_ms regresses more
-than ``--gate-threshold`` (default 25%) against the gate baseline — the
+the run fails (non-zero exit) if any benchmark's min_ms exceeds its
+noise envelope — with >= 3 accumulated entries, the historical mean
+plus ``max(3 * stdev, 2%)`` of that benchmark's own min_ms history;
+with fewer entries, a flat ``--gate-threshold`` (default 25%) over the
 most recent entry of ``--baseline`` that has that benchmark, or a
 specific entry named with ``--baseline-label``.  The gate deliberately
 tracks the *accepted current* baseline rather than the all-time best:
@@ -154,6 +156,61 @@ def _bench_partition_sweep(workers: int) -> Callable[[], object]:
     return run
 
 
+def _bench_log_append_force(
+    streams: int, group_commit: bool
+) -> Callable[[], object]:
+    """Multi-threaded append+force against a striped WAL.
+
+    Four executor threads each append a record and force it durable, the
+    committing pattern group commit exists for.  ``force_delay_s`` makes
+    every durability event cost one simulated device sync (``time.sleep``
+    releases the GIL).  The three variants document the scaling story:
+
+    * ``single`` — one stream, per-caller sync: every force pays its own
+      device sync, serialized (the pre-group-commit baseline);
+    * ``gc1``    — one stream, group commit: concurrent forces coalesce
+      behind one tick;
+    * ``4s``     — four streams plus group commit: appends stop
+      contending on a shared lock as well.
+
+    A fresh log per round keeps rounds identical and independent.
+    """
+    import threading
+
+    from repro.ids import PageId
+    from repro.ops.physical import PhysicalWrite
+    from repro.wal.multi_log import MultiLogManager
+
+    n_threads, ops_per_thread, delay_s = 8, 30, 0.0005
+
+    def run() -> int:
+        log = MultiLogManager(
+            streams=streams,
+            auto_force=False,
+            group_commit=group_commit,
+            force_delay_s=delay_s,
+        )
+
+        def worker(tid: int) -> None:
+            for i in range(ops_per_thread):
+                log.append(PhysicalWrite(PageId(tid, i % 64), (tid, i)))
+                log.force()
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if log.flushed_lsn != n_threads * ops_per_thread:
+            raise AssertionError("log not fully durable after forces")
+        return log.flushed_lsn
+
+    return run
+
+
 BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "copy_chain_checkpoint": _bench_copy_chain_checkpoint,
     "backup_sweep": _bench_backup_sweep,
@@ -162,6 +219,9 @@ BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "partition_sweep_serial": lambda: _bench_partition_sweep(1),
     "partition_sweep_2w": lambda: _bench_partition_sweep(2),
     "partition_sweep_4w": lambda: _bench_partition_sweep(4),
+    "log_append_force_single": lambda: _bench_log_append_force(1, False),
+    "log_append_force_gc1": lambda: _bench_log_append_force(1, True),
+    "log_append_force_4s": lambda: _bench_log_append_force(4, True),
 }
 
 
@@ -327,12 +387,16 @@ def check_regressions(
 ) -> List[str]:
     """The CI regression gate.  Returns the benchmarks that regressed.
 
-    Each benchmark of ``results`` is held against the gate baseline: the
-    entry of ``baseline_path`` named by ``baseline_label``, or — when no
-    label is given — the most recent entry that ran that benchmark.  A
-    benchmark fails when its min_ms exceeds the baseline's by more than
-    ``threshold``; benchmarks with no baseline number are reported as
-    new and always pass.
+    With three or more accumulated entries for a benchmark the limit is
+    a **noise envelope scaled to that benchmark's own history**:
+    ``mean + max(3 * stdev, 2% of mean)`` over the historical min_ms
+    values — a stable benchmark gets a tight gate, a noisy one
+    (thread-scheduling benchmarks, for instance) automatically gets the
+    slack it needs.  With fewer than three entries (or when
+    ``baseline_label`` pins the gate to one entry) it falls back to the
+    flat ``threshold`` (default 25%) over the most recent entry's
+    min_ms.  Benchmarks with no baseline number are reported as new and
+    always pass.
     """
     if not os.path.exists(baseline_path):
         raise FileNotFoundError(f"no baseline file at {baseline_path}")
@@ -340,25 +404,34 @@ def check_regressions(
     entries = data.get("entries", [])
     if baseline_label is not None:
         entries = [_entry_by_label(data, baseline_label)]
-    baseline: Dict[str, float] = {}
-    for entry in entries:  # later entries win: gate vs the newest number
+    history: Dict[str, List[float]] = {}
+    for entry in entries:
         for name, stats in entry.get("results", {}).items():
             if stats.get("min_ms"):
-                baseline[name] = stats["min_ms"]
+                history.setdefault(name, []).append(stats["min_ms"])
     failures: List[str] = []
     for name, stats in results.items():
         ms = stats.get("min_ms")
-        base = baseline.get(name)
         if not ms:
             continue
-        if base is None:
+        past = history.get(name)
+        if not past:
             if not quiet:
                 print(f"  gate {name}: {ms} ms (new benchmark, no baseline)")
             continue
-        limit = base * (1.0 + threshold)
+        if len(past) >= 3:
+            mean = statistics.fmean(past)
+            spread = statistics.stdev(past)
+            limit = mean + max(3.0 * spread, 0.02 * mean)
+            described = (f"envelope over {len(past)} entries "
+                         f"(mean {mean:.4f} ms, stdev {spread:.4f} ms)")
+        else:
+            base = past[-1]
+            limit = base * (1.0 + threshold)
+            described = f"baseline {base} ms (flat {threshold:.0%} gate)"
         ok = ms <= limit
         if not quiet:
-            print(f"  gate {name}: {ms} ms vs baseline {base} ms "
+            print(f"  gate {name}: {ms} ms vs {described} "
                   f"(limit {limit:.4f} ms) {'ok' if ok else 'REGRESSION'}")
         if not ok:
             failures.append(name)

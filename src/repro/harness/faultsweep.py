@@ -66,6 +66,7 @@ class FailureCase:
     seed: int
     batched: bool
     workers: int = 1
+    log_streams: int = 1
 
 
 @dataclass
@@ -86,12 +87,13 @@ class ScenarioResult:
 
     def record_failure(
         self, label: str, specs, seed: int, batched: bool,
-        workers: int = 1,
+        workers: int = 1, log_streams: int = 1,
     ) -> None:
         self.detail += f" {label}:FAILED"
         self.failures.append(FailureCase(
             scenario=self.name, label=label, specs=tuple(specs),
             seed=seed, batched=batched, workers=workers,
+            log_streams=log_streams,
         ))
 
 
@@ -120,24 +122,32 @@ class SweepReport:
 # --------------------------------------------------------------- scenario core
 
 
-def _mode_name(batched: bool, workers: int = 1) -> str:
+def _mode_name(batched: bool, workers: int = 1, log_streams: int = 1) -> str:
     if workers > 1:
-        return "parallel"
-    return "batched" if batched else "serial"
+        name = "parallel"
+    else:
+        name = "batched" if batched else "serial"
+    if log_streams > 1:
+        name += "-multistream"
+    return name
 
 
-def _fresh_db(pages: int = 48, workers: int = 1) -> Database:
+def _fresh_db(
+    pages: int = 48, workers: int = 1, log_streams: int = 1
+) -> Database:
     """A fresh database for one sweep run.
 
     The serial and batched modes use a single partition; the parallel
     mode spreads the same page count over four partitions so the
     4-worker sweep actually fans span reads out across latches.
+    ``log_streams > 1`` stripes the WAL (the multistream smoke mode).
     """
     if workers > 1:
         per_part = max(1, pages // 4)
         return Database(pages_per_partition=[per_part] * 4,
-                        policy="general")
-    return Database(pages_per_partition=[pages], policy="general")
+                        policy="general", log_streams=log_streams)
+    return Database(pages_per_partition=[pages], policy="general",
+                    log_streams=log_streams)
 
 
 def _drive(
@@ -187,16 +197,17 @@ def _drive(
 
 
 def _run_one(
-    specs: List[FaultSpec], seed: int, batched: bool, workers: int = 1
+    specs: List[FaultSpec], seed: int, batched: bool, workers: int = 1,
+    log_streams: int = 1,
 ) -> Tuple[bool, Database]:
-    db = _fresh_db(workers=workers)
+    db = _fresh_db(workers=workers, log_streams=log_streams)
     db.attach_faults(FaultPlane(specs))
     ok, _ = _drive(db, seed, batched, workers=workers)
     return ok, db
 
 
 def _measure_io_budget(
-    seed: int, batched: bool, workers: int = 1
+    seed: int, batched: bool, workers: int = 1, log_streams: int = 1
 ) -> Tuple[int, dict]:
     """One fault-free run with a bare plane, counting every I/O event.
 
@@ -205,7 +216,7 @@ def _measure_io_budget(
     deterministic even in the parallel mode — threads reorder the
     events but never change the set.
     """
-    db = _fresh_db(workers=workers)
+    db = _fresh_db(workers=workers, log_streams=log_streams)
     plane = db.attach_faults(FaultPlane())
     ok, _ = _drive(db, seed, batched, workers=workers)
     if not ok:
@@ -286,34 +297,37 @@ def _torn_install_scenario(
 
 
 def _crash_sweep_scenario(
-    seed: int, batched: bool, stride: int, workers: int = 1
+    seed: int, batched: bool, stride: int, workers: int = 1,
+    log_streams: int = 1,
 ) -> ScenarioResult:
     """Crash at every Nth I/O point of the deterministic baseline run."""
-    name = f"crash-sweep-{_mode_name(batched, workers)}"
-    budget, _ = _measure_io_budget(seed, batched, workers)
+    name = f"crash-sweep-{_mode_name(batched, workers, log_streams)}"
+    budget, _ = _measure_io_budget(seed, batched, workers, log_streams)
     result = ScenarioResult(name, detail=f" io_budget={budget}")
     for plan in crash_sweep_plans(budget, stride=stride):
         specs = [plan.to_spec()]
-        ok, db = _run_one(specs, seed, batched, workers)
+        ok, db = _run_one(specs, seed, batched, workers, log_streams)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
             result.record_failure(f"at_io={plan.at_io}", specs, seed,
-                                  batched, workers)
+                                  batched, workers, log_streams)
         result.faults_injected += db.faults.injected_total
     return result
 
 
 def _seeded_mix_scenario(
-    seed: int, batched: bool, rounds: int, workers: int = 1
+    seed: int, batched: bool, rounds: int, workers: int = 1,
+    log_streams: int = 1,
 ) -> ScenarioResult:
     """Seeded random transient/torn schedules across all points."""
-    name = f"seeded-mix-{_mode_name(batched, workers)}"
-    budget, per_point = _measure_io_budget(seed, batched, workers)
+    name = f"seeded-mix-{_mode_name(batched, workers, log_streams)}"
+    budget, per_point = _measure_io_budget(seed, batched, workers,
+                                           log_streams)
     result = ScenarioResult(name)
     for round_index in range(rounds):
-        db = _fresh_db(workers=workers)
+        db = _fresh_db(workers=workers, log_streams=log_streams)
         injector = FailureInjector.seeded(
             db, seed * 1000 + round_index, budget, count=4,
             point_budgets=per_point,
@@ -326,7 +340,7 @@ def _seeded_mix_scenario(
             result.record_failure(
                 f"round={round_index}",
                 [plan.to_spec() for plan in injector.io_plans],
-                seed, batched, workers,
+                seed, batched, workers, log_streams,
             )
         result.faults_injected += injector.faults_injected
         result.io_retries += db.metrics.io_retries
@@ -479,6 +493,14 @@ def run_faultsweep(
             emit(result)
     emit(_torn_span_scenario(seed))
     emit(_torn_span_scenario(seed, workers=4))
+    # Multi-stream WAL smoke: the crash sweep and the seeded mix against
+    # a database whose log is striped over four streams.  A crash must
+    # lose only per-stream unforced suffixes (the globally consistent
+    # cut) and recovery — replaying through merge_scan — must still
+    # reach the oracle state after every injected failure.
+    emit(_crash_sweep_scenario(seed, True, stride, log_streams=4))
+    emit(_seeded_mix_scenario(seed, True, rounds=2 if quick else 4,
+                              log_streams=4))
     return report
 
 
@@ -505,6 +527,7 @@ def capture_failure_trace(case: FailureCase):
         seed=case.seed,
         batched=case.batched,
         workers=case.workers,
+        log_streams=case.log_streams,
         specs=[
             dict(kind=s.kind, point=s.point, at_io=s.at_io,
                  times=s.times, keep=s.keep, seed=s.seed)
@@ -520,7 +543,8 @@ def capture_failure_trace(case: FailureCase):
             _run_bitrot_one(spec, case.seed, case.batched, finish,
                             tracer=tracer, workers=case.workers)
         else:
-            db = _fresh_db(workers=case.workers)
+            db = _fresh_db(workers=case.workers,
+                           log_streams=case.log_streams)
             db.attach_tracer(tracer)
             db.attach_faults(FaultPlane(list(case.specs)))
             _drive(db, case.seed, case.batched, workers=case.workers)

@@ -43,8 +43,13 @@ FAULT_INJECTED = "fault_injected"
 REDO_OP = "redo_op"
 #: A recovery algorithm entered/finished one of its phases.
 RECOVERY_PHASE = "recovery_phase"
-#: The log was forced to stable storage.
+#: The log was forced to stable storage.  Group-commit forces carry the
+#: tick's coalesced caller count under ``batch``.
 LOG_FORCE = "log_force"
+#: A damaged log tail was truncated at the first corrupt record.
+LOG_TAIL_REPAIR = "log_tail_repair"
+#: A crash dropped the unforced log tail (per stream, for a striped log).
+LOG_TAIL_LOST = "log_tail_lost"
 #: The system crashed (volatile state lost).
 CRASH = "crash"
 #: The stable medium failed.
@@ -75,6 +80,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     REDO_OP: ("lsn", "action"),
     RECOVERY_PHASE: ("kind", "phase"),
     LOG_FORCE: ("lsn",),
+    LOG_TAIL_REPAIR: ("dropped", "cut_lsn"),
+    LOG_TAIL_LOST: ("dropped", "cut_lsn"),
     CRASH: (),
     MEDIA_FAILURE: (),
     CORRUPTION_DETECTED: ("site",),

@@ -73,7 +73,7 @@ def run_crash_recovery(
         state[pid] = PageVersion(POISON, NULL_LSN)
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     with tracer.span("recovery.crash.redo"):
-        stats = replayer.replay(log.durable_scan(scan_start_lsn), state)
+        stats = replayer.replay(log.durable_merge_scan(scan_start_lsn), state)
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="crash", phase="redo",
                     replayed=stats.ops_replayed, skipped=stats.ops_skipped)

@@ -171,7 +171,7 @@ def run_media_recovery(
     replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
     with tracer.span("recovery.media.redo"):
         stats = replayer.replay(
-            log.scan(chosen.media_scan_start_lsn, target), state
+            log.merge_scan(chosen.media_scan_start_lsn, target), state
         )
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="redo",

@@ -128,6 +128,15 @@ class Metrics:
     torn_spans_resumed: int = 0
     torn_writes_repaired: int = 0
 
+    # Group commit (multi-stream WAL): completed durability ticks, force
+    # callers coalesced into a tick they did not lead, records dropped by
+    # torn-tail repair (mirrors LogManager.tail_repair_dropped), and the
+    # per-tick batch-size histogram (batch size -> tick count).
+    group_commit_ticks: int = 0
+    group_commit_coalesced: int = 0
+    tail_repair_dropped: int = 0
+    force_batch_sizes: Dict[int, int] = field(default_factory=dict)
+
     # Corruption robustness: checksum failures observed, damage healed
     # (chain fallback / tail truncation), pages given up on, and log
     # records dropped by torn-tail repair.

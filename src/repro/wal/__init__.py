@@ -7,7 +7,8 @@ backup begins.
 """
 
 from repro.wal.records import LogRecord, RecordFlag
-from repro.wal.log_manager import LogManager
+from repro.wal.log_manager import LogManager, LogStats
+from repro.wal.multi_log import LogStream, MultiLogManager, stream_for_page
 from repro.wal.truncation import RecLSNTracker
 from repro.wal.media_log import MediaLogView
 from repro.wal.checkpoint import CheckpointManager, CheckpointOp
@@ -17,6 +18,10 @@ __all__ = [
     "LogRecord",
     "RecordFlag",
     "LogManager",
+    "LogStats",
+    "LogStream",
+    "MultiLogManager",
+    "stream_for_page",
     "RecLSNTracker",
     "MediaLogView",
     "CheckpointManager",

@@ -10,6 +10,18 @@ Responsibilities:
 * expose ordered scans from any LSN for recovery and statistics used by
   the benchmarks (record counts / byte volumes by flag and kind).
 
+Statistics (``count`` / ``bytes_logged`` / ``iwof_count``) are served
+from incremental per-flag / per-kind counters (:class:`LogStats`)
+maintained at append and adjusted by truncation, tail repair and crash
+discards — whole-log queries are O(1) instead of a rescan.
+
+Recovery consumes the log through :meth:`merge_scan` /
+:meth:`durable_merge_scan`: on this single-stream manager they are the
+plain ordered scans, on :class:`~repro.wal.multi_log.MultiLogManager`
+they are a k-way ordered merge across the physical streams.  Writing
+recovery against the merge surface is what lets the striped log slot in
+underneath unchanged.
+
 For simplicity transactions are not modelled as explicit begin/commit
 records: the paper's protocol is entirely about operation installation
 and redo, and every logged operation is treated as committed.
@@ -17,11 +29,12 @@ and redo, and every logged operation is treated as committed.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import LogTruncatedError, WALViolationError
 from repro.ids import LSN, NULL_LSN, PageId
-from repro.obs.events import LOG_FORCE
+from repro.obs.events import LOG_FORCE, LOG_TAIL_LOST, LOG_TAIL_REPAIR
 from repro.obs.tracer import NULL_TRACER
 from repro.ops.base import Operation
 from repro.wal.records import LogRecord, RecordFlag
@@ -30,7 +43,75 @@ from repro.wal.records import LogRecord, RecordFlag
 _record_checksum = None
 
 
+class LogStats:
+    """Incremental record/byte counters for one log.
+
+    Maintained by the owning log manager at append time and *decremented*
+    when records leave the log (prefix truncation, torn-tail repair,
+    crash discards), so whole-log statistics never rescan the record
+    list.  ``by_kind`` / ``bytes_by_kind`` are keyed by
+    ``OperationKind.value``.
+    """
+
+    __slots__ = ("records", "bytes", "iwof_records", "iwof_bytes",
+                 "cm_injected", "by_kind", "bytes_by_kind")
+
+    def __init__(self):
+        self.records = 0
+        self.bytes = 0
+        self.iwof_records = 0
+        self.iwof_bytes = 0
+        self.cm_injected = 0
+        self.by_kind: Dict[str, int] = {}
+        self.bytes_by_kind: Dict[str, int] = {}
+
+    def add(self, record: LogRecord) -> None:
+        size = record.size_bytes
+        self.records += 1
+        self.bytes += size
+        if record.is_iwof:
+            self.iwof_records += 1
+            self.iwof_bytes += size
+        if record.is_cm_injected:
+            self.cm_injected += 1
+        kind = record.kind.value
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+
+    def remove(self, record: LogRecord) -> None:
+        size = record.size_bytes
+        self.records -= 1
+        self.bytes -= size
+        if record.is_iwof:
+            self.iwof_records -= 1
+            self.iwof_bytes -= size
+        if record.is_cm_injected:
+            self.cm_injected -= 1
+        kind = record.kind.value
+        self.by_kind[kind] = self.by_kind.get(kind, 0) - 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) - size
+
+    def remove_all(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            self.remove(record)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "records": self.records,
+            "bytes": self.bytes,
+            "iwof_records": self.iwof_records,
+            "iwof_bytes": self.iwof_bytes,
+            "cm_injected": self.cm_injected,
+            "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+        }
+
+
 class LogManager:
+    #: Number of physical streams behind this manager (overridden by
+    #: :class:`~repro.wal.multi_log.MultiLogManager`).
+    num_streams = 1
+
     def __init__(self, auto_force: bool = True):
         self._records: List[LogRecord] = []
         # LSN of the first retained record; physical truncation advances
@@ -50,6 +131,12 @@ class LogManager:
         # Records dropped when a damaged tail was truncated (repair_tail
         # here, or load_log(repair_tail=True) for shipped log files).
         self.tail_repair_dropped = 0
+        # Simulated cost of one durability event (fsync-equivalent).
+        # Zero by default; the append/force benchmarks set it so the
+        # one-force-per-caller pattern pays a per-call device latency.
+        self.force_delay_s = 0.0
+        # Incremental statistics; see LogStats.
+        self.stats = LogStats()
 
     # --------------------------------------------------------------- appends
 
@@ -65,7 +152,9 @@ class LogManager:
             self.faults.check(IOPoint.LOG_APPEND, corrupt=self._bitrot)
         lsn = self._first_lsn + len(self._records)
         record = LogRecord(lsn, op, flags, source)
+        record.stream_seq = lsn
         self._records.append(record)
+        self.stats.add(record)
         if self.auto_force:
             self._flushed_lsn = lsn
         if self._append_listeners:
@@ -78,16 +167,25 @@ class LogManager:
         self._append_listeners.append(listener)
 
     def force(self, up_to: Optional[LSN] = None) -> None:
-        """Force the log to stable storage up to ``up_to`` (default: all)."""
+        """Force the log to stable storage up to ``up_to`` (default: all).
+
+        Each call is its own durability event: with a nonzero
+        ``force_delay_s`` every caller that actually advances the stable
+        prefix pays one full device sync.  The group-commit path that
+        coalesces concurrent callers behind a single tick lives on
+        :class:`~repro.wal.multi_log.MultiLogManager`.
+        """
         end = self.end_lsn if up_to is None else min(up_to, self.end_lsn)
         if end > self._flushed_lsn:
             if self.faults is not None:
                 from repro.sim.faults import IOPoint
 
                 self.faults.check(IOPoint.LOG_FORCE, corrupt=self._bitrot)
+            if self.force_delay_s:
+                time.sleep(self.force_delay_s)
             if self.tracer.enabled:
                 self.tracer.emit(
-                    LOG_FORCE, lsn=end, from_lsn=self._flushed_lsn
+                    LOG_FORCE, lsn=end, from_lsn=self._flushed_lsn, batch=1
                 )
             self._flushed_lsn = end
 
@@ -122,6 +220,21 @@ class LogManager:
         """LSNs of retained records failing their integrity check."""
         return [r.lsn for r in self._records if not self.verify_record(r)]
 
+    def _emit_tail_repair(self, dropped: int) -> None:
+        if dropped and self.tracer.enabled:
+            self.tracer.emit(
+                LOG_TAIL_REPAIR, dropped=dropped, cut_lsn=self.end_lsn + 1,
+                end_lsn=self.end_lsn,
+            )
+
+    def _emit_tail_lost(self, dropped: int, per_stream=None) -> None:
+        if dropped and self.tracer.enabled:
+            fields = dict(dropped=dropped, cut_lsn=self.end_lsn + 1,
+                          end_lsn=self.end_lsn)
+            if per_stream is not None:
+                fields["per_stream"] = per_stream
+            self.tracer.emit(LOG_TAIL_LOST, **fields)
+
     def repair_tail(self) -> int:
         """Truncate the log at the first corrupt record (torn-tail repair).
 
@@ -130,7 +243,9 @@ class LogManager:
         trustworthy log, and it plus everything after it is discarded.
         ``flushed_lsn`` is pulled back accordingly.  Returns the number
         of records dropped (also accumulated on
-        ``tail_repair_dropped``).
+        ``tail_repair_dropped``), and emits a structured
+        ``log_tail_repair`` trace event carrying the dropped count and
+        cut LSN so faultsweep trace replays show where the tail was cut.
         """
         cut = None
         for i, record in enumerate(self._records):
@@ -140,10 +255,12 @@ class LogManager:
         if cut is None:
             return 0
         dropped = len(self._records) - cut
+        self.stats.remove_all(self._records[cut:])
         del self._records[cut:]
         if self._flushed_lsn > self.end_lsn:
             self._flushed_lsn = self.end_lsn
         self.tail_repair_dropped += dropped
+        self._emit_tail_repair(dropped)
         return dropped
 
     def _bitrot(self, rng) -> bool:
@@ -165,11 +282,16 @@ class LogManager:
         """Crash simulation: drop the volatile log tail.
 
         Records beyond ``flushed_lsn`` never reached stable storage, so a
-        crash loses them.  Returns the number of records lost.
+        crash loses them.  Returns the number of records lost; emits a
+        structured ``log_tail_lost`` trace event with the dropped count
+        and cut LSN.
         """
         lost = self.end_lsn - self._flushed_lsn
         if lost > 0:
-            del self._records[self._flushed_lsn - self._first_lsn + 1:]
+            cut = self._flushed_lsn - self._first_lsn + 1
+            self.stats.remove_all(self._records[cut:])
+            del self._records[cut:]
+            self._emit_tail_lost(lost)
         return max(lost, 0)
 
     # ---------------------------------------------------------------- status
@@ -228,6 +350,23 @@ class LogManager:
         """Only the records that survived a crash (forced prefix)."""
         return self.scan(from_lsn, self._flushed_lsn)
 
+    def merge_scan(
+        self, from_lsn: LSN = 1, to_lsn: Optional[LSN] = None
+    ) -> Iterator[LogRecord]:
+        """Records in recovered total order (the redo/replay surface).
+
+        On a single-stream log the recovered total order *is* the
+        append order, so this is :meth:`scan`; the multi-stream manager
+        overrides it with a k-way ordered merge across its physical
+        streams.  All recovery paths (crash, media, analysis, selective
+        redo, standby shipping) consume the log through this method.
+        """
+        return self.scan(from_lsn, to_lsn)
+
+    def durable_merge_scan(self, from_lsn: LSN = 1) -> Iterator[LogRecord]:
+        """The durable prefix of :meth:`merge_scan`."""
+        return self.merge_scan(from_lsn, self._flushed_lsn)
+
     def truncate_prefix(self, up_to_lsn: LSN) -> int:
         """Physically discard records with LSN < ``up_to_lsn``.
 
@@ -241,6 +380,7 @@ class LogManager:
             return 0
         cut = min(up_to_lsn, self.end_lsn + 1)
         discarded = cut - self._first_lsn
+        self.stats.remove_all(self._records[:discarded])
         del self._records[:discarded]
         self._first_lsn = cut
         if self._flushed_lsn < self._first_lsn - 1:
@@ -258,9 +398,15 @@ class LogManager:
         to_lsn: Optional[LSN] = None,
         predicate: Optional[Callable[[LogRecord], bool]] = None,
     ) -> int:
+        if (
+            predicate is None
+            and from_lsn <= self._first_lsn
+            and (to_lsn is None or to_lsn >= self.end_lsn)
+        ):
+            return self.stats.records  # O(1): whole retained log
         return sum(
             1
-            for r in self.scan(from_lsn, to_lsn)
+            for r in self.merge_scan(from_lsn, to_lsn)
             if predicate is None or predicate(r)
         )
 
@@ -270,11 +416,24 @@ class LogManager:
         to_lsn: Optional[LSN] = None,
         predicate: Optional[Callable[[LogRecord], bool]] = None,
     ) -> int:
+        if (
+            predicate is None
+            and from_lsn <= self._first_lsn
+            and (to_lsn is None or to_lsn >= self.end_lsn)
+        ):
+            return self.stats.bytes  # O(1): whole retained log
         return sum(
             r.size_bytes
-            for r in self.scan(from_lsn, to_lsn)
+            for r in self.merge_scan(from_lsn, to_lsn)
             if predicate is None or predicate(r)
         )
 
     def iwof_count(self, from_lsn: LSN = 1) -> int:
+        if from_lsn <= self._first_lsn:
+            return self.stats.iwof_records
         return self.count(from_lsn, predicate=lambda r: r.is_iwof)
+
+    def iwof_bytes(self, from_lsn: LSN = 1) -> int:
+        if from_lsn <= self._first_lsn:
+            return self.stats.iwof_bytes
+        return self.bytes_logged(from_lsn, predicate=lambda r: r.is_iwof)

@@ -24,15 +24,14 @@ class MediaLogView:
         self.scan_start_lsn = scan_start_lsn
 
     def scan(self, to_lsn: Optional[LSN] = None) -> Iterator[LogRecord]:
-        return self._log.scan(self.scan_start_lsn, to_lsn)
+        # Ordered merge across physical streams on a striped log.
+        return self._log.merge_scan(self.scan_start_lsn, to_lsn)
 
     def record_count(self) -> int:
         return self._log.count(self.scan_start_lsn)
 
     def iwof_count(self) -> int:
-        return self._log.count(
-            self.scan_start_lsn, predicate=lambda r: r.is_iwof
-        )
+        return self._log.iwof_count(self.scan_start_lsn)
 
     def bytes_total(self) -> int:
         return self._log.bytes_logged(self.scan_start_lsn)
