@@ -44,7 +44,8 @@ def cmd_bench(args) -> int:
             args.compare[0], args.compare[1],
         )
         return 0
-    kwargs = {"label": args.label, "only": args.only, "note": args.note}
+    kwargs = {"label": args.label, "only": args.only, "note": args.note,
+              "backend": args.backend}
     if args.rounds is not None:
         kwargs["rounds"] = args.rounds
     if args.output is not None:
@@ -70,7 +71,8 @@ def cmd_faultsweep(args) -> int:
     from repro.harness.faultsweep import dump_failure_traces, run_faultsweep
 
     report = run_faultsweep(
-        seed=args.seed, stride=args.stride, quick=args.quick, log=print
+        seed=args.seed, stride=args.stride, quick=args.quick, log=print,
+        backend=args.backend, data_dir=args.data_dir,
     )
     print(
         format_table(
@@ -136,7 +138,8 @@ def cmd_scrub(args) -> int:
     from repro import BackupConfig, Database, PhysicalWrite
     from repro.ids import PageId
 
-    db = Database(pages_per_partition=[32], policy="general")
+    db = Database(pages_per_partition=[32], policy="general",
+                  backend=args.backend, data_dir=args.data_dir)
     for slot in range(16):
         db.execute(PhysicalWrite(PageId(0, slot), ("record", slot)))
     db.start_backup(BackupConfig(steps=4))
@@ -163,6 +166,7 @@ def cmd_scrub(args) -> int:
         site for site, landed in injected.items()
         if landed and site not in sites_found
     ]
+    db.close()
     if missed:
         print(
             "scrub selftest FAIL: injected damage not detected at: "
@@ -335,6 +339,16 @@ def main(argv=None) -> int:
             "dump the event streams to this JSONL file"
         ),
     )
+    faultsweep.add_argument(
+        "--backend", choices=["memory", "file"], default="memory",
+        help="storage backend the sweep runs against (file = the pinned "
+        "smoke matrix on real files)",
+    )
+    faultsweep.add_argument(
+        "--data-dir", default=None,
+        help="directory for the file backend's per-run data dirs "
+        "(default: system tmp)",
+    )
     faultsweep.set_defaults(fn=cmd_faultsweep)
 
     trace = sub.add_parser(
@@ -361,6 +375,14 @@ def main(argv=None) -> int:
         "--log", dest="log_file", metavar="FILE", default=None,
         help="audit a serialized log file",
     )
+    scrub.add_argument(
+        "--backend", choices=["memory", "file"], default="memory",
+        help="storage backend for the self-check database",
+    )
+    scrub.add_argument(
+        "--data-dir", default=None,
+        help="data directory for --backend file (default: fresh tmpdir)",
+    )
     scrub.set_defaults(fn=cmd_scrub)
 
     from repro.harness.bench import BENCHMARKS
@@ -376,6 +398,11 @@ def main(argv=None) -> int:
     bench.add_argument(
         "--note", default=None,
         help="free-form annotation stored on the entry",
+    )
+    bench.add_argument(
+        "--backend", choices=["memory", "file", "all"], default="memory",
+        help="which benchmarks to run: simulated hot paths (memory, "
+        "default), file-backed storage benchmarks (file), or both (all)",
     )
     bench.add_argument(
         "--compare", nargs=2, metavar=("LABEL_A", "LABEL_B"), default=None,

@@ -537,16 +537,132 @@ class ParallelBackupRun(BackupRun):
         super().abort()
 
 
-class BackupEngine:
-    """Creates and tracks backup runs against one cache manager."""
+class ProcessPoolBackupRun(ParallelBackupRun):
+    """A batched sweep whose span reads run in worker *processes*.
 
-    def __init__(self, cm: "CacheManager"):
+    Requires a file-backed stable database: the coordinator plans spans
+    and captures picklable ``(path, [(slot, offset, length)])`` tasks
+    under the shared partition latch
+    (:meth:`~repro.storage.file_backend.FileStableDatabase.span_task`,
+    which runs the same protocol-boundary checks as ``read_pages``);
+    workers are shared-nothing — they ``pread`` and checksum-verify raw
+    record bytes and return plain data, never exceptions.  Because the
+    page files are append-only, the captured offsets remain a consistent
+    snapshot no matter what is installed concurrently.  Records are
+    consumed on the coordinator in plan order, so the sealed image is
+    byte-identical to the serial and thread-parallel sweeps.
+    """
+
+    def __init__(
+        self,
+        cm: "CacheManager",
+        backup: BackupDatabase,
+        steps: int,
+        update_set: Optional[Set[PageId]] = None,
+        dynamic_extend: bool = True,
+        workers: int = 2,
+    ):
+        super().__init__(
+            cm,
+            backup,
+            steps,
+            update_set=update_set,
+            dynamic_extend=dynamic_extend,
+            workers=workers,
+        )
+        if not hasattr(cm.stable, "span_task"):
+            raise BackupError(
+                "executor='process' requires a file-backed stable database "
+                "(span tasks must be picklable shared-nothing file reads)"
+            )
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platforms without fork
+                ctx = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._pool
+
+    def _submit_span(self, span, pool):
+        from repro.storage.file_backend import read_span_file
+
+        partition, start, stop = span
+        stable = self.cm.stable
+        with self.cm.latches[partition].shared():
+            path, entries = with_retries(
+                lambda: stable.span_task(partition, start, stop),
+                metrics=self.cm.metrics,
+            )
+        return pool.submit(read_span_file, path, entries)
+
+    def _copy_batched(self, pages: int) -> int:
+        spans: List[tuple] = []
+        if self.copy_set is None:
+            copied = self._plan_full(pages, spans)
+        else:
+            copied = self._plan_filtered(pages, spans)
+        if not spans:
+            return copied
+        pool = self._ensure_pool()
+        metrics = self.cm.metrics
+        stable = self.cm.stable
+        tasks = [(span, self._submit_span(span, pool)) for span in spans]
+        try:
+            for (partition, start, stop), future in tasks:
+                rows = future.result()
+                self._record_span(stable.resolve_span(partition, rows))
+                metrics.backup_pages_copied += stop - start
+                metrics.backup_bulk_reads += 1
+        except BaseException:
+            for _span, future in tasks:
+                future.cancel()
+            futures_wait([task[1] for task in tasks])
+            raise
+        return copied
+
+
+class BackupEngine:
+    """Creates and tracks backup runs against one cache manager.
+
+    ``storage`` (a :class:`~repro.storage.api.StorageBackend`) is the
+    factory every backup image is created through — the file backend
+    lands each image on its own append-only file.  Without one, plain
+    in-memory :class:`BackupDatabase` images are constructed directly.
+    """
+
+    def __init__(self, cm: "CacheManager", storage=None):
         self.cm = cm
+        self.storage = storage
         self.completed: List[BackupDatabase] = []
         self.active: Optional[BackupRun] = None
         self._next_id = 1
         # Optional FaultPlane propagated to every backup image created.
         self.faults = None
+
+    def attach_faults(self, plane):
+        """Attach a fault plane, propagated to every image created."""
+        self.faults = plane
+        return plane
+
+    def _create_backup(self, scan_start, base_backup_id):
+        if self.storage is not None:
+            backup = self.storage.create_backup(
+                self._next_id, scan_start, base_backup_id=base_backup_id
+            )
+        else:
+            backup = BackupDatabase(
+                self._next_id, scan_start, base_backup_id=base_backup_id
+            )
+        backup.attach_faults(self.faults)
+        self._next_id += 1
+        return backup
 
     def start_backup(
         self,
@@ -556,6 +672,7 @@ class BackupEngine:
         dynamic_extend: bool = True,
         batched: bool = True,
         workers: int = 1,
+        executor: str = "thread",
     ) -> BackupRun:
         if self.active is not None and not self.active.is_sealed:
             raise BackupInProgressError("a backup is already in progress")
@@ -563,18 +680,27 @@ class BackupEngine:
             raise BackupError(
                 "parallel sweeps (workers > 1) require batched=True"
             )
+        if executor not in ("thread", "process"):
+            raise BackupError(f"unknown sweep executor {executor!r}")
         scan_start = self.cm.rec.truncation_point(self.cm.log.end_lsn)
         # The scan start may not exceed end_lsn + 1; for media recovery we
         # additionally never scan later than the backup's own start point.
         scan_start = min(scan_start, self.cm.log.end_lsn + 1)
-        backup = BackupDatabase(self._next_id, scan_start)
-        backup.faults = self.faults
-        backup.base_backup_id = (
-            base_backup.backup_id if base_backup is not None else None
+        backup = self._create_backup(
+            scan_start,
+            base_backup.backup_id if base_backup is not None else None,
         )
-        self._next_id += 1
-        if workers > 1:
-            run: BackupRun = ParallelBackupRun(
+        if workers > 1 and executor == "process":
+            run: BackupRun = ProcessPoolBackupRun(
+                self.cm,
+                backup,
+                steps,
+                update_set=update_set,
+                dynamic_extend=dynamic_extend,
+                workers=workers,
+            )
+        elif workers > 1:
+            run = ParallelBackupRun(
                 self.cm,
                 backup,
                 steps,
@@ -633,10 +759,10 @@ class ParallelBackupEngine(BackupEngine):
     :class:`~repro.core.config.BackupConfig` carries ``workers > 1``.
     """
 
-    def __init__(self, cm: "CacheManager", workers: int = 4):
+    def __init__(self, cm: "CacheManager", workers: int = 4, storage=None):
         if workers < 1:
             raise BackupError("ParallelBackupEngine needs workers >= 1")
-        super().__init__(cm)
+        super().__init__(cm, storage=storage)
         self.workers = workers
 
     def start_backup(
@@ -647,6 +773,7 @@ class ParallelBackupEngine(BackupEngine):
         dynamic_extend: bool = True,
         batched: bool = True,
         workers: Optional[int] = None,
+        executor: str = "thread",
     ) -> BackupRun:
         return super().start_backup(
             steps,
@@ -655,4 +782,5 @@ class ParallelBackupEngine(BackupEngine):
             dynamic_extend=dynamic_extend,
             batched=batched,
             workers=self.workers if workers is None else workers,
+            executor=executor,
         )

@@ -9,18 +9,26 @@ legacy keyword signatures remain as deprecated aliases.
 
 >>> from repro.core.config import BackupConfig
 >>> BackupConfig(steps=4, batched=False)
-BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1)
+BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1, backend='memory', data_dir=None, executor='thread')
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ReproError
 
 #: Engine choices: the paper's loosely-coupled engine, the conventional
 #: (broken-under-logical-ops) fuzzy dump, and the linked-flush strawman.
 ENGINES = ("engine", "naive", "linked")
+
+#: Storage backends (see repro.storage.api.open_backend).
+BACKENDS = ("memory", "file")
+
+#: Sweep executors: threads share the process; the process pool requires
+#: the file backend (span tasks must be picklable shared-nothing reads).
+EXECUTORS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -49,7 +57,18 @@ class BackupConfig:
                          A harness knob — it shapes the *database* the
                          harnesses (faultsweep, experiments) construct,
                          not the backup algorithm itself, which is
-                         stream-agnostic via ``merge_scan``.
+                         stream-agnostic via ``merge_scan``;
+    ``backend``        — storage backend: ``"memory"`` (python dicts) or
+                         ``"file"`` (real fds, offsets and ``fsync``;
+                         see :mod:`repro.storage.file_backend`).  Like
+                         ``log_streams``, a harness knob resolved by
+                         :func:`repro.storage.api.open_backend`;
+    ``data_dir``       — directory for the file backend's page/log/backup
+                         files (default: a fresh temporary directory);
+    ``executor``       — sweep executor for ``workers > 1``:
+                         ``"thread"`` (the PR 5 thread pool) or
+                         ``"process"`` (a ``ProcessPoolExecutor`` over
+                         picklable file-span reads; file backend only).
     """
 
     steps: int = 8
@@ -60,6 +79,9 @@ class BackupConfig:
     engine: str = "engine"
     workers: int = 1
     log_streams: int = 1
+    backend: str = "memory"
+    data_dir: Optional[str] = None
+    executor: str = "thread"
 
     def __post_init__(self):
         if self.steps < 1:
@@ -88,3 +110,24 @@ class BackupConfig:
             )
         if self.log_streams < 1:
             raise ReproError("BackupConfig.log_streams must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ReproError(
+                f"unknown storage backend {self.backend!r}; choose from "
+                f"{list(BACKENDS)}"
+            )
+        if self.data_dir is not None and self.backend != "file":
+            raise ReproError(
+                "BackupConfig.data_dir is only meaningful with "
+                "backend='file'"
+            )
+        if self.executor not in EXECUTORS:
+            raise ReproError(
+                f"unknown sweep executor {self.executor!r}; choose from "
+                f"{list(EXECUTORS)}"
+            )
+        if self.executor == "process" and self.backend != "file":
+            raise ReproError(
+                "executor='process' requires backend='file': process "
+                "workers read picklable (path, offset) span tasks, which "
+                "only the file backend provides"
+            )

@@ -27,8 +27,9 @@ from repro.storage.backup_db import BackupDatabase
 
 
 class LinkedFlushBackup:
-    def __init__(self, cm: "CacheManager"):
+    def __init__(self, cm: "CacheManager", storage=None):
         self.cm = cm
+        self.storage = storage
         self.completed: List[BackupDatabase] = []
         self._next_id = 1
         self.forced_flushes = 0
@@ -38,7 +39,10 @@ class LinkedFlushBackup:
         """Take a complete linked-flush backup in one synchronous pass."""
         scan_start = self.cm.rec.truncation_point(self.cm.log.end_lsn)
         scan_start = min(scan_start, self.cm.log.end_lsn + 1)
-        backup = BackupDatabase(self._next_id, scan_start)
+        if self.storage is not None:
+            backup = self.storage.create_backup(self._next_id, scan_start)
+        else:
+            backup = BackupDatabase(self._next_id, scan_start)
         self._next_id += 1
         before = self.cm.metrics.page_flushes
         for page_id in self.cm.layout.all_pages():

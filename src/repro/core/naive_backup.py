@@ -23,8 +23,9 @@ from repro.storage.backup_db import BackupDatabase
 
 
 class NaiveFuzzyDump:
-    def __init__(self, cm: "CacheManager"):
+    def __init__(self, cm: "CacheManager", storage=None):
         self.cm = cm
+        self.storage = storage
         self.completed: List[BackupDatabase] = []
         self.active: Optional[BackupDatabase] = None
         self._pages: List[PageId] = []
@@ -36,7 +37,10 @@ class NaiveFuzzyDump:
             raise BackupError("naive dump already in progress")
         scan_start = self.cm.rec.truncation_point(self.cm.log.end_lsn)
         scan_start = min(scan_start, self.cm.log.end_lsn + 1)
-        self.active = BackupDatabase(self._next_id, scan_start)
+        if self.storage is not None:
+            self.active = self.storage.create_backup(self._next_id, scan_start)
+        else:
+            self.active = BackupDatabase(self._next_id, scan_start)
         self._next_id += 1
         self._pages = list(self.cm.layout.all_pages())
         self._cursor = 0

@@ -41,6 +41,7 @@ class ScrubReport:
     pages_scanned: int = 0
     records_scanned: int = 0
     backups_scanned: int = 0
+    bytes_scanned: int = 0
 
     @property
     def ok(self) -> bool:
@@ -62,10 +63,13 @@ class ScrubReport:
         status = "CLEAN" if not self.findings else (
             "DAMAGED" if not self.ok else "WARNINGS"
         )
+        tail = (
+            f", {self.bytes_scanned} bytes" if self.bytes_scanned else ""
+        )
         return (
             f"scrub {status}: {len(self.findings)} finding(s) over "
             f"{self.pages_scanned} pages, {self.records_scanned} log "
-            f"records, {self.backups_scanned} backup(s)"
+            f"records, {self.backups_scanned} backup(s){tail}"
         )
 
 
@@ -130,14 +134,19 @@ def scrub_database(db, validate_backups: bool = True) -> ScrubReport:
 
 
 def scrub_archive(path: str, tracer=None) -> ScrubReport:
-    """Audit one archived backup file (see :mod:`repro.storage.archive`)."""
-    from repro.storage.archive import scan_archive
+    """Audit one archived backup file (see :mod:`repro.storage.archive`).
+
+    Uses the streaming verifier, so peak memory is one page no matter
+    how large the archive is, and the report carries ``bytes_scanned``.
+    """
+    from repro.storage.archive import verify_archive
 
     report = ScrubReport()
-    backup, damaged = scan_archive(path)
+    audit = verify_archive(path)
     report.backups_scanned = 1
-    report.pages_scanned = backup.copied_count() + len(damaged)
-    for pid in damaged:
+    report.pages_scanned = audit.pages_scanned
+    report.bytes_scanned = audit.bytes_scanned
+    for pid in audit.damaged:
         report.add(
             "archive", "fatal",
             f"{path}: page {pid} fails its integrity check", tracer,

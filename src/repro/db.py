@@ -105,13 +105,24 @@ class Database:
         faults: Optional[FaultPlane] = None,
         tracer=None,
         log_streams: int = 1,
+        backend: str = "memory",
+        data_dir: Optional[str] = None,
+        storage=None,
     ):
         """``log_streams=1`` (the default) keeps the plain single-stream
         :class:`~repro.wal.log_manager.LogManager`; ``log_streams > 1``
         stripes the WAL across that many independent streams with group
         commit (:class:`~repro.wal.multi_log.MultiLogManager`) — the
         same LSN/recovery contract, concurrent appends without a shared
-        hot counter."""
+        hot counter.
+
+        ``backend``/``data_dir`` select the storage backend (see
+        :func:`repro.storage.api.open_backend`): ``"memory"`` keeps the
+        in-memory stores, ``"file"`` puts the stable pages, the WAL
+        streams, and every backup image on real files under ``data_dir``
+        with explicit ``fsync``.  ``storage`` accepts a pre-built
+        :class:`~repro.storage.api.StorageBackend` instead; ``close()``
+        releases whatever the backend opened."""
         if isinstance(policy, str):
             try:
                 policy = _POLICIES[policy]()
@@ -122,7 +133,14 @@ class Database:
                 ) from None
         self.layout = Layout(list(pages_per_partition))
         self.initial_value = initial_value
-        self.stable = StableDatabase(self.layout, initial_value)
+        from repro.storage.api import open_backend
+
+        self.storage = (
+            storage
+            if storage is not None
+            else open_backend(backend=backend, data_dir=data_dir)
+        )
+        self.stable = self.storage.create_stable(self.layout, initial_value)
         self.metrics = Metrics()
         if log_streams > 1:
             from repro.wal.multi_log import MultiLogManager
@@ -133,6 +151,9 @@ class Database:
             self.log.metrics = self.metrics
         else:
             self.log = LogManager(auto_force=auto_force_log)
+        device = self.storage.create_log_device(log_streams)
+        if device is not None:
+            self.log.attach_device(device)
         self.cm = CacheManager(
             self.stable,
             self.log,
@@ -141,9 +162,9 @@ class Database:
             initial_value=initial_value,
         )
         self.oracle = Oracle(self.log, initial_value)
-        self.engine = BackupEngine(self.cm)
-        self.naive = NaiveFuzzyDump(self.cm)
-        self.linked = LinkedFlushBackup(self.cm)
+        self.engine = BackupEngine(self.cm, storage=self.storage)
+        self.naive = NaiveFuzzyDump(self.cm, storage=self.storage)
+        self.linked = LinkedFlushBackup(self.cm, storage=self.storage)
         self.retention = LogRetention(self.cm, self.engine)
         self.checkpoints = CheckpointManager(self.log, lambda: self.cm.rec)
         # Pages updated since the last completed full/incremental backup,
@@ -192,9 +213,9 @@ class Database:
         self.faults = plane
         plane.metrics = self.metrics
         plane.tracer = self.tracer
-        self.stable.faults = plane
-        self.log.faults = plane
-        self.engine.faults = plane
+        self.stable.attach_faults(plane)
+        self.log.attach_faults(plane)
+        self.engine.attach_faults(plane)
         return plane
 
     def ensure_fault_plane(self) -> FaultPlane:
@@ -338,10 +359,12 @@ class Database:
                 dynamic_extend=cfg.dynamic_extend,
                 batched=cfg.batched,
                 workers=cfg.workers,
+                executor=cfg.executor,
             )
         else:
             run = self.engine.start_backup(
-                steps=cfg.steps, batched=cfg.batched, workers=cfg.workers
+                steps=cfg.steps, batched=cfg.batched, workers=cfg.workers,
+                executor=cfg.executor,
             )
         self.updated_since_backup = set()
         return run
@@ -386,6 +409,23 @@ class Database:
         if self._backup_engine_kind == "naive":
             return self.naive.active is not None
         return self.engine.active is not None
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release storage-backend resources (fds for the file backend).
+
+        Idempotent; a no-op for the in-memory backend.  The in-memory
+        state stays readable afterwards, so metrics/inspection after
+        ``close()`` are fine — only device I/O is off the table.
+        """
+        self.storage.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def latest_backup(self) -> Optional[BackupDatabase]:
         if self._backup_engine_kind == "naive" and self.naive.completed:

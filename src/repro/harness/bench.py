@@ -211,6 +211,99 @@ def _bench_log_append_force(
     return run
 
 
+def _bench_partition_sweep_file(
+    workers: int, executor: str = "thread"
+) -> Callable[[], object]:
+    """Full backup sweep against the file-backed storage backend.
+
+    Same shape as ``_bench_partition_sweep`` but with no simulated
+    ``io_delay_s`` — the cost per span is a real ``os.pread`` (and, for
+    ``executor="process"``, a real fork + pickle round trip), so these
+    numbers document what the protocol surface costs on actual files.
+    Each factory builds one database in a throwaway directory, removed
+    at interpreter exit.
+    """
+    import atexit
+    import shutil
+    import tempfile
+
+    from repro.core.config import BackupConfig
+    from repro.db import Database
+
+    data_dir = tempfile.mkdtemp(prefix="bench-file-")
+    atexit.register(shutil.rmtree, data_dir, True)
+    db = Database(pages_per_partition=[64, 64, 64, 64], policy="general",
+                  backend="file", data_dir=data_dir)
+    cfg = BackupConfig(steps=4, pages_per_tick=256, workers=workers,
+                       backend="file", data_dir=data_dir,
+                       executor=executor)
+
+    def run() -> int:
+        db.engine.completed.clear()
+        db.start_backup(cfg)
+        backup = db.run_backup(cfg)
+        if backup.copied_count() != 256:
+            raise AssertionError("sweep did not copy every page")
+        return backup.copied_count()
+
+    return run
+
+
+def _bench_log_append_force_file(streams: int) -> Callable[[], object]:
+    """Multi-threaded append+force against fsynced on-disk log files.
+
+    The file twin of ``log_append_force_4s``: same 8 threads x 30
+    append+force ops, but every force is a real ``os.fsync`` through
+    :class:`~repro.storage.file_backend.FileLogDevice` instead of a
+    simulated ``force_delay_s`` sleep.  Group commit still coalesces
+    concurrent forces — what is measured is how many *device* syncs the
+    committing pattern actually pays.
+    """
+    import atexit
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.ids import PageId
+    from repro.ops.physical import PhysicalWrite
+    from repro.storage.file_backend import FileLogDevice
+    from repro.wal.multi_log import MultiLogManager
+
+    wal_dir = tempfile.mkdtemp(prefix="bench-wal-")
+    atexit.register(shutil.rmtree, wal_dir, True)
+    n_threads, ops_per_thread = 8, 30
+
+    def run() -> int:
+        log = MultiLogManager(
+            streams=streams,
+            auto_force=False,
+            group_commit=True,
+            force_delay_s=0.0,
+        )
+        log.attach_device(FileLogDevice(wal_dir, streams=streams,
+                                        truncate=True))
+
+        def worker(tid: int) -> None:
+            for i in range(ops_per_thread):
+                log.append(PhysicalWrite(PageId(tid, i % 64), (tid, i)))
+                log.force()
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if log.flushed_lsn != n_threads * ops_per_thread:
+            raise AssertionError("log not fully durable after forces")
+        log.device.close()
+        return log.flushed_lsn
+
+    return run
+
+
 BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "copy_chain_checkpoint": _bench_copy_chain_checkpoint,
     "backup_sweep": _bench_backup_sweep,
@@ -222,7 +315,20 @@ BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "log_append_force_single": lambda: _bench_log_append_force(1, False),
     "log_append_force_gc1": lambda: _bench_log_append_force(1, True),
     "log_append_force_4s": lambda: _bench_log_append_force(4, True),
+    "partition_sweep_file_serial": lambda: _bench_partition_sweep_file(1),
+    "partition_sweep_file_4w": lambda: _bench_partition_sweep_file(4),
+    "partition_sweep_file_4p":
+        lambda: _bench_partition_sweep_file(4, executor="process"),
+    "log_append_force_file_4s": lambda: _bench_log_append_force_file(4),
 }
+
+#: Benchmarks that hit the file-backed storage backend (real fds and
+#: fsyncs).  ``--backend memory`` (the default) skips them so a casual
+#: bench run stays free of filesystem noise; ``--backend file`` runs
+#: only them; ``--backend all`` runs everything.
+FILE_BENCHMARKS = frozenset(
+    name for name in BENCHMARKS if "_file" in name
+)
 
 
 # ------------------------------------------------------------------- timing
@@ -445,13 +551,26 @@ def run_suite(
     only: Optional[List[str]] = None,
     quiet: bool = False,
     note: Optional[str] = None,
+    backend: str = "memory",
 ) -> Dict:
     """Run the suite, append an entry to ``output``, return the entry.
 
     ``note`` attaches a free-form annotation to the entry — e.g. what
     changed since the previous entry and the measured overhead delta.
+    ``backend`` filters the suite: ``"memory"`` (default) runs the
+    simulated hot paths, ``"file"`` the :data:`FILE_BENCHMARKS`,
+    ``"all"`` both.  An explicit ``only`` list bypasses the filter.
     """
-    names = list(BENCHMARKS) if not only else list(only)
+    if backend not in ("memory", "file", "all"):
+        raise ValueError(f"unknown backend filter: {backend!r}")
+    if only:
+        names = list(only)
+    else:
+        names = [
+            n for n in BENCHMARKS
+            if backend == "all"
+            or (n in FILE_BENCHMARKS) == (backend == "file")
+        ]
     unknown = [n for n in names if n not in BENCHMARKS]
     if unknown:
         raise ValueError(f"unknown benchmark(s): {unknown}")
@@ -526,6 +645,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="free-form annotation stored on the entry",
     )
     parser.add_argument(
+        "--backend", choices=("memory", "file", "all"), default="memory",
+        help="which benchmarks to run: the simulated hot paths (memory, "
+        "default), the file-backed storage benchmarks (file), or both "
+        "(all)",
+    )
+    parser.add_argument(
         "--compare", nargs=2, metavar=("LABEL_A", "LABEL_B"), default=None,
         help="compare two labelled entries of the baseline file and exit "
         "(runs no benchmarks)",
@@ -560,6 +685,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         output=args.output,
         only=args.only,
         note=args.note,
+        backend=args.backend,
     )
     if args.check:
         failures = check_regressions(

@@ -38,6 +38,7 @@ precisely what the mode is there to check.
 from __future__ import annotations
 
 import random
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
@@ -67,6 +68,7 @@ class FailureCase:
     batched: bool
     workers: int = 1
     log_streams: int = 1
+    backend: str = "memory"
 
 
 @dataclass
@@ -87,13 +89,13 @@ class ScenarioResult:
 
     def record_failure(
         self, label: str, specs, seed: int, batched: bool,
-        workers: int = 1, log_streams: int = 1,
+        workers: int = 1, log_streams: int = 1, backend: str = "memory",
     ) -> None:
         self.detail += f" {label}:FAILED"
         self.failures.append(FailureCase(
             scenario=self.name, label=label, specs=tuple(specs),
             seed=seed, batched=batched, workers=workers,
-            log_streams=log_streams,
+            log_streams=log_streams, backend=backend,
         ))
 
 
@@ -133,7 +135,8 @@ def _mode_name(batched: bool, workers: int = 1, log_streams: int = 1) -> str:
 
 
 def _fresh_db(
-    pages: int = 48, workers: int = 1, log_streams: int = 1
+    pages: int = 48, workers: int = 1, log_streams: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> Database:
     """A fresh database for one sweep run.
 
@@ -141,13 +144,21 @@ def _fresh_db(
     mode spreads the same page count over four partitions so the
     4-worker sweep actually fans span reads out across latches.
     ``log_streams > 1`` stripes the WAL (the multistream smoke mode).
+    With ``backend="file"`` every run gets its own fresh directory (a
+    subdirectory of ``data_dir`` when given) so a crashed run's files
+    stay inspectable and runs never collide.
     """
+    run_dir = None
+    if backend == "file":
+        run_dir = tempfile.mkdtemp(prefix="sweep-", dir=data_dir)
     if workers > 1:
         per_part = max(1, pages // 4)
         return Database(pages_per_partition=[per_part] * 4,
-                        policy="general", log_streams=log_streams)
+                        policy="general", log_streams=log_streams,
+                        backend=backend, data_dir=run_dir)
     return Database(pages_per_partition=[pages], policy="general",
-                    log_streams=log_streams)
+                    log_streams=log_streams, backend=backend,
+                    data_dir=run_dir)
 
 
 def _drive(
@@ -198,16 +209,22 @@ def _drive(
 
 def _run_one(
     specs: List[FaultSpec], seed: int, batched: bool, workers: int = 1,
-    log_streams: int = 1,
+    log_streams: int = 1, backend: str = "memory",
+    data_dir: Optional[str] = None,
 ) -> Tuple[bool, Database]:
-    db = _fresh_db(workers=workers, log_streams=log_streams)
+    db = _fresh_db(workers=workers, log_streams=log_streams,
+                   backend=backend, data_dir=data_dir)
     db.attach_faults(FaultPlane(specs))
     ok, _ = _drive(db, seed, batched, workers=workers)
+    # Release file descriptors (file backend); in-memory state —
+    # metrics, fault counters — stays readable for the caller.
+    db.close()
     return ok, db
 
 
 def _measure_io_budget(
-    seed: int, batched: bool, workers: int = 1, log_streams: int = 1
+    seed: int, batched: bool, workers: int = 1, log_streams: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> Tuple[int, dict]:
     """One fault-free run with a bare plane, counting every I/O event.
 
@@ -216,9 +233,11 @@ def _measure_io_budget(
     deterministic even in the parallel mode — threads reorder the
     events but never change the set.
     """
-    db = _fresh_db(workers=workers, log_streams=log_streams)
+    db = _fresh_db(workers=workers, log_streams=log_streams,
+                   backend=backend, data_dir=data_dir)
     plane = db.attach_faults(FaultPlane())
     ok, _ = _drive(db, seed, batched, workers=workers)
+    db.close()
     if not ok:
         raise AssertionError("fault-free baseline run failed to recover")
     return plane.io_count, dict(plane.count_by_point)
@@ -228,15 +247,19 @@ def _measure_io_budget(
 
 
 def _transient_scenario(
-    seed: int, batched: bool, workers: int = 1
+    seed: int, batched: bool, workers: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> ScenarioResult:
     """Transient faults at every instrumented point, one run per point."""
     name = f"transient-{_mode_name(batched, workers)}"
+    if backend != "memory":
+        name += f"-{backend}"
     result = ScenarioResult(name)
     for point in IOPoint.ALL:
         specs = [FaultSpec(FaultKind.TRANSIENT, point=point, at_io=2,
                            times=2)]
-        ok, db = _run_one(specs, seed, batched, workers)
+        ok, db = _run_one(specs, seed, batched, workers,
+                          backend=backend, data_dir=data_dir)
         result.total += 1
         plane = db.faults
         # A point the run never reaches (fault never fired) still counts
@@ -244,28 +267,35 @@ def _transient_scenario(
         if ok:
             result.recovered += 1
         else:
-            result.record_failure(point, specs, seed, batched, workers)
+            result.record_failure(point, specs, seed, batched, workers,
+                                  backend=backend)
         result.faults_injected += plane.injected_total
         result.io_retries += db.metrics.io_retries
     return result
 
 
-def _torn_span_scenario(seed: int, workers: int = 1) -> ScenarioResult:
+def _torn_span_scenario(
+    seed: int, workers: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
+) -> ScenarioResult:
     """Torn bulk backup spans: detected, resumed, and still recoverable."""
     name = ("torn-backup-span" if workers == 1
             else "torn-backup-span-parallel")
+    if backend != "memory":
+        name += f"-{backend}"
     result = ScenarioResult(name)
     resumed = 0
     for at_io in (1, 2, 3):
         specs = [FaultSpec(FaultKind.TORN, point=IOPoint.BACKUP_BULK_RECORD,
                            at_io=at_io, keep=1)]
-        ok, db = _run_one(specs, seed, batched=True, workers=workers)
+        ok, db = _run_one(specs, seed, batched=True, workers=workers,
+                          backend=backend, data_dir=data_dir)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
             result.record_failure(f"at_io={at_io}", specs, seed, True,
-                                  workers)
+                                  workers, backend=backend)
         result.faults_injected += db.faults.injected_total
         result.io_retries += db.metrics.io_retries
         resumed += db.metrics.torn_spans_resumed
@@ -274,22 +304,26 @@ def _torn_span_scenario(seed: int, workers: int = 1) -> ScenarioResult:
 
 
 def _torn_install_scenario(
-    seed: int, batched: bool, workers: int = 1
+    seed: int, batched: bool, workers: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> ScenarioResult:
     """Torn multi-page installs: doublewrite rollback + crash recovery."""
     name = f"torn-install-{_mode_name(batched, workers)}"
+    if backend != "memory":
+        name += f"-{backend}"
     result = ScenarioResult(name)
     repaired = 0
     for at_io in (1, 2, 4):
         specs = [FaultSpec(FaultKind.TORN, point=IOPoint.STABLE_MULTI_WRITE,
                            at_io=at_io, keep=1)]
-        ok, db = _run_one(specs, seed, batched, workers)
+        ok, db = _run_one(specs, seed, batched, workers,
+                          backend=backend, data_dir=data_dir)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
             result.record_failure(f"at_io={at_io}", specs, seed, batched,
-                                  workers)
+                                  workers, backend=backend)
         result.faults_injected += db.faults.injected_total
         repaired += db.metrics.torn_writes_repaired
     result.detail += f" repaired={repaired}"
@@ -299,20 +333,26 @@ def _torn_install_scenario(
 def _crash_sweep_scenario(
     seed: int, batched: bool, stride: int, workers: int = 1,
     log_streams: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> ScenarioResult:
     """Crash at every Nth I/O point of the deterministic baseline run."""
     name = f"crash-sweep-{_mode_name(batched, workers, log_streams)}"
-    budget, _ = _measure_io_budget(seed, batched, workers, log_streams)
+    if backend != "memory":
+        name += f"-{backend}"
+    budget, _ = _measure_io_budget(seed, batched, workers, log_streams,
+                                   backend=backend, data_dir=data_dir)
     result = ScenarioResult(name, detail=f" io_budget={budget}")
     for plan in crash_sweep_plans(budget, stride=stride):
         specs = [plan.to_spec()]
-        ok, db = _run_one(specs, seed, batched, workers, log_streams)
+        ok, db = _run_one(specs, seed, batched, workers, log_streams,
+                          backend=backend, data_dir=data_dir)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
             result.record_failure(f"at_io={plan.at_io}", specs, seed,
-                                  batched, workers, log_streams)
+                                  batched, workers, log_streams,
+                                  backend=backend)
         result.faults_injected += db.faults.injected_total
     return result
 
@@ -320,19 +360,25 @@ def _crash_sweep_scenario(
 def _seeded_mix_scenario(
     seed: int, batched: bool, rounds: int, workers: int = 1,
     log_streams: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> ScenarioResult:
     """Seeded random transient/torn schedules across all points."""
     name = f"seeded-mix-{_mode_name(batched, workers, log_streams)}"
+    if backend != "memory":
+        name += f"-{backend}"
     budget, per_point = _measure_io_budget(seed, batched, workers,
-                                           log_streams)
+                                           log_streams, backend=backend,
+                                           data_dir=data_dir)
     result = ScenarioResult(name)
     for round_index in range(rounds):
-        db = _fresh_db(workers=workers, log_streams=log_streams)
+        db = _fresh_db(workers=workers, log_streams=log_streams,
+                       backend=backend, data_dir=data_dir)
         injector = FailureInjector.seeded(
             db, seed * 1000 + round_index, budget, count=4,
             point_budgets=per_point,
         )
         ok, _ = _drive(db, seed, batched, workers=workers)
+        db.close()
         result.total += 1
         if ok:
             result.recovered += 1
@@ -340,7 +386,7 @@ def _seeded_mix_scenario(
             result.record_failure(
                 f"round={round_index}",
                 [plan.to_spec() for plan in injector.io_plans],
-                seed, batched, workers, log_streams,
+                seed, batched, workers, log_streams, backend=backend,
             )
         result.faults_injected += injector.faults_injected
         result.io_retries += db.metrics.io_retries
@@ -349,7 +395,8 @@ def _seeded_mix_scenario(
 
 def _run_bitrot_one(
     spec: FaultSpec, seed: int, batched: bool, finish: str, tracer=None,
-    workers: int = 1,
+    workers: int = 1, backend: str = "memory",
+    data_dir: Optional[str] = None,
 ):
     """One bitrot run: drive the workload, then force a recovery check.
 
@@ -360,7 +407,7 @@ def _run_bitrot_one(
     detected *mid-run* — a checksummed read tripping over the rot —
     downgrades to a crash + recover check on the spot.
     """
-    db = _fresh_db(workers=workers)
+    db = _fresh_db(workers=workers, backend=backend, data_dir=data_dir)
     if tracer is not None:
         db.attach_tracer(tracer)
     db.attach_faults(FaultPlane([spec]))
@@ -384,12 +431,18 @@ def _run_bitrot_one(
             db.install_some(2, rng)
     except (SimulatedCrash, CorruptPageError):
         db.crash()
-        return db.recover(), db
+        outcome = db.recover()
+        db.close()
+        return outcome, db
     if finish == "media":
         db.media_failure()
-        return db.media_recover(), db
+        outcome = db.media_recover()
+        db.close()
+        return outcome, db
     db.crash()
-    return db.recover(), db
+    outcome = db.recover()
+    db.close()
+    return outcome, db
 
 
 def _bitrot_at_ios(budget: int, samples: int) -> List[int]:
@@ -401,7 +454,8 @@ def _bitrot_at_ios(budget: int, samples: int) -> List[int]:
 
 
 def _bitrot_scenarios(
-    seed: int, batched: bool, samples: int = 3, workers: int = 1
+    seed: int, batched: bool, samples: int = 3, workers: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
 ) -> List[ScenarioResult]:
     """Seeded bit flips per store; every run must heal or quarantine.
 
@@ -414,7 +468,10 @@ def _bitrot_scenarios(
     quarantine set.  A silently-wrong restore counts as a failure.
     """
     mode = _mode_name(batched, workers)
-    _, per_point = _measure_io_budget(seed, batched, workers)
+    if backend != "memory":
+        mode += f"-{backend}"
+    _, per_point = _measure_io_budget(seed, batched, workers,
+                                      backend=backend, data_dir=data_dir)
     targets = (
         ("stable", IOPoint.STABLE_MULTI_WRITE, "crash"),
         ("backup",
@@ -433,13 +490,14 @@ def _bitrot_scenarios(
             spec = FaultSpec(FaultKind.BITROT, point=point, at_io=at_io,
                              seed=seed)
             outcome, db = _run_bitrot_one(spec, seed, batched, finish,
-                                          workers=workers)
+                                          workers=workers, backend=backend,
+                                          data_dir=data_dir)
             result.total += 1
             if outcome.ok:
                 result.recovered += 1
             else:
                 result.record_failure(f"at_io={at_io}", [spec], seed,
-                                      batched, workers)
+                                      batched, workers, backend=backend)
             result.faults_injected += db.faults.injected_total
             result.io_retries += db.metrics.io_retries
             quarantined += len(getattr(outcome, "quarantined", []))
@@ -456,6 +514,8 @@ def run_faultsweep(
     stride: int = 1,
     quick: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    backend: str = "memory",
+    data_dir: Optional[str] = None,
 ) -> SweepReport:
     """Run the full scenario matrix; deterministic in ``seed``.
 
@@ -466,6 +526,14 @@ def run_faultsweep(
     The matrix runs three engine modes: serial (page-at-a-time copies),
     batched (bulk spans on the calling thread), and parallel (bulk spans
     fanned out to a 4-thread pool over a four-partition layout).
+
+    ``backend="file"`` runs the sweep against the file-backed storage
+    backend (:mod:`repro.storage.file_backend`): every run gets a fresh
+    directory under ``data_dir`` (system tmp when ``None``).  Because
+    fault checks live at the protocol boundary, the injected schedules
+    are identical to the memory backend's; the file matrix is a smaller
+    pinned smoke — batched + parallel engine modes over every fault
+    class — since each run now pays real file I/O and fsyncs.
     """
     report = SweepReport(seed=seed)
 
@@ -475,6 +543,28 @@ def run_faultsweep(
             status = "ok " if result.ok else "FAIL"
             log(f"[{status}] {result.name}: {result.recovered}/"
                 f"{result.total} recovered{result.detail}")
+
+    if backend == "file":
+        budget, _ = _measure_io_budget(seed, batched=True, backend=backend,
+                                       data_dir=data_dir)
+        stride = max(stride, budget // 12 or 1)
+        for batched, workers in ((True, 1), (True, 4)):
+            emit(_transient_scenario(seed, batched, workers,
+                                     backend=backend, data_dir=data_dir))
+            emit(_torn_install_scenario(seed, batched, workers,
+                                        backend=backend, data_dir=data_dir))
+            emit(_crash_sweep_scenario(seed, batched, stride, workers,
+                                       backend=backend, data_dir=data_dir))
+            emit(_seeded_mix_scenario(seed, batched, rounds=2,
+                                      workers=workers, backend=backend,
+                                      data_dir=data_dir))
+            for result in _bitrot_scenarios(seed, batched, samples=2,
+                                            workers=workers,
+                                            backend=backend,
+                                            data_dir=data_dir):
+                emit(result)
+        emit(_torn_span_scenario(seed, backend=backend, data_dir=data_dir))
+        return report
 
     if quick:
         budget, _ = _measure_io_budget(seed, batched=True)
@@ -528,6 +618,7 @@ def capture_failure_trace(case: FailureCase):
         batched=case.batched,
         workers=case.workers,
         log_streams=case.log_streams,
+        backend=case.backend,
         specs=[
             dict(kind=s.kind, point=s.point, at_io=s.at_io,
                  times=s.times, keep=s.keep, seed=s.seed)
@@ -541,10 +632,12 @@ def capture_failure_trace(case: FailureCase):
                 IOPoint.BACKUP_RECORD, IOPoint.BACKUP_BULK_RECORD
             ) else "crash")
             _run_bitrot_one(spec, case.seed, case.batched, finish,
-                            tracer=tracer, workers=case.workers)
+                            tracer=tracer, workers=case.workers,
+                            backend=case.backend)
         else:
             db = _fresh_db(workers=case.workers,
-                           log_streams=case.log_streams)
+                           log_streams=case.log_streams,
+                           backend=case.backend)
             db.attach_tracer(tracer)
             db.attach_faults(FaultPlane(list(case.specs)))
             _drive(db, case.seed, case.batched, workers=case.workers)

@@ -64,7 +64,17 @@ T = TypeVar("T")
 
 
 class IOPoint:
-    """Names of the instrumented I/O boundaries."""
+    """Names of the instrumented I/O boundaries.
+
+    Each point is keyed to a method of the storage-backend protocols
+    (:mod:`repro.storage.api`): ``stable.*`` to :class:`PageStore`,
+    ``backup.*`` to :class:`BackupStore`, ``log.*`` to the log manager's
+    append/force surface.  The fault check is performed *inside the
+    shared protocol implementation*, before any backend-specific device
+    hook runs — so a given seed injects the identical fault schedule
+    whether the backend is the in-memory simulation or real files, and
+    no backend duplicates (or forgets) a check.
+    """
 
     STABLE_READ = "stable.read_page"
     STABLE_BULK_READ = "stable.read_pages"

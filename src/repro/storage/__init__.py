@@ -9,12 +9,29 @@ which this package models faithfully:
   (``StableDatabase.write_pages_atomically``);
 * **a physical backup order** — every page has a position ``#X`` in the
   backup order, derived from its physical address by :class:`Layout`.
+
+The storage *surface* those models implement is formalized in
+:mod:`repro.storage.api` as the :class:`PageStore` / :class:`BackupStore`
+/ :class:`LogDevice` protocols, with two conforming backends: the
+in-memory simulation (the default) and the file-backed backend of
+:mod:`repro.storage.file_backend` (real fds, doublewrite journal,
+fsynced log files).  Use :func:`open_backend` to construct one from a
+:class:`~repro.core.config.BackupConfig` or explicit keywords.
 """
 
 from repro.storage.page import Page, PageVersion
 from repro.storage.layout import Layout
 from repro.storage.stable_db import StableDatabase
 from repro.storage.backup_db import BackupDatabase, BackupStatus
+from repro.storage.api import (
+    BACKENDS,
+    BackupStore,
+    LogDevice,
+    MemoryBackend,
+    PageStore,
+    StorageBackend,
+    open_backend,
+)
 
 __all__ = [
     "Page",
@@ -23,4 +40,11 @@ __all__ = [
     "StableDatabase",
     "BackupDatabase",
     "BackupStatus",
+    "BACKENDS",
+    "PageStore",
+    "BackupStore",
+    "LogDevice",
+    "StorageBackend",
+    "MemoryBackend",
+    "open_backend",
 ]

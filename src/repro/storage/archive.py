@@ -5,33 +5,41 @@ module gives :class:`~repro.storage.backup_db.BackupDatabase` a durable
 serialized form so the full operational loop — back up online, ship the
 image off the box, restore on a fresh instance — is executable.
 
-Format: a JSON envelope (schema-versioned) containing the backup's
-bookkeeping plus one entry per page.  Page values are arbitrary
-immutable Python data; they are encoded with a small self-describing
-scheme (``_encode``/``_decode``) rather than pickle, so archives are
-inspectable, diffable, and safe to load.
+Format 2 (current) is streaming JSONL: a header line with the backup's
+bookkeeping (schema-versioned, carrying ``page_count``), then one line
+per page in backup order.  Both writing and verification are O(one
+page) in memory — :func:`save_backup` streams pages out,
+:func:`verify_archive` streams them in, so scrubbing a huge archive
+never materializes it.  Format 1 (a single JSON envelope) remains
+loadable.  Page values are arbitrary immutable Python data; they are
+encoded with a small self-describing scheme (``_encode``/``_decode``)
+rather than pickle, so archives are inspectable, diffable, and safe to
+load.
 
 Every page entry carries a ``crc`` integrity envelope
 (:func:`~repro.storage.page.page_checksum`) stamped at save time.
 :func:`load_backup` verifies each page and raises
 :class:`~repro.errors.CorruptPageError` on the first mismatch;
-:func:`scan_archive` is the tolerant variant the scrubber uses — it
-loads what it can and reports the damaged page ids instead of raising.
+:func:`scan_archive` is the tolerant variant — it loads what it can and
+reports the damaged page ids instead of raising.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.codec import CodecError, decode_value, encode_value
 from repro.errors import BackupError, CorruptPageError
 from repro.ids import PageId
-from repro.storage.backup_db import BackupDatabase, BackupStatus
+from repro.storage.backup_db import BackupDatabase
 from repro.storage.page import PageVersion, page_checksum
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+LEGACY_FORMAT_VERSION = 1
 
 
 def _encode(value: Any):
@@ -50,35 +58,101 @@ def _decode(data: Any):
 
 
 def save_backup(backup: BackupDatabase, path: str) -> int:
-    """Write a completed backup to ``path``; returns bytes written."""
+    """Write a completed backup to ``path``; returns bytes written.
+
+    Streams one JSONL record per page (format 2): peak memory is one
+    encoded page, not the whole image.
+    """
     if not backup.is_complete:
         raise BackupError(
             f"backup {backup.backup_id} is {backup.status.value}; only "
             "completed backups are archived"
         )
-    envelope: Dict[str, Any] = {
+    pages = backup.pages()
+    header: Dict[str, Any] = {
         "format": FORMAT_VERSION,
         "backup_id": backup.backup_id,
         "media_scan_start_lsn": backup.media_scan_start_lsn,
         "completion_lsn": backup.completion_lsn,
         "base_backup_id": getattr(backup, "base_backup_id", None),
-        "pages": [
-            {
+        "page_count": len(pages),
+    }
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for pid in sorted(pages):
+            entry = {
                 "partition": pid.partition,
                 "slot": pid.slot,
-                "lsn": version.page_lsn,
-                "value": _encode(version.value),
+                "lsn": pages[pid].page_lsn,
+                "value": _encode(pages[pid].value),
                 # The copy-time envelope, not a recomputation: damage
                 # that crept in since the copy must stay detectable.
                 "crc": backup.stored_checksum(pid),
             }
-            for pid, version in sorted(backup.pages().items())
-        ],
-    }
-    payload = json.dumps(envelope, separators=(",", ":"))
-    with open(path, "w") as handle:
-        handle.write(payload)
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
     return os.path.getsize(path)
+
+
+def _iter_jsonl(handle, expected: Any) -> Iterator[Dict[str, Any]]:
+    count = 0
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as exc:
+            raise BackupError(f"malformed archive record: {exc}") from exc
+        count += 1
+        yield entry
+    if expected is not None and count != expected:
+        raise BackupError(
+            f"archive truncated: {count} of {expected} page records present"
+        )
+
+
+@contextlib.contextmanager
+def _archive_entries(path: str):
+    """Open an archive and yield ``(header, entry_iterator)``.
+
+    Handles both the streaming JSONL format 2 (entries are produced
+    lazily, O(one page) memory) and the legacy single-envelope format 1.
+    """
+    with open(path) as handle:
+        first = handle.readline()
+        try:
+            header = json.loads(first)
+        except ValueError:
+            # Tolerate a pretty-printed legacy envelope spanning lines.
+            handle.seek(0)
+            try:
+                header = json.load(handle)
+            except ValueError as exc:
+                raise BackupError(f"not an archive file: {path}") from exc
+        fmt = header.get("format")
+        if fmt == FORMAT_VERSION:
+            yield header, _iter_jsonl(handle, header.get("page_count"))
+        elif fmt == LEGACY_FORMAT_VERSION:
+            yield header, iter(header.get("pages", []))
+        else:
+            raise BackupError(f"unsupported archive format {fmt!r}")
+
+
+def _check_entry(entry: Dict[str, Any]) -> Tuple[PageId, Any]:
+    """Decode + CRC-check one page entry.
+
+    Returns ``(page_id, version_or_None)`` — ``None`` marks a damaged
+    page (undecodable or envelope mismatch).
+    """
+    pid = PageId(entry["partition"], entry["slot"])
+    try:
+        version = PageVersion(_decode(entry["value"]), entry["lsn"])
+    except (BackupError, ValueError, TypeError, KeyError):
+        return pid, None
+    crc = entry.get("crc")
+    if crc is not None and crc != page_checksum(version.value, version.page_lsn):
+        return pid, None
+    return pid, version
 
 
 def scan_archive(path: str) -> Tuple[BackupDatabase, List[PageId]]:
@@ -89,31 +163,54 @@ def scan_archive(path: str) -> Tuple[BackupDatabase, List[PageId]]:
     backup) and reported in ``damaged``.  Archives written before the
     integrity envelope existed (no ``crc`` key) load as fully trusted.
     """
-    with open(path) as handle:
-        envelope = json.load(handle)
-    if envelope.get("format") != FORMAT_VERSION:
-        raise BackupError(
-            f"unsupported archive format {envelope.get('format')!r}"
+    with _archive_entries(path) as (header, entries):
+        backup = BackupDatabase(
+            header["backup_id"],
+            header["media_scan_start_lsn"],
+            base_backup_id=header.get("base_backup_id"),
         )
-    backup = BackupDatabase(
-        envelope["backup_id"], envelope["media_scan_start_lsn"]
-    )
-    backup.base_backup_id = envelope.get("base_backup_id")
-    damaged: List[PageId] = []
-    for entry in envelope["pages"]:
-        pid = PageId(entry["partition"], entry["slot"])
-        try:
-            version = PageVersion(_decode(entry["value"]), entry["lsn"])
-        except (BackupError, ValueError, TypeError, KeyError):
-            damaged.append(pid)
-            continue
-        crc = entry.get("crc")
-        if crc is not None and crc != page_checksum(version.value, version.page_lsn):
-            damaged.append(pid)
-            continue
-        backup.record_page(pid, version)
-    backup.complete(envelope["completion_lsn"])
+        damaged: List[PageId] = []
+        for entry in entries:
+            pid, version = _check_entry(entry)
+            if version is None:
+                damaged.append(pid)
+                continue
+            backup.record_page(pid, version)
+        backup.complete(header["completion_lsn"])
     return backup, damaged
+
+
+@dataclass
+class ArchiveAudit:
+    """Result of a streaming archive verification."""
+
+    path: str
+    backup_id: int
+    pages_scanned: int = 0
+    bytes_scanned: int = 0
+    damaged: List[PageId] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.damaged
+
+
+def verify_archive(path: str) -> ArchiveAudit:
+    """Stream-verify an archive without materializing it.
+
+    Every page record is decoded, CRC-checked, and *dropped* — peak
+    memory is one page regardless of archive size, which is what the
+    scrubber uses so auditing a huge archive is O(page) memory.
+    """
+    with _archive_entries(path) as (header, entries):
+        audit = ArchiveAudit(path=path, backup_id=header.get("backup_id", 0))
+        for entry in entries:
+            pid, version = _check_entry(entry)
+            audit.pages_scanned += 1
+            if version is None:
+                audit.damaged.append(pid)
+    audit.bytes_scanned = os.path.getsize(path)
+    return audit
 
 
 def load_backup(path: str) -> BackupDatabase:

@@ -18,6 +18,7 @@ ever reads completed backups.
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import BackupError, CorruptPageError, TornWriteError
@@ -48,16 +49,58 @@ class BackupDatabase:
     restoring garbage.
     """
 
-    def __init__(self, backup_id: int, media_scan_start_lsn: LSN):
+    def __init__(
+        self,
+        backup_id: int,
+        media_scan_start_lsn: LSN,
+        base_backup_id: Optional[int] = None,
+    ):
         self.backup_id = backup_id
         self.media_scan_start_lsn = media_scan_start_lsn
+        # For incremental backups: the full backup this image extends.
+        self.base_backup_id = base_backup_id
         self._versions: Dict[PageId, PageVersion] = {}
         self._stamps: Dict[PageId, PageVersion] = {}
         self._copy_order: List[PageId] = []
         self._status = BackupStatus.IN_PROGRESS
         self.completion_lsn: Optional[LSN] = None
         # Optional FaultPlane (see repro.sim.faults), wired by the engine.
-        self.faults = None
+        self._faults = None
+        # True in device-backed subclasses (gates the per-record hooks).
+        self._has_device = getattr(self, "_has_device", False)
+
+    # ------------------------------------------------------ protocol plumbing
+
+    @property
+    def faults(self):
+        """The attached fault plane (``None`` = no injection)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, plane) -> None:
+        warnings.warn(
+            "assigning BackupDatabase.faults directly is deprecated; call "
+            "attach_faults(plane) (the BackupStore protocol method) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._faults = plane
+
+    def attach_faults(self, plane):
+        """Attach a fault plane at the BackupStore protocol boundary."""
+        self._faults = plane
+        return plane
+
+    def close(self) -> None:
+        """Release device resources (no-op for the in-memory backend)."""
+
+    # -- device hooks: no-ops here, overridden by file-backed subclasses.
+
+    def _device_record(self, entries) -> None:
+        """Persist freshly recorded ``(page_id, version)`` pairs."""
+
+    def _device_complete(self) -> None:
+        """Persist the seal (completion metadata) and release the fd."""
 
     # ------------------------------------------------------------- integrity
 
@@ -111,10 +154,17 @@ class BackupDatabase:
         """
         if not self._copy_order:
             return False
-        pid = self._copy_order[rng.randrange(len(self._copy_order))]
+        self._rot_cell(self._copy_order[rng.randrange(len(self._copy_order))])
+        return True
+
+    def _rot_cell(self, pid: PageId) -> None:
+        """Corrupt one recorded page in place, leaving the stamp stale.
+
+        Device-backed subclasses extend this to also flip bytes in the
+        on-disk record, so the same injection damages both surfaces.
+        """
         old = self._versions[pid]
         self._versions[pid] = PageVersion(rot_value(old.value), old.page_lsn)
-        return True
 
     # --------------------------------------------------------------- writing
 
@@ -129,13 +179,15 @@ class BackupDatabase:
             raise BackupError(
                 f"page {page_id!r} copied twice into backup {self.backup_id}"
             )
-        if self.faults is not None:
+        if self._faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.BACKUP_RECORD, corrupt=self._bitrot)
+            self._faults.check(IOPoint.BACKUP_RECORD, corrupt=self._bitrot)
         self._versions[page_id] = version
         self._stamps[page_id] = version
         self._copy_order.append(page_id)
+        if self._has_device:
+            self._device_record([(page_id, version)])
 
     def record_pages(self, entries) -> None:
         """Bulk variant of :meth:`record_page` for the batched sweep.
@@ -154,10 +206,10 @@ class BackupDatabase:
             )
         entries = list(entries)
         torn_keep = None
-        if self.faults is not None:
+        if self._faults is not None:
             from repro.sim.faults import IOPoint
 
-            torn_keep = self.faults.check(
+            torn_keep = self._faults.check(
                 IOPoint.BACKUP_BULK_RECORD, parts=len(entries),
                 corrupt=self._bitrot,
             )
@@ -174,6 +226,10 @@ class BackupDatabase:
             versions[page_id] = version
             stamps[page_id] = version
             order.append(page_id)
+        if self._has_device and landing:
+            # A torn span still persists its landed prefix before the
+            # tear is reported, matching the in-memory state.
+            self._device_record(landing)
         if torn_keep is not None:
             raise TornWriteError(
                 "backup.record_pages", landed=torn_keep, total=len(entries)
@@ -184,10 +240,13 @@ class BackupDatabase:
             raise BackupError(f"backup {self.backup_id} already sealed")
         self._status = BackupStatus.COMPLETE
         self.completion_lsn = completion_lsn
+        if self._has_device:
+            self._device_complete()
 
     def abort(self) -> None:
         if self._status is BackupStatus.IN_PROGRESS:
             self._status = BackupStatus.ABORTED
+            self.close()
 
     # --------------------------------------------------------------- reading
 

@@ -23,6 +23,7 @@ Write counts are tracked so benchmarks can report I/O volume.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import (
@@ -80,8 +81,54 @@ class StableDatabase:
         # stable storage, so it survives a crash and lets recovery undo a
         # torn prefix.  Only maintained while a fault plane is attached —
         # without one, multi-page writes are natively atomic.
-        self.faults = None
+        self._faults = None
         self._shadow: List[Tuple[PageId, PageVersion]] = []
+        # True in device-backed subclasses: gates the per-page device
+        # hooks so the memory backend's hot loops stay branch-cheap.
+        self._has_device = getattr(self, "_has_device", False)
+
+    # ------------------------------------------------------ protocol plumbing
+
+    @property
+    def faults(self):
+        """The attached fault plane (``None`` = no injection)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, plane) -> None:
+        warnings.warn(
+            "assigning StableDatabase.faults directly is deprecated; call "
+            "attach_faults(plane) (the PageStore protocol method) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._faults = plane
+
+    def attach_faults(self, plane):
+        """Attach a fault plane at the PageStore protocol boundary."""
+        self._faults = plane
+        return plane
+
+    def sync(self) -> None:
+        """Flush device buffers (no-op for the in-memory backend)."""
+
+    def close(self) -> None:
+        """Release device resources (no-op for the in-memory backend)."""
+
+    # -- device hooks: no-ops here, overridden by file-backed subclasses.
+    # They are called only when ``_has_device`` is set, so the in-memory
+    # hot paths pay one attribute test, not a method call per page.
+
+    def _device_read(self, page_id: PageId) -> None:
+        """Pay the device cost of reading one page."""
+
+    def _device_journal(
+        self, entries: List[Tuple[PageId, PageVersion]]
+    ) -> None:
+        """Persist the shadow (doublewrite) journal before an install."""
+
+    def _device_clear_journal(self) -> None:
+        """Discard the shadow journal after a completed install."""
 
     # ------------------------------------------------------------- integrity
 
@@ -143,23 +190,48 @@ class StableDatabase:
         candidates = written or sorted(self._pages)
         if not candidates:
             return False
-        pid = candidates[rng.randrange(len(candidates))]
+        self._rot_cell(candidates[rng.randrange(len(candidates))])
+        return True
+
+    def _rot_cell(self, pid: PageId) -> None:
+        """Corrupt one page cell in place, leaving the stamp stale.
+
+        Device-backed subclasses extend this to also flip bytes in the
+        on-disk record, so the same injection damages both surfaces.
+        """
         page = self._pages[pid]
         old = page.version
         page.version = PageVersion(rot_value(old.value), old.page_lsn)
-        return True
 
     # ------------------------------------------------------------------ reads
 
     def read_page(self, page_id: PageId) -> PageVersion:
         self._check_media(page_id.partition)
-        if self.faults is not None:
+        if self._faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.STABLE_READ, corrupt=self._bitrot)
+            self._faults.check(IOPoint.STABLE_READ, corrupt=self._bitrot)
         if self.io_delay_s:
             time.sleep(self.io_delay_s)
+        if self._has_device:
+            self._device_read(page_id)
         return self._verify(page_id, self._page(page_id).snapshot())
+
+    def _begin_bulk_read(self) -> None:
+        """Protocol-boundary checks shared by every bulk-read entry point.
+
+        One media gate, one ``stable.read_pages`` fault-plane check, and
+        one simulated seek per call — a bulk span read models one seek
+        plus one contiguous transfer regardless of backend.
+        """
+        if self._failed:
+            raise MediaFailureError("stable database media has failed")
+        if self._faults is not None:
+            from repro.sim.faults import IOPoint
+
+            self._faults.check(IOPoint.STABLE_BULK_READ, corrupt=self._bitrot)
+        if self.io_delay_s:
+            time.sleep(self.io_delay_s)
 
     def read_pages(self, page_ids) -> "list":
         """Bulk read used by the batched backup sweep.
@@ -167,17 +239,11 @@ class StableDatabase:
         Returns ``(page_id, version)`` pairs in the order given, with one
         media check per distinct partition instead of one per page.
         """
-        if self._failed:
-            raise MediaFailureError("stable database media has failed")
-        if self.faults is not None:
-            from repro.sim.faults import IOPoint
-
-            self.faults.check(IOPoint.STABLE_BULK_READ, corrupt=self._bitrot)
-        if self.io_delay_s:
-            time.sleep(self.io_delay_s)
+        self._begin_bulk_read()
         failed_partitions = self._failed_partitions
         pages = self._pages
         stamps = self._stamps
+        has_device = self._has_device
         checked: set = set()
         out = []
         for pid in page_ids:
@@ -192,6 +258,8 @@ class StableDatabase:
                 version = pages[pid].version
             except KeyError:
                 raise PageNotFoundError(pid) from None
+            if has_device:
+                self._device_read(pid)
             stamp = stamps[pid]
             if version is not stamp and version.checksum() != stamp.checksum():
                 raise CorruptPageError(pid, store="stable")
@@ -216,10 +284,10 @@ class StableDatabase:
     def write_page(self, page_id: PageId, value: Any, lsn: LSN) -> None:
         """Atomically overwrite one page (disk write atomicity)."""
         self._check_media(page_id.partition)
-        if self.faults is not None:
+        if self._faults is not None:
             from repro.sim.faults import IOPoint
 
-            self.faults.check(IOPoint.STABLE_WRITE, corrupt=self._bitrot)
+            self._faults.check(IOPoint.STABLE_WRITE, corrupt=self._bitrot)
         page = self._page(page_id)
         self._store_version(page_id, page.version.with_update(value, lsn))
         self.page_writes += 1
@@ -242,12 +310,12 @@ class StableDatabase:
             self._check_media(pid.partition)
         cells = [(pid, self._page(pid), ver) for pid, ver in versions.items()]
         torn_keep: Optional[int] = None
-        if self.faults is not None:
+        if self._faults is not None:
             from repro.sim.faults import IOPoint
 
             # The check may raise (transient / crash) before anything is
             # mutated, so callers can retry cleanly.
-            torn_keep = self.faults.check(
+            torn_keep = self._faults.check(
                 IOPoint.STABLE_MULTI_WRITE, parts=len(cells),
                 corrupt=self._bitrot,
             )
@@ -255,17 +323,22 @@ class StableDatabase:
                 self._shadow = [
                     (pid, self._pages[pid].version) for pid in versions
                 ]
+                if self._has_device:
+                    self._device_journal(self._shadow)
         if torn_keep is not None:
             for pid, _cell, ver in cells[:torn_keep]:
                 self._store_version(pid, ver)
                 self.page_writes += 1
             raise SimulatedCrash(
-                "stable.write_multi", self.faults.io_count, torn=True
+                "stable.write_multi", self._faults.io_count, torn=True
             )
         for pid, _cell, ver in cells:
             self._store_version(pid, ver)
             self.page_writes += 1
-        self._shadow = []
+        if self._shadow:
+            self._shadow = []
+            if self._has_device:
+                self._device_clear_journal()
         if len(cells) > 1:
             self.multi_page_flushes += 1
 
@@ -291,8 +364,10 @@ class StableDatabase:
             self._store_version(pid, version)
             reverted += 1
         self._shadow = []
-        if self.faults is not None and self.faults.metrics is not None:
-            self.faults.metrics.torn_writes_repaired += reverted
+        if self._has_device:
+            self._device_clear_journal()
+        if self._faults is not None and self._faults.metrics is not None:
+            self._faults.metrics.torn_writes_repaired += reverted
         return reverted
 
     # ---------------------------------------------------------- media failure

@@ -126,6 +126,11 @@ class LogManager:
         # Optional FaultPlane (see repro.sim.faults) consulted before the
         # mutating part of append/force, so a failed call can be retried.
         self.faults = None
+        # Optional LogDevice (repro.storage.api): the durability surface
+        # behind the buffer.  Appends are handed to it record by record;
+        # ``force`` calls its ``sync()`` so the pending suffix becomes
+        # durable with a real fsync.  None = buffer-only (memory backend).
+        self.device = None
         # Tracer (repro.obs): explicit forces emit log_force events.
         self.tracer = NULL_TRACER
         # Records dropped when a damaged tail was truncated (repair_tail
@@ -155,8 +160,13 @@ class LogManager:
         record.stream_seq = lsn
         self._records.append(record)
         self.stats.add(record)
+        device = self.device
+        if device is not None:
+            device.append(0, record)
         if self.auto_force:
             self._flushed_lsn = lsn
+            if device is not None:
+                device.sync()
         if self._append_listeners:
             for listener in self._append_listeners:
                 listener(record)
@@ -165,6 +175,16 @@ class LogManager:
     def on_append(self, listener: Callable[[LogRecord], None]) -> None:
         """Register a callback invoked after every append (metrics hooks)."""
         self._append_listeners.append(listener)
+
+    def attach_faults(self, plane):
+        """Attach a fault plane at the log protocol boundary."""
+        self.faults = plane
+        return plane
+
+    def attach_device(self, device):
+        """Attach a :class:`~repro.storage.api.LogDevice` behind the buffer."""
+        self.device = device
+        return device
 
     def force(self, up_to: Optional[LSN] = None) -> None:
         """Force the log to stable storage up to ``up_to`` (default: all).
@@ -183,6 +203,8 @@ class LogManager:
                 self.faults.check(IOPoint.LOG_FORCE, corrupt=self._bitrot)
             if self.force_delay_s:
                 time.sleep(self.force_delay_s)
+            if self.device is not None:
+                self.device.sync()
             if self.tracer.enabled:
                 self.tracer.emit(
                     LOG_FORCE, lsn=end, from_lsn=self._flushed_lsn, batch=1
@@ -291,6 +313,9 @@ class LogManager:
             cut = self._flushed_lsn - self._first_lsn + 1
             self.stats.remove_all(self._records[cut:])
             del self._records[cut:]
+            if self.device is not None:
+                # The volatile device buffer is lost with the process.
+                self.device.drop_pending()
             self._emit_tail_lost(lost)
         return max(lost, 0)
 

@@ -212,10 +212,15 @@ class MultiLogManager(LogManager):
 
             self.faults.check(IOPoint.LOG_APPEND, corrupt=self._bitrot)
         stream = self.streams[self.stream_of(op)]
+        device = self.device
         with stream.lock:
             lsn = next(self._lsn_seq)
             record = LogRecord(lsn, op, flags, source)
             stream.append(record)
+            if device is not None:
+                # Under the stream lock so the device file's record order
+                # matches the stream's stream_seq order.
+                device.append(stream.stream_id, record)
             if self.auto_force:
                 stream.flushed_count = len(stream.records)
         # The global index: append-only in arrival order, lazily
@@ -224,6 +229,8 @@ class MultiLogManager(LogManager):
         self._order_dirty = True
         self.stats.add(record)
         if self.auto_force:
+            if device is not None:
+                device.sync()
             self._advance_frontier()
         if self._append_listeners:
             for listener in self._append_listeners:
@@ -282,6 +289,10 @@ class MultiLogManager(LogManager):
             self.faults.check(IOPoint.LOG_FORCE, corrupt=self._bitrot)
         if self.force_delay_s:
             time.sleep(self.force_delay_s)
+        if self.device is not None:
+            # One real device sync covers every stream's pending suffix,
+            # the whole point of the group-commit tick.
+            self.device.sync()
         previous = self._flushed_lsn
         for stream in self.streams:
             stream.flush_to(target)
@@ -424,6 +435,9 @@ class MultiLogManager(LogManager):
         if lost:
             self._ensure_order()
             del self._records[frontier - self._first_lsn + 1:]
+            if self.device is not None:
+                # The volatile device buffer is lost with the process.
+                self.device.drop_pending()
             self._emit_tail_lost(lost, per_stream=per_stream)
         return lost
 

@@ -1,0 +1,272 @@
+"""Unit tests for the file-backed storage backend.
+
+Covers what the backend-conformance suite cannot: the on-disk artifacts
+themselves (page files, the doublewrite journal, per-stream WAL files),
+the process-pool sweep's shared-nothing span readers, byte-identity of
+sealed archives across backends and executors, and the format-2
+streaming archive verifier.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import BackupConfig
+from repro.db import Database
+from repro.errors import BackupError
+from repro.ids import PageId
+from repro.ops.physical import PhysicalWrite
+from repro.storage.archive import (
+    FORMAT_VERSION,
+    _encode,
+    load_backup,
+    save_backup,
+    scan_archive,
+    verify_archive,
+)
+from repro.storage.file_backend import (
+    CORRUPT,
+    OK,
+    FileLogDevice,
+    FileStableDatabase,
+    read_span_file,
+)
+from repro.storage.layout import Layout
+from repro.storage.page import PageVersion
+from repro.wal.multi_log import MultiLogManager
+from repro.wal.serialize import record_from_spec
+from repro.workloads import mixed_logical_workload
+
+
+def pid(slot, partition=0):
+    return PageId(partition, slot)
+
+
+@pytest.fixture
+def stable(tmp_path):
+    db = FileStableDatabase(Layout([8]), initial_value=(),
+                            data_dir=str(tmp_path))
+    yield db
+    db.close()
+
+
+class TestFileStableDatabase:
+    def test_writes_land_on_disk(self, stable, tmp_path):
+        stable.write_page(pid(1), ("v",), 5)
+        path = os.path.join(str(tmp_path), "stable", "p0000.pages")
+        assert os.path.getsize(path) > 0
+
+    def test_span_reader_round_trip(self, stable):
+        for slot in range(8):
+            stable.write_page(pid(slot), ("r", slot), slot + 1)
+        path, entries = stable.span_task(0, 0, 8)
+        rows = read_span_file(path, entries)
+        assert [status for _, status, _, _ in rows] == [OK] * 8
+        for slot, status, value, lsn in rows:
+            assert value == ("r", slot)
+            assert lsn == slot + 1
+
+    def test_span_reader_sees_consistent_snapshot(self, stable):
+        """Old offsets stay valid in the log-structured page file: a
+        write after planning must not change what the span reads."""
+        for slot in range(8):
+            stable.write_page(pid(slot), ("old", slot), 1)
+        path, entries = stable.span_task(0, 0, 8)
+        stable.write_page(pid(3), ("new", 3), 2)
+        rows = read_span_file(path, entries)
+        assert rows[3][2] == ("old", 3)
+
+    def test_bitrot_detected_through_file(self, stable):
+        import random
+
+        stable.write_page(pid(2), ("payload",), 7)
+        rotted = stable._bitrot(random.Random(0))
+        assert rotted
+        path, entries = stable.span_task(0, 0, 8)
+        rows = read_span_file(path, entries)
+        statuses = {slot: status for slot, status, _, _ in rows}
+        assert CORRUPT in statuses.values()
+
+    def test_restore_from_rewrites_files(self, stable):
+        for slot in range(8):
+            stable.write_page(pid(slot), ("pre", slot), 1)
+        stable.fail_media()
+        stable.restore_from(
+            {pid(slot): PageVersion(("post", slot), 2) for slot in range(8)},
+            initial_value=(),
+        )
+        path, entries = stable.span_task(0, 0, 8)
+        rows = read_span_file(path, entries)
+        for slot, status, value, lsn in rows:
+            assert status == OK
+            assert value == ("post", slot)
+
+
+class TestFileLogDevice:
+    def _log(self, tmp_path, streams=2):
+        log = MultiLogManager(streams=streams, auto_force=False,
+                              group_commit=True, force_delay_s=0.0)
+        device = FileLogDevice(str(tmp_path / "wal"), streams=streams)
+        log.attach_device(device)
+        return log, device
+
+    def test_durability_cut(self, tmp_path):
+        """Appends buffer in memory; only sync makes them durable."""
+        log, device = self._log(tmp_path)
+        for i in range(6):
+            log.append(PhysicalWrite(pid(i % 4), ("r", i)))
+        sizes = [os.path.getsize(p) for p in device.paths]
+        assert sizes == [0, 0]
+        log.force()
+        assert device.syncs == 1
+        assert sum(os.path.getsize(p) for p in device.paths) > 0
+
+    def test_file_records_parse_back(self, tmp_path):
+        log, device = self._log(tmp_path)
+        for i in range(6):
+            log.append(PhysicalWrite(pid(i % 4), ("r", i)))
+        log.force()
+        lsns = []
+        for path in device.paths:
+            with open(path) as fh:
+                for line in fh:
+                    record = record_from_spec(json.loads(line))
+                    lsns.append(record.lsn)
+        assert sorted(lsns) == [1, 2, 3, 4, 5, 6]
+
+    def test_drop_pending_discards_unforced(self, tmp_path):
+        log, device = self._log(tmp_path)
+        log.append(PhysicalWrite(pid(0), ("kept",)))
+        log.force()
+        log.append(PhysicalWrite(pid(1), ("lost",)))
+        log.discard_unflushed()
+        device.sync()
+        total_lines = 0
+        for path in device.paths:
+            with open(path) as fh:
+                total_lines += sum(1 for _ in fh)
+        assert total_lines == 1
+
+
+class TestSealedBackupByteIdentity:
+    def _archive_bytes(self, tmp_path, name, backend, executor):
+        data_dir = str(tmp_path / name)
+        db = Database(pages_per_partition=[8, 8, 8, 8], policy="general",
+                      backend=backend, data_dir=data_dir)
+        source = mixed_logical_workload(db.layout, seed=11, count=40)
+        cfg = BackupConfig(steps=4, batched=True, workers=4,
+                           backend=backend, executor=executor,
+                           data_dir=data_dir if backend == "file" else None)
+        db.start_backup(cfg)
+        while db.backup_in_progress():
+            db.backup_step(16)
+            op = next(source, None)
+            if op is not None:
+                db.execute(op)
+            db.install_some(2)
+        backup = db.latest_backup()
+        path = str(tmp_path / f"{name}.jsonl")
+        save_backup(backup, path)
+        db.close()
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def test_identical_across_backends_and_executors(self, tmp_path):
+        """The same seeded run seals byte-identical archives on the
+        memory backend, the file backend with the thread pool, and the
+        file backend with the process pool."""
+        memory = self._archive_bytes(tmp_path, "mem", "memory", "thread")
+        file_thread = self._archive_bytes(tmp_path, "ft", "file", "thread")
+        file_process = self._archive_bytes(tmp_path, "fp", "file", "process")
+        assert memory == file_thread
+        assert file_thread == file_process
+
+
+class TestProcessExecutorValidation:
+    def test_process_executor_requires_file_stable(self):
+        db = Database(pages_per_partition=[8, 8], policy="general")
+        with pytest.raises(BackupError):
+            db.engine.start_backup(workers=2, executor="process")
+
+
+class TestStreamingArchive:
+    def _sealed(self, tmp_path):
+        db = Database(pages_per_partition=[8], policy="general")
+        for slot in range(8):
+            db.execute(PhysicalWrite(pid(slot), ("r", slot)))
+        db.checkpoint()
+        db.start_backup(BackupConfig(steps=2))
+        return db.run_backup()
+
+    def test_format_2_is_jsonl(self, tmp_path):
+        backup = self._sealed(tmp_path)
+        path = str(tmp_path / "a.jsonl")
+        save_backup(backup, path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        header = json.loads(lines[0])
+        assert header["format"] == FORMAT_VERSION
+        assert header["page_count"] == len(lines) - 1
+        for line in lines[1:]:
+            entry = json.loads(line)
+            assert {"partition", "slot", "lsn", "value", "crc"} <= set(entry)
+
+    def test_verify_archive_streams_and_counts_bytes(self, tmp_path):
+        backup = self._sealed(tmp_path)
+        path = str(tmp_path / "a.jsonl")
+        written = save_backup(backup, path)
+        audit = verify_archive(path)
+        assert audit.ok
+        assert audit.pages_scanned == backup.copied_count()
+        assert audit.bytes_scanned == written == os.path.getsize(path)
+
+    def test_verify_archive_flags_tampering(self, tmp_path):
+        backup = self._sealed(tmp_path)
+        path = str(tmp_path / "a.jsonl")
+        save_backup(backup, path)
+        with open(path) as fh:
+            text = fh.read()
+        with open(path, "w") as fh:
+            fh.write(text.replace('["r",0]', '["x",0]', 1))
+        audit = verify_archive(path)
+        assert not audit.ok
+        assert len(audit.damaged) == 1
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        backup = self._sealed(tmp_path)
+        path = str(tmp_path / "a.jsonl")
+        save_backup(backup, path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[:-2])
+        with pytest.raises(BackupError):
+            verify_archive(path)
+
+    def test_legacy_format_1_still_loads(self, tmp_path):
+        backup = self._sealed(tmp_path)
+        envelope = {
+            "format": 1,
+            "backup_id": backup.backup_id,
+            "media_scan_start_lsn": backup.media_scan_start_lsn,
+            "completion_lsn": backup.completion_lsn,
+            "base_backup_id": None,
+            "pages": [
+                {
+                    "partition": p.partition,
+                    "slot": p.slot,
+                    "lsn": v.page_lsn,
+                    "value": _encode(v.value),
+                    "crc": backup.stored_checksum(p),
+                }
+                for p, v in sorted(backup.pages().items())
+            ],
+        }
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        loaded = load_backup(path)
+        assert loaded.pages() == backup.pages()
+        audit = verify_archive(path)
+        assert audit.ok and audit.pages_scanned == backup.copied_count()
