@@ -89,6 +89,10 @@ class CacheManager:
         # returns False will NOT be copied even while their position is
         # pending, so Pend gives no guarantee for them (see policy module).
         self.copy_set_filter: Optional[Callable[[PageId], bool]] = None
+        # Instant restore installs this callback: every cache-missed read
+        # and every about-to-be-written page passes through it first, so
+        # traffic mid-restore only ever observes fully recovered pages.
+        self.restore_hook: Optional[Callable[[PageId], Any]] = None
         # The log scan start a post-crash recovery would use; advanced on
         # every install, conceptually persisted in checkpoint records.
         self.stable_truncation_point: LSN = 1
@@ -109,6 +113,9 @@ class CacheManager:
             self.metrics.cache_hits += 1
             return page.value
         self.metrics.cache_misses += 1
+        if self.restore_hook is not None:
+            # Lazy instant restore: materialize the page on stable first.
+            self.restore_hook(page_id)
         version = with_retries(
             lambda: self.stable.read_page(page_id), metrics=self.metrics
         )
@@ -147,6 +154,12 @@ class CacheManager:
         """Run one operation: read pages, log it, apply to the cache."""
         cache = self._cache
         metrics = self.metrics
+        if self.restore_hook is not None:
+            # Restore every page this operation will write *before* it
+            # applies: a blind write to an unrestored page must win over
+            # any later background restore of the stale backup version.
+            for pid in op.writeset:
+                self.restore_hook(pid)
         reads = {}
         for pid in op.readset:
             page = cache.get(pid)
@@ -481,6 +494,7 @@ class CacheManager:
         for latch in self.latches.values():
             latch.tracer = self.tracer
         self.copy_set_filter = None
+        self.restore_hook = None
 
     def reload_after_recovery(self) -> None:
         """Reset cache contents after recovery rewrote S (cache is cold)."""

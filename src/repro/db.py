@@ -44,13 +44,14 @@ from repro.core.policy import (
     PageOrientedPolicy,
     TreeOpsPolicy,
 )
-from repro.errors import NoBackupError, ReproError
+from repro.errors import NoBackupError, RecoveryError, ReproError
 from repro.ids import LSN, PageId
 from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER
 from repro.ops.base import Operation
 from repro.recovery.crash_recovery import run_crash_recovery
 from repro.recovery.explain import RecoveryOutcome
+from repro.recovery.instant_restore import RestoreManager
 from repro.recovery.media_recovery import run_media_recovery
 from repro.sim.metrics import Metrics
 from repro.sim.oracle import Oracle
@@ -568,6 +569,7 @@ class Database:
                 initial_value=self.initial_value,
                 tracer=self.tracer,
                 fallback=older,
+                metrics=self.metrics,
             )
         elif self.log.first_retained_lsn == 1:
             # (b) Full-history rebuild: the log still reaches LSN 1, so
@@ -666,6 +668,7 @@ class Database:
                 initial_value=self.initial_value,
                 tracer=self.tracer,
                 fallback=fallback,
+                metrics=self.metrics,
             )
         if damaged:
             self.metrics.pages_quarantined += len(outcome.quarantined)
@@ -674,6 +677,90 @@ class Database:
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1
+        return self._stamp_outcome(outcome)
+
+    def begin_instant_restore(
+        self,
+        backup: Optional[BackupDatabase] = None,
+        to_lsn: Optional[LSN] = None,
+        verify: bool = True,
+        eager: bool = True,
+        workers: int = 2,
+        executor: str = "thread",
+    ) -> RestoreManager:
+        """Start an incremental (instant) media restore and resume service.
+
+        Unlike :meth:`media_recover`, this returns as soon as the restore
+        *begins*: the store is re-formatted, every page is marked
+        not-yet-restored, and a restore hook is installed in the cache
+        manager so any read or write of an unrestored page restores just
+        that page (backup copy + its media-log slice) on demand.  With
+        ``eager=True`` the remaining partitions restore in the background
+        on ``workers`` pool workers (``executor="process"`` ships span
+        reads to a process pool for file-backed backups).  Call
+        :meth:`finish_instant_restore` to drain and obtain the
+        :class:`RecoveryOutcome` — byte-identical to what
+        :meth:`media_recover` would have produced at the same target.
+        """
+        backup = backup or self.engine.latest_backup()
+        if backup is None:
+            raise NoBackupError("no completed backup to restore from")
+        fallback = [
+            b
+            for b in reversed(self.engine.completed)
+            if b is not backup
+            and b.is_complete
+            and getattr(b, "base_backup_id", None) is None
+        ]
+        damaged = backup.damaged_pages()
+        if damaged:
+            self.metrics.corruption_detected += len(damaged)
+        self._instant_damaged = len(damaged)
+        manager = RestoreManager(
+            self.stable,
+            backup,
+            self.log,
+            to_lsn=to_lsn,
+            fallback=fallback,
+            oracle=(
+                self.oracle.state() if verify and to_lsn is None else None
+            ),
+            initial_value=self.initial_value,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            io_guard=self._faults_suspended,
+        )
+        with self._faults_suspended():
+            manager.begin()
+        # Service resumes here: cold cache, lazy restore on every miss.
+        self.cm.reload_after_recovery()
+        self.cm.restore_hook = manager.ensure_restored
+        self.cm.stable_truncation_point = self.log.end_lsn + 1
+        if eager:
+            manager.start_background(workers=workers, executor=executor)
+        self._instant = manager
+        return manager
+
+    def finish_instant_restore(self) -> RecoveryOutcome:
+        """Drain the active instant restore and return its outcome.
+
+        Blocks until every page is restored, removes the lazy-restore
+        hook, and performs the same quarantine/healing accounting the
+        offline path does.  The cache is *not* invalidated: mid-restore
+        traffic only ever observed fully restored pages, so its cached
+        (possibly dirty) contents remain the current state.
+        """
+        manager = getattr(self, "_instant", None)
+        if manager is None:
+            raise RecoveryError("no instant restore in progress")
+        outcome = manager.drain()
+        self.cm.restore_hook = None
+        self._instant = None
+        if self._instant_damaged:
+            self.metrics.pages_quarantined += len(outcome.quarantined)
+            self.metrics.corruption_healed += max(
+                0, self._instant_damaged - len(outcome.quarantined)
+            )
         return self._stamp_outcome(outcome)
 
     def media_recover_chain(

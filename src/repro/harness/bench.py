@@ -304,6 +304,58 @@ def _bench_log_append_force_file(streams: int) -> Callable[[], object]:
     return run
 
 
+def _bench_instant_restore(mode: str) -> Callable[[], object]:
+    """Time-to-first-query vs time-to-full-restore after media failure.
+
+    One database of 64 partitions x 64 pages (4096 pages), a completed
+    backup, and a post-backup update tail.  ``mode="ttfq"`` measures the
+    instant-restore promise: fail the media, begin the restore, and read
+    one page — the work is a single page's backup fetch plus its
+    media-log slice, independent of database size.  ``mode="full"``
+    measures the same failure driven to a complete restore (begin +
+    eager 4-worker background + drain).  The acceptance bar is
+    ``ttfq * 5 <= full`` at this scale; in practice the gap is orders of
+    magnitude because TTFQ is O(1 page) while the full restore is
+    O(database).
+    """
+    from repro.core.config import BackupConfig
+    from repro.db import Database
+    from repro.ids import PageId
+    from repro.ops.physical import PhysicalWrite
+
+    partitions, size = 64, 64
+    db = Database(
+        pages_per_partition=[size] * partitions, policy="general"
+    )
+    for p in range(partitions):
+        for s in range(size):
+            db.execute(PhysicalWrite(PageId(p, s), (p, s)))
+    db.start_backup(BackupConfig(steps=4, pages_per_tick=1024))
+    db.run_backup(BackupConfig(pages_per_tick=1024))
+    for i in range(256):
+        db.execute(PhysicalWrite(PageId(i % partitions, i % size), ("post", i)))
+    probe = PageId(partitions // 2, size // 2)
+
+    def run_ttfq() -> object:
+        db.media_failure()
+        db.begin_instant_restore(verify=False, eager=False)
+        value = db.read(probe)
+        if value is None:
+            raise AssertionError("probe page read nothing")
+        return value
+
+    def run_full() -> object:
+        db.media_failure()
+        db.begin_instant_restore(verify=False, eager=True, workers=4)
+        db.read(probe)
+        outcome = db.finish_instant_restore()
+        if len(outcome.state) < partitions * size:
+            raise AssertionError("full restore missed pages")
+        return outcome.replayed
+
+    return run_ttfq if mode == "ttfq" else run_full
+
+
 BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "copy_chain_checkpoint": _bench_copy_chain_checkpoint,
     "backup_sweep": _bench_backup_sweep,
@@ -312,6 +364,8 @@ BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "partition_sweep_serial": lambda: _bench_partition_sweep(1),
     "partition_sweep_2w": lambda: _bench_partition_sweep(2),
     "partition_sweep_4w": lambda: _bench_partition_sweep(4),
+    "instant_restore_ttfq": lambda: _bench_instant_restore("ttfq"),
+    "instant_restore_full": lambda: _bench_instant_restore("full"),
     "log_append_force_single": lambda: _bench_log_append_force(1, False),
     "log_append_force_gc1": lambda: _bench_log_append_force(1, True),
     "log_append_force_4s": lambda: _bench_log_append_force(4, True),

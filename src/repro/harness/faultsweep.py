@@ -506,6 +506,136 @@ def _bitrot_scenarios(
     return results
 
 
+def _rot_backup_page(backup, page_id) -> None:
+    """Targeted bit rot in a backup image, envelope left stale."""
+    from repro.storage.page import PageVersion, rot_value
+
+    old = backup._versions[page_id]
+    backup._versions[page_id] = PageVersion(
+        rot_value(old.value), old.page_lsn
+    )
+
+
+def _run_instant_one(
+    seed: int, batched: bool, rot: str = "none", traffic: bool = True,
+    workers: int = 1, backend: str = "memory",
+    data_dir: Optional[str] = None, executor: str = "thread",
+) -> Tuple[bool, Database]:
+    """One instant-restore run: mid-restore reads must be exactly right.
+
+    Drives the workload + backup like :func:`_drive`, fails the media,
+    then — *while the background restore is running* — reads every page
+    in a shuffled order and pins each value against the oracle state at
+    the failure point (quarantined pages must read the initial value;
+    anything else is a silent corruption).  ``traffic=True`` additionally
+    writes through unrestored pages mid-restore and checks the writes
+    win over the background sweep.  ``rot`` picks the integrity path:
+    ``"fallback"`` rots the newest of two generations (restore must fall
+    back to the intact one), ``"quarantine"`` rots the only generation
+    (honest degrade).
+    """
+    from repro.ops.physical import PhysicalWrite
+
+    db = _fresh_db(workers=workers, backend=backend, data_dir=data_dir)
+    rng = random.Random(seed)
+    source = mixed_logical_workload(db.layout, seed=seed, count=120)
+    tick = 4 * db.layout.num_partitions  # see _drive
+    db.start_backup(BackupConfig(steps=4, batched=batched, workers=workers))
+    exhausted = False
+    while db.backup_in_progress() or not exhausted:
+        if db.backup_in_progress():
+            db.backup_step(tick)
+        exhausted = True
+        for _ in range(2):
+            op = next(source, None)
+            if op is None:
+                break
+            db.execute(op)
+            exhausted = False
+        db.install_some(2, rng)
+    if rot == "fallback":
+        # Second generation over more updates; rot the newest so the
+        # integrity gate must restore the older intact image instead.
+        for _ in range(12):
+            op = next(source, None)
+            if op is None:
+                break
+            db.execute(op)
+        db.start_backup(BackupConfig(steps=4, batched=batched,
+                                     workers=workers))
+        newest = db.run_backup(BackupConfig(pages_per_tick=tick))
+        _rot_backup_page(newest, newest.copy_order()[0])
+    elif rot == "quarantine":
+        backup = db.latest_backup()
+        _rot_backup_page(backup, backup.copy_order()[0])
+    expected = db.oracle.state()
+    initial = db.initial_value
+    db.media_failure()
+    db.begin_instant_restore(
+        workers=max(2, workers), executor=executor
+    )
+    pages = [
+        pid
+        for p in range(db.layout.num_partitions)
+        for pid in db.layout.pages_in_partition(p)
+    ]
+    order = list(pages)
+    random.Random(seed + 1).shuffle(order)
+    # Every page read mid-restore, racing the background sweep.
+    observed = {pid: db.read(pid) for pid in order}
+    written = {}
+    if traffic:
+        for i, pid in enumerate(order[::9]):
+            written[pid] = ("mid-restore", seed, i)
+            db.execute(PhysicalWrite(pid, written[pid]))
+    outcome = db.finish_instant_restore()
+    ok = outcome.ok
+    quarantined = set(outcome.quarantined)
+    for pid in pages:
+        want = initial if pid in quarantined else expected.get(pid, initial)
+        if observed[pid] != want:
+            ok = False
+    for pid, value in written.items():
+        if db.read(pid) != value:
+            ok = False
+    db.close()
+    return ok, db
+
+
+def _instant_scenarios(
+    seed: int, batched: bool, workers: int = 1,
+    backend: str = "memory", data_dir: Optional[str] = None,
+    executor: str = "thread",
+) -> ScenarioResult:
+    """Mid-restore correctness: plain, bitrot-fallback, and quarantine."""
+    mode = _mode_name(batched, workers)
+    if backend != "memory":
+        mode += f"-{backend}"
+    if executor != "thread":
+        mode += f"-{executor}"
+    result = ScenarioResult(f"instant-restore-{mode}")
+    cases = (
+        ("mid-restore-traffic", "none", True),
+        ("bitrot-fallback", "fallback", False),
+        ("bitrot-quarantine", "quarantine", False),
+    )
+    for label, rot, traffic in cases:
+        ok, db = _run_instant_one(seed, batched, rot=rot, traffic=traffic,
+                                  workers=workers, backend=backend,
+                                  data_dir=data_dir, executor=executor)
+        result.total += 1
+        if ok:
+            result.recovered += 1
+        else:
+            result.record_failure(label, [], seed, batched, workers,
+                                  backend=backend)
+        result.detail = (
+            f" on_demand={db.metrics.pages_restored_on_demand}"
+            f" background={db.metrics.pages_restored_background}"
+        )
+    return result
+
+
 # ------------------------------------------------------------------ the sweep
 
 
@@ -563,6 +693,10 @@ def run_faultsweep(
                                             backend=backend,
                                             data_dir=data_dir):
                 emit(result)
+            emit(_instant_scenarios(seed, batched, workers,
+                                    backend=backend, data_dir=data_dir))
+        emit(_instant_scenarios(seed, True, 4, backend=backend,
+                                data_dir=data_dir, executor="process"))
         emit(_torn_span_scenario(seed, backend=backend, data_dir=data_dir))
         return report
 
@@ -581,6 +715,7 @@ def run_faultsweep(
                                         samples=2 if quick else 3,
                                         workers=workers):
             emit(result)
+        emit(_instant_scenarios(seed, batched, workers))
     emit(_torn_span_scenario(seed))
     emit(_torn_span_scenario(seed, workers=4))
     # Multi-stream WAL smoke: the crash sweep and the seeded mix against

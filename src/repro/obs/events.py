@@ -61,6 +61,13 @@ CORRUPTION_DETECTED = "corruption_detected"
 CHAIN_FALLBACK = "chain_fallback"
 #: A page had no intact copy anywhere and was excluded from recovery.
 QUARANTINE = "quarantine"
+#: Instant restore progressed: ``phase`` is begin / page / partition /
+#: drain / complete (``page`` restores carry ``page`` and ``source``
+#: = on-demand / background).
+RESTORE_PROGRESS = "restore_progress"
+#: A replayed page was dropped instead of installed (e.g. outside the
+#: stable layout in the quarantine-degrade path).  Carries why.
+RESTORE_DROP = "restore_drop"
 #: Span timers (``with tracer.span(name): ...``).
 SPAN_BEGIN = "span_begin"
 SPAN_END = "span_end"
@@ -87,6 +94,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     CORRUPTION_DETECTED: ("site",),
     CHAIN_FALLBACK: ("action",),
     QUARANTINE: ("page",),
+    RESTORE_PROGRESS: ("phase",),
+    RESTORE_DROP: ("page", "reason"),
     SPAN_BEGIN: ("span",),
     SPAN_END: ("span", "ms"),
     TRACE_HEADER: (),

@@ -12,7 +12,13 @@ from repro.recovery.refined_write_graph import DynamicWriteGraph, build_refined_
 from repro.recovery.redo import POISON, RedoReplayer, ReplayStats
 from repro.recovery.explain import RecoveryOutcome, diff_states, find_order_violations
 from repro.recovery.crash_recovery import run_crash_recovery
-from repro.recovery.media_recovery import run_media_recovery
+from repro.recovery.media_recovery import (
+    install_recovered_page,
+    resolve_media_target,
+    run_media_recovery,
+    select_generation,
+)
+from repro.recovery.instant_restore import RestoreManager, RestoredBitmap
 
 __all__ = [
     "InstallationGraph",
@@ -29,4 +35,9 @@ __all__ = [
     "find_order_violations",
     "run_crash_recovery",
     "run_media_recovery",
+    "resolve_media_target",
+    "select_generation",
+    "install_recovered_page",
+    "RestoreManager",
+    "RestoredBitmap",
 ]

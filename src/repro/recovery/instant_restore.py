@@ -1,0 +1,738 @@
+"""Instant (incremental) media restore: serve traffic *during* recovery.
+
+The offline path (:func:`repro.recovery.media_recovery.run_media_recovery`)
+is stop-the-world: the database is unavailable from media failure until
+the full image is restored and the whole media log replayed.  Sauer &
+Härder's instant-restore observation is that nothing forces that: restore
+state is page-granular, so an access to a not-yet-restored page can
+trigger *single-page* restore (copy the page from the chosen backup
+generation, then replay just the media-log slice that touches it), while
+eager background restore works through the remaining partitions on the
+PR 5/7 worker pool.  Time-to-first-query drops from O(database) to O(one
+page's restore + redo).
+
+The pieces:
+
+* **Restored bitmap** — one per-partition set of restored slots, keyed by
+  the backup's partition structure; per-partition D/P-style frontiers
+  (``pages_done``) report progress.  A page is restored exactly once, no
+  matter which path gets there first.
+* **Demand-driven redo evaluator** — the media-log slice
+  (``log.merge_scan(scan_start, target)``, snapshotted at begin) is
+  indexed by writer page.  Each record's *effect* (which stale pages it
+  rewrote, with what versions) is memoized on first demand; a page's
+  final version walks its writer list backwards through memoized
+  effects.  Logical multi-page operations make effects interdependent
+  (a record's staleness and reads depend on earlier writers of its
+  write- and read-set), so effects are resolved with an explicit
+  iterative work stack — no recursion, dependencies are strictly earlier
+  slice indices, total work over a full drain is the same O(slice) the
+  sequential replayer pays.  The per-record classification (skip vs
+  replay, poisoned results, partial replays) reproduces
+  :class:`~repro.recovery.redo.RedoReplayer` exactly, by induction over
+  the slice — that is what makes :meth:`RestoreManager.drain`
+  byte-identical to the offline outcome.
+* **Lazy path** — ``CacheManager.restore_hook`` (installed by
+  :meth:`repro.db.Database.begin_instant_restore`) calls
+  :meth:`RestoreManager.ensure_restored` for every cache-missed read and
+  every written page before an operation applies, so traffic only ever
+  observes fully recovered values.
+* **Eager pool** — :meth:`RestoreManager.start_background` fans
+  per-partition restore out to a thread pool (or, for file-backed
+  backups, ships span reads to a :class:`ProcessPoolExecutor` via the
+  picklable :func:`repro.storage.file_backend.read_backup_span_file`).
+  Span reads pay device cost outside the manager lock; installs are
+  page-granular under the lock, so an on-demand access never waits for
+  more than one page's install.
+
+Generation selection and quarantine reuse the offline gate
+(:func:`~repro.recovery.media_recovery.select_generation`): bitrot in
+the newest backup falls back to an older intact generation, and when no
+intact generation exists the damaged pages are seeded POISON and
+quarantined exactly as the offline degrade path would.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from contextlib import nullcontext
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.ids import LSN, NULL_LSN, PageId
+from repro.obs.events import QUARANTINE, RESTORE_PROGRESS
+from repro.obs.tracer import NULL_TRACER
+from repro.recovery.explain import RecoveryOutcome, diff_states
+from repro.recovery.media_recovery import (
+    install_recovered_page,
+    resolve_media_target,
+    select_generation,
+)
+from repro.recovery.redo import POISON, contains_poison
+from repro.storage.backup_db import BackupDatabase
+from repro.storage.page import PageVersion
+from repro.storage.stable_db import StableDatabase
+from repro.wal.log_manager import LogManager
+
+__all__ = ["RestoreManager", "RestoredBitmap"]
+
+#: Sentinel distinguishing "effect not yet computed" from "record skipped"
+#: (whose memoized effect is ``None``).
+_UNSET = object()
+
+
+class RestoredBitmap:
+    """Page-granular restore progress, keyed by the partition structure.
+
+    One set of restored slots per partition plus a per-partition done
+    counter — the restore-side analogue of the backup's D/P frontiers.
+    Not internally locked; the owning :class:`RestoreManager` serializes
+    access under its lock.
+    """
+
+    def __init__(self, layout):
+        self.layout = layout
+        self._slots: List[Set[int]] = [
+            set() for _ in range(layout.num_partitions)
+        ]
+
+    def is_restored(self, pid: PageId) -> bool:
+        return pid.slot in self._slots[pid.partition]
+
+    def mark(self, pid: PageId) -> bool:
+        """Mark one page restored; False if it already was."""
+        slots = self._slots[pid.partition]
+        if pid.slot in slots:
+            return False
+        slots.add(pid.slot)
+        return True
+
+    def pages_done(self, partition: int) -> int:
+        return len(self._slots[partition])
+
+    def partition_complete(self, partition: int) -> bool:
+        return (
+            len(self._slots[partition])
+            >= self.layout.partition_size(partition)
+        )
+
+    @property
+    def total_done(self) -> int:
+        return sum(len(s) for s in self._slots)
+
+    @property
+    def complete(self) -> bool:
+        return self.total_done >= self.layout.total_pages()
+
+
+class _SliceEvaluator:
+    """Demand-driven, memoized redo over one media-log slice.
+
+    Reproduces the sequential :class:`RedoReplayer` record-for-record:
+    ``_effects[i]`` is ``None`` when record ``i`` would have been skipped
+    (no stale write-set page at its turn), else the ``{page: version}``
+    mapping it would have installed.  Versions are built exactly the way
+    the replayer builds them (``__new__`` + ``object.__setattr__``) so
+    POISON and arbitrary replay results round-trip unvalidated.
+    """
+
+    def __init__(
+        self,
+        records: Sequence,
+        base: Dict[PageId, PageVersion],
+        initial_value: Any,
+        fetch=None,
+    ):
+        self._records = list(records)
+        self._base = base
+        # Lazily pulls a page's backup copy into ``base`` the first time
+        # the slice consults it (the single-page-read cost model); pages
+        # absent from the backup read as the freshly formatted cell.
+        self._fetch = fetch
+        self._fetched: Set[PageId] = set()
+        self._initial_value = initial_value
+        # page -> ascending slice indices of records with the page in
+        # their writeset (potential writers; whether one actually wrote
+        # depends on its memoized effect).
+        self._writers: Dict[PageId, List[int]] = {}
+        for i, record in enumerate(self._records):
+            for page in record.op.writeset:
+                self._writers.setdefault(page, []).append(i)
+        self._effects: Dict[int, Optional[Dict[PageId, PageVersion]]] = {}
+        # Sequential-replay counters, valid once every effect is computed.
+        self.ops_replayed = 0
+        self.ops_skipped = 0
+        self.partial_replays = 0
+        self.poisoned: List[PageId] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------ versions
+
+    def _base_version(self, page: PageId) -> PageVersion:
+        base = self._base
+        if page not in base and page not in self._fetched:
+            self._fetched.add(page)
+            version = self._fetch(page) if self._fetch is not None else None
+            if version is not None:
+                base[page] = version
+        version = base.get(page)
+        if version is None:
+            return PageVersion(self._initial_value, NULL_LSN)
+        return version
+
+    def _version_before(self, page: PageId, index: int) -> PageVersion:
+        """The page's version as record ``index`` would observe it.
+
+        Requires the effects of every writer that must be consulted to
+        already be memoized (guaranteed after :meth:`_ensure_effect` on
+        ``index``'s dependencies).
+        """
+        writers = self._writers.get(page)
+        if writers:
+            pos = bisect_left(writers, index) - 1
+            while pos >= 0:
+                effect = self._effects[writers[pos]]
+                if effect is not None:
+                    version = effect.get(page)
+                    if version is not None:
+                        return version
+                pos -= 1
+        return self._base_version(page)
+
+    def final_version(self, page: PageId) -> PageVersion:
+        """The page's version after the whole slice has replayed."""
+        self._ensure_writers_resolved(page)
+        return self._version_before(page, len(self._records))
+
+    # ------------------------------------------------------------- effects
+
+    def _missing_deps(self, index: int) -> List[int]:
+        """Uncomputed earlier effects record ``index`` depends on.
+
+        For each page the record writes or reads, walk its writer list
+        backwards from ``index``: the first writer whose effect is
+        unknown blocks resolution for that page (an earlier writer only
+        matters if every later one provably skipped or did not write the
+        page, which requires their effects).
+        """
+        record = self._records[index]
+        op = record.op
+        effects = self._effects
+        missing: List[int] = []
+        for page in list(op.writeset) + list(op.readset):
+            writers = self._writers.get(page)
+            if not writers:
+                continue
+            pos = bisect_left(writers, index) - 1
+            while pos >= 0:
+                j = writers[pos]
+                effect = effects.get(j, _UNSET)
+                if effect is _UNSET:
+                    missing.append(j)
+                    break
+                if effect is not None and page in effect:
+                    break
+                pos -= 1
+        return missing
+
+    def _ensure_effect(self, index: int) -> None:
+        """Memoize record ``index``'s effect (iterative, no recursion).
+
+        The work stack revisits an index after its newly discovered
+        dependencies resolve; every dependency is a strictly earlier
+        index, so the computation terminates, and each record's effect
+        is computed exactly once.
+        """
+        if index in self._effects:
+            return
+        stack = [index]
+        effects = self._effects
+        while stack:
+            i = stack[-1]
+            if i in effects:
+                stack.pop()
+                continue
+            todo = [j for j in self._missing_deps(i) if j not in effects]
+            if todo:
+                stack.extend(todo)
+                continue
+            effects[i] = self._compute_effect(i)
+            stack.pop()
+
+    def _compute_effect(
+        self, index: int
+    ) -> Optional[Dict[PageId, PageVersion]]:
+        """Record ``index``'s effect, with all dependencies memoized.
+
+        Mirrors one iteration of ``RedoReplayer.replay`` verbatim: the
+        LSN redo test per write-set page, reads from the pre-record
+        versions, exception → POISON for the stale pages.
+        """
+        record = self._records[index]
+        op = record.op
+        lsn = record.lsn
+        stale = [
+            page
+            for page in op.writeset
+            if self._version_before(page, index).page_lsn < lsn
+        ]
+        if not stale:
+            self.ops_skipped += 1
+            return None
+        if len(stale) < len(op.writeset):
+            self.partial_replays += 1
+        reads = {
+            page: self._version_before(page, index).value
+            for page in op.readset
+        }
+        try:
+            result = op.apply(reads)
+        except Exception:
+            result = {page: POISON for page in stale}
+            self.poisoned.extend(stale)
+        self.ops_replayed += 1
+        effect: Dict[PageId, PageVersion] = {}
+        for page in stale:
+            version = PageVersion.__new__(PageVersion)
+            # Bypass value checking: POISON and arbitrary replay results
+            # are stored as-is, exactly like the sequential replayer.
+            object.__setattr__(version, "value", result[page])
+            object.__setattr__(version, "page_lsn", lsn)
+            effect[page] = version
+        return effect
+
+    def _ensure_writers_resolved(self, page: PageId) -> None:
+        """Memoize the effects :meth:`_version_before` will consult."""
+        writers = self._writers.get(page)
+        if not writers:
+            return
+        pos = len(writers) - 1
+        while pos >= 0:
+            j = writers[pos]
+            self._ensure_effect(j)
+            effect = self._effects[j]
+            if effect is not None and page in effect:
+                return
+            pos -= 1
+
+    def evaluate_all(self) -> None:
+        """Memoize every record's effect, in slice order.
+
+        After this the counters (``ops_replayed``/``ops_skipped``/...)
+        equal the sequential replayer's for the same slice and base.
+        """
+        for i in range(len(self._records)):
+            self._ensure_effect(i)
+
+    def final_state(self) -> Dict[PageId, PageVersion]:
+        """The exact ``state`` dict the sequential replayer would leave.
+
+        Key materialization matters for outcome parity: a record's
+        write-set pages enter the state when their staleness is tested;
+        its read-set pages enter only if the record actually replays.
+        Requires :meth:`evaluate_all` first.
+        """
+        state: Dict[PageId, PageVersion] = dict(self._base)
+        initial = self._initial_value
+        for i, record in enumerate(self._records):
+            op = record.op
+            for page in op.writeset:
+                if page not in state:
+                    state[page] = PageVersion(initial, NULL_LSN)
+            effect = self._effects[i]
+            if effect is None:
+                continue
+            for page in op.readset:
+                if page not in state:
+                    state[page] = PageVersion(initial, NULL_LSN)
+            state.update(effect)
+        return state
+
+
+class RestoreManager:
+    """Coordinates one instant media restore.
+
+    Lifecycle: construct → :meth:`begin` (select generation, snapshot
+    the media-log slice, re-format stable) → traffic flows through the
+    cache manager's ``restore_hook`` (:meth:`ensure_restored`) while
+    :meth:`start_background` works through partitions → :meth:`drain`
+    completes everything outstanding and returns a
+    :class:`RecoveryOutcome` byte-identical to the offline path's.
+
+    One re-entrant lock guards the bitmap, the evaluator's memo tables,
+    and page installs; backup span reads (the device-cost part) run
+    outside it.
+    """
+
+    def __init__(
+        self,
+        stable: StableDatabase,
+        backup: BackupDatabase,
+        log: LogManager,
+        to_lsn: Optional[LSN] = None,
+        fallback: Sequence[BackupDatabase] = (),
+        oracle: Optional[Mapping[PageId, Any]] = None,
+        initial_value: Any = None,
+        tracer=None,
+        metrics=None,
+        io_guard=None,
+    ):
+        self.stable = stable
+        self.backup = backup
+        self.log = log
+        self.to_lsn = to_lsn
+        self.fallback = list(fallback)
+        self.oracle = oracle
+        self.initial_value = initial_value
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+        # Context-manager factory wrapped around restore-driven stable
+        # I/O (Database passes ``_faults_suspended``: recovery I/O is
+        # driven by the recovery algorithm, not the workload under test).
+        self._io_guard = io_guard or nullcontext
+        self._lock = threading.RLock()
+        self.bitmap = RestoredBitmap(stable.layout)
+        self.chosen: Optional[BackupDatabase] = None
+        self.target: Optional[LSN] = None
+        self.quarantine_seed: List[PageId] = []
+        self._seeds: Set[PageId] = set()
+        self._evaluator: Optional[_SliceEvaluator] = None
+        self._poison_installed: Set[PageId] = set()
+        self._pool = None
+        self._futures: List = []
+        self._began = False
+        self._drained: Optional[RecoveryOutcome] = None
+        self._t_begin: Optional[float] = None
+        self._first_demand_ms: Optional[float] = None
+
+    # ---------------------------------------------------------------- begin
+
+    def begin(self) -> "RestoreManager":
+        """Select the generation, snapshot the log slice, format stable.
+
+        After this every page is marked not-yet-restored and the stable
+        store is readable again (formatted to the initial value); the
+        cache manager's hook lazily fills pages as traffic touches them.
+        """
+        if self._began:
+            return self
+        self.target = resolve_media_target(self.backup, self.log, self.to_lsn)
+        self.chosen, self.quarantine_seed = select_generation(
+            self.backup, self.target, self.log, self.fallback,
+            self.tracer, self.metrics,
+        )
+        self._seeds = set(self.quarantine_seed)
+        # Snapshot the media-log slice now: traffic served mid-restore
+        # appends records beyond the target, which must not replay.
+        records = list(
+            self.log.merge_scan(self.chosen.media_scan_start_lsn, self.target)
+        )
+        base: Dict[PageId, PageVersion] = {}
+        for pid in self.quarantine_seed:
+            base[pid] = PageVersion(POISON, NULL_LSN)
+        self._base = base
+        self._evaluator = _SliceEvaluator(
+            records, base, self.initial_value, fetch=self._fetch_base,
+        )
+        with self._io_guard():
+            # Re-format every cell to the initial value (clears the
+            # failed flag); real content lands page-by-page.
+            self.stable.restore_from({}, initial_value=self.initial_value)
+        self._t_begin = time.perf_counter()
+        self._began = True
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RESTORE_PROGRESS, phase="begin",
+                backup_id=self.chosen.backup_id, target_lsn=self.target,
+                records=len(records),
+                quarantine_seeds=len(self.quarantine_seed),
+            )
+        return self
+
+    def _fetch_base(self, pid: PageId) -> Optional[PageVersion]:
+        """One page's backup copy, for the evaluator's lazy base.
+
+        Quarantine seeds are already seeded POISON in the base (never
+        fetched); everything else comes from the chosen (vetted-intact)
+        generation's verified read.
+        """
+        if pid in self._seeds:
+            return None
+        return self.chosen.read_page(pid)
+
+    # ------------------------------------------------------------ lazy path
+
+    def ensure_restored(self, pid: PageId, source: str = "on-demand") -> bool:
+        """Restore one page if it is not restored yet.
+
+        The cache manager's hook: called for every cache-missed read and
+        every page an operation is about to write, before the access
+        proceeds.  Returns True when this call performed the restore.
+        """
+        if not self._began:
+            raise RuntimeError("RestoreManager.begin() has not run")
+        if not self.stable.layout.contains(pid):
+            return False
+        with self._lock:
+            if self.bitmap.is_restored(pid):
+                return False
+            self._restore_page_locked(pid, source)
+            return True
+
+    def _restore_page_locked(self, pid: PageId, source: str) -> None:
+        """Compute and install one page's recovered version (lock held)."""
+        version = self._evaluator.final_version(pid)
+        with self._io_guard():
+            installed = install_recovered_page(
+                self.stable, pid, version, self.initial_value,
+                self.tracer, self.metrics, kind="instant",
+            )
+        if not installed and contains_poison(version.value):
+            self._poison_installed.add(pid)
+        self.bitmap.mark(pid)
+        if self.metrics is not None:
+            if source == "on-demand":
+                self.metrics.pages_restored_on_demand += 1
+            else:
+                self.metrics.pages_restored_background += 1
+        if source == "on-demand" and self._first_demand_ms is None:
+            self._first_demand_ms = (
+                time.perf_counter() - self._t_begin
+            ) * 1000.0
+            if self.metrics is not None:
+                self.metrics.time_to_first_query_ms = self._first_demand_ms
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RESTORE_PROGRESS, phase="page", page=str(pid), source=source,
+            )
+
+    @property
+    def time_to_first_query_ms(self) -> Optional[float]:
+        """Wall time from begin() to the first on-demand restore."""
+        return self._first_demand_ms
+
+    # ------------------------------------------------------------ eager pool
+
+    def start_background(
+        self, workers: int = 2, executor: str = "thread"
+    ) -> None:
+        """Fan eager per-partition restore out to a worker pool.
+
+        ``executor="process"`` ships backup span reads to a
+        :class:`ProcessPoolExecutor` via the picklable
+        :func:`~repro.storage.file_backend.read_backup_span_file` when
+        the chosen backup is file-backed (it falls back to threads
+        otherwise — an in-memory image cannot be read by another
+        process).  Installs are always performed by the submitting
+        worker thread, page-granular under the manager lock.
+        """
+        if not self._began:
+            raise RuntimeError("RestoreManager.begin() has not run")
+        if self._pool is not None:
+            return
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = max(1, workers)
+        layout = self.stable.layout
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="instant-restore"
+        )
+        self._span_pool = None
+        if executor == "process" and getattr(self.chosen, "path", None):
+            self._span_pool = self._make_process_pool(workers)
+        self._futures = [
+            self._pool.submit(self._restore_partition, partition)
+            for partition in range(layout.num_partitions)
+        ]
+
+    @staticmethod
+    def _make_process_pool(workers: int):
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+            return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        except (ImportError, ValueError):
+            from concurrent.futures import ProcessPoolExecutor as Pool
+
+            return Pool(max_workers=workers)
+
+    def _restore_partition(self, partition: int) -> int:
+        """Eager-restore one partition (worker-thread body).
+
+        The span read (device cost) runs outside the lock so concurrent
+        partitions overlap like independent disk arms; each page install
+        takes the lock individually so on-demand traffic never queues
+        behind more than one page.
+        """
+        layout = self.stable.layout
+        size = layout.partition_size(partition)
+        span = self._read_backup_span(partition, 0, size)
+        with self._lock:
+            base = self._base
+            seeds = self._seeds
+            for pid, version in span:
+                if pid not in base and pid not in seeds:
+                    base[pid] = version
+        restored = 0
+        for pid in layout.pages_in_partition(partition):
+            with self._lock:
+                if self.bitmap.is_restored(pid):
+                    continue
+                self._restore_page_locked(pid, source="background")
+                restored += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RESTORE_PROGRESS, phase="partition", partition=partition,
+                restored=restored,
+            )
+        return restored
+
+    def _read_backup_span(
+        self, partition: int, start: int, stop: int
+    ) -> List[Tuple[PageId, PageVersion]]:
+        """One backup span, via the process pool when configured."""
+        if self._span_pool is not None:
+            rows = self._span_pool.submit(
+                _read_backup_span_process,
+                self.chosen.path, partition, start, stop,
+            ).result()
+            out = []
+            for slot, ok, value, lsn in rows:
+                pid = PageId(partition, slot)
+                if pid in self._seeds:
+                    continue
+                if ok:
+                    out.append((pid, PageVersion(value, lsn)))
+                else:
+                    # Opaque/non-codec record: the in-memory image is
+                    # the authoritative surface (same as resolve_span).
+                    version = self.chosen.read_page(pid)
+                    if version is not None:
+                        out.append((pid, version))
+            return out
+        return [
+            (pid, version)
+            for pid, version in self.chosen.read_span(partition, start, stop)
+            if pid not in self._seeds
+        ]
+
+    # ---------------------------------------------------------------- drain
+
+    def drain(self) -> RecoveryOutcome:
+        """Finish the restore and return the offline-equivalent outcome.
+
+        Joins the background pool, restores every page still pending,
+        evaluates any record whose effect was never demanded (so the
+        replay counters match the sequential pass), and assembles the
+        same :class:`RecoveryOutcome` the offline path returns —
+        including quarantine bookkeeping and oracle diffs.
+        """
+        if self._drained is not None:
+            return self._drained
+        if not self._began:
+            self.begin()
+        for future in self._futures:
+            future.result()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if getattr(self, "_span_pool", None) is not None:
+            self._span_pool.shutdown(wait=True)
+            self._span_pool = None
+        layout = self.stable.layout
+        with self._lock:
+            for partition in range(layout.num_partitions):
+                if self.bitmap.partition_complete(partition):
+                    continue
+                for pid in layout.pages_in_partition(partition):
+                    if not self.bitmap.is_restored(pid):
+                        self._restore_page_locked(pid, source="background")
+            evaluator = self._evaluator
+            evaluator.evaluate_all()
+            # Load every backup page the demand paths never touched so
+            # final_state's base matches the offline restore image.
+            for pid, version in self.chosen.iter_pages():
+                if pid not in self._base and pid not in self._seeds:
+                    self._base[pid] = version
+            state = evaluator.final_state()
+            # Out-of-layout replay targets exist only in ``state`` (the
+            # offline path traces/drops them at install; the per-page
+            # paths never see them) — install parity is handled by
+            # install_recovered_page in both paths.
+            for pid, version in state.items():
+                if not layout.contains(pid):
+                    with self._io_guard():
+                        install_recovered_page(
+                            self.stable, pid, version, self.initial_value,
+                            self.tracer, self.metrics, kind="instant",
+                        )
+            poisoned = sorted(
+                pid
+                for pid, version in state.items()
+                if contains_poison(version.value)
+            )
+            quarantined: List[PageId] = []
+            if self.quarantine_seed:
+                quarantined = poisoned
+                poisoned = []
+                if self.tracer.enabled:
+                    for pid in quarantined:
+                        self.tracer.emit(
+                            QUARANTINE, page=str(pid), kind="instant"
+                        )
+            quarantined_set = set(quarantined)
+            diffs: List = []
+            if self.oracle is not None:
+                diffs = [
+                    d
+                    for d in diff_states(state, self.oracle, self.initial_value)
+                    if d[0] not in quarantined_set
+                ]
+            outcome = RecoveryOutcome(
+                state=state,
+                replayed=evaluator.ops_replayed,
+                skipped=evaluator.ops_skipped,
+                poisoned=poisoned,
+                diffs=diffs,
+                kind="media",
+                quarantined=quarantined,
+            )
+            self._drained = outcome
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RESTORE_PROGRESS, phase="complete",
+                pages=self.bitmap.total_done,
+                replayed=outcome.replayed, skipped=outcome.skipped,
+                quarantined=len(outcome.quarantined),
+            )
+        return outcome
+
+    @property
+    def complete(self) -> bool:
+        return self.bitmap.complete
+
+    def progress(self) -> Dict[int, int]:
+        """Pages restored per partition (the restore-side frontiers)."""
+        with self._lock:
+            return {
+                partition: self.bitmap.pages_done(partition)
+                for partition in range(self.stable.layout.num_partitions)
+            }
+
+
+def _read_backup_span_process(path, partition, start, stop):
+    """Process-pool entry: returns picklable (slot, ok, value, lsn) rows."""
+    from repro.storage.file_backend import OK, read_backup_span_file
+
+    return [
+        (slot, status == OK, value, lsn)
+        for slot, status, value, lsn in read_backup_span_file(
+            path, partition, start, stop
+        )
+    ]

@@ -22,11 +22,22 @@ them (a later blind physical/identity record rewrites them) or honestly
 propagates the loss, and whatever remains unrecoverable is reported in
 ``RecoveryOutcome.quarantined`` instead of crashing or silently restoring
 garbage.
+
+The generation-selection gate (:func:`resolve_media_target` +
+:func:`select_generation`) is factored out so instant restore
+(:mod:`repro.recovery.instant_restore`) makes exactly the same choice the
+offline path would — the equivalence property depends on it.
+
+Restore and roll-forward run as **one streamed pass**: the chosen image
+is iterated once (``iter_pages``), feeding the stable re-format and the
+replay state simultaneously, so peak memory is O(backup pages held in
+``state``) instead of the old O(2·DB) double materialization
+(``chosen.pages()`` dict + a second full dict re-read from stable).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import NoBackupError, RecoveryError
 from repro.ids import LSN, NULL_LSN, PageId
@@ -35,6 +46,7 @@ from repro.obs.events import (
     CORRUPTION_DETECTED,
     QUARANTINE,
     RECOVERY_PHASE,
+    RESTORE_DROP,
 )
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
@@ -49,53 +61,72 @@ from repro.storage.page import PageVersion
 from repro.storage.stable_db import StableDatabase
 from repro.wal.log_manager import LogManager
 
+#: Rejection reasons emitted by :func:`_usable_fallback` (CHAIN_FALLBACK
+#: ``action="reject-generation"`` events carry one of these).
+REJECT_NOT_COMPLETE = "not-complete"
+REJECT_PAST_TARGET = "completion-past-target"
+REJECT_LOG_TRUNCATED = "log-truncated"
+REJECT_DAMAGED = "damaged"
+
 
 def _usable_fallback(
     older: Optional[BackupDatabase],
     target: LSN,
     log: LogManager,
     tracer,
+    metrics=None,
 ) -> bool:
     """Can media recovery restore from this older generation?
 
     It must be sealed, complete at or before the roll-forward target,
-    have its whole redo span still on the log, and verify clean.
+    have its whole redo span still on the log, and verify clean.  A
+    rejected generation is never silent: each one emits a
+    ``CHAIN_FALLBACK`` event with ``action="reject-generation"`` and the
+    reason, and bumps ``Metrics.fallback_rejections`` — fallback
+    decisions are debuggable from traces alone.
     """
+    reason = None
     if older is None or not older.is_complete:
-        return False
-    if older.completion_lsn is not None and older.completion_lsn > target:
-        return False
-    if older.media_scan_start_lsn < log.first_retained_lsn:
-        return False
-    damaged = older.damaged_pages()
-    if damaged:
-        if tracer.enabled:
-            tracer.emit(
-                CORRUPTION_DETECTED, site="backup",
-                backup_id=older.backup_id,
-                pages=[str(p) for p in damaged],
-            )
-        return False
-    return True
+        reason = REJECT_NOT_COMPLETE
+    elif older.completion_lsn is not None and older.completion_lsn > target:
+        # The older image is fuzzy up to its completion point, which lies
+        # beyond the roll-forward target: it cannot serve this target.
+        reason = REJECT_PAST_TARGET
+    elif older.media_scan_start_lsn < log.first_retained_lsn:
+        # Its redo span fell off the retained log: replaying from the
+        # surviving prefix could miss updates the copy does not reflect.
+        reason = REJECT_LOG_TRUNCATED
+    else:
+        damaged = older.damaged_pages()
+        if damaged:
+            if tracer.enabled:
+                tracer.emit(
+                    CORRUPTION_DETECTED, site="backup",
+                    backup_id=older.backup_id,
+                    pages=[str(p) for p in damaged],
+                )
+            reason = REJECT_DAMAGED
+    if reason is None:
+        return True
+    if metrics is not None:
+        metrics.fallback_rejections += 1
+    if tracer.enabled:
+        tracer.emit(
+            CHAIN_FALLBACK, action="reject-generation", reason=reason,
+            backup_id=getattr(older, "backup_id", None),
+        )
+    return False
 
 
-def run_media_recovery(
-    stable: StableDatabase,
-    backup: BackupDatabase,
-    log: LogManager,
-    to_lsn: Optional[LSN] = None,
-    oracle: Optional[Mapping[PageId, Any]] = None,
-    initial_value: Any = None,
-    tracer=None,
-    fallback: Sequence[BackupDatabase] = (),
-) -> RecoveryOutcome:
-    """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``.
+def resolve_media_target(
+    backup: BackupDatabase, log: LogManager, to_lsn: Optional[LSN]
+) -> LSN:
+    """Validate the backup and resolve the roll-forward target LSN.
 
-    ``fallback`` lists older completed backup generations, newest first;
-    they are consulted (whole-image, longer redo span) when ``backup``
-    fails its integrity check.
+    Shared by the offline path and instant restore so both reject the
+    same inputs: the backup must be sealed, and the target must not
+    precede its (fuzzy) completion point.
     """
-    tracer = tracer or NULL_TRACER
     if backup is None:
         raise NoBackupError("no backup available for media recovery")
     if not backup.is_complete:
@@ -109,61 +140,146 @@ def run_media_recovery(
             f"cannot roll forward to LSN {target}: backup completed at "
             f"{backup.completion_lsn} and is fuzzy before that point"
         )
+    return target
+
+
+def select_generation(
+    backup: BackupDatabase,
+    target: LSN,
+    log: LogManager,
+    fallback: Sequence[BackupDatabase] = (),
+    tracer=None,
+    metrics=None,
+) -> Tuple[BackupDatabase, List[PageId]]:
+    """The integrity gate: pick the newest intact generation.
+
+    Returns ``(chosen, quarantine_seed)``.  ``quarantine_seed`` is empty
+    unless *no* intact generation exists, in which case the newest image
+    is used minus its damaged pages (the degrade path).  Reused verbatim
+    by instant restore so lazy and offline recovery restore from the
+    same image.
+    """
+    tracer = NULL_TRACER if tracer is None else tracer
+    damaged = backup.damaged_pages()
+    if not damaged:
+        return backup, []
+    if tracer.enabled:
+        tracer.emit(
+            CORRUPTION_DETECTED, site="backup",
+            backup_id=backup.backup_id,
+            pages=[str(p) for p in damaged],
+        )
+    for older in fallback:
+        if _usable_fallback(older, target, log, tracer, metrics):
+            if tracer.enabled:
+                tracer.emit(
+                    CHAIN_FALLBACK, action="older-generation",
+                    from_backup=backup.backup_id,
+                    to_backup=older.backup_id,
+                    scan_start_lsn=older.media_scan_start_lsn,
+                )
+            return older, []
+    # No intact generation anywhere: degrade, don't crash.  The newest
+    # image is used minus its damaged pages, which replay either heals
+    # (blind rewrite) or proves lost.
+    if tracer.enabled:
+        tracer.emit(
+            CHAIN_FALLBACK, action="quarantine",
+            backup_id=backup.backup_id, pages=len(damaged),
+        )
+    return backup, damaged
+
+
+def install_recovered_page(
+    stable: StableDatabase,
+    pid: PageId,
+    version: PageVersion,
+    initial_value: Any,
+    tracer=None,
+    metrics=None,
+    kind: str = "media",
+) -> bool:
+    """Install one replayed page into stable, with drop/quarantine rules.
+
+    Out-of-layout pages (a replayed logical op can touch identifiers the
+    stable layout never held, e.g. in the degrade path) are **not**
+    installed — but they are never dropped silently: a ``RESTORE_DROP``
+    event and ``Metrics.pages_dropped_out_of_layout`` record each one.
+    Pages whose value still carries POISON are formatted to the initial
+    value rather than installing garbage.  Returns ``True`` iff the
+    page's replayed value was installed as-is.
+    """
+    if not stable.layout.contains(pid):
+        if metrics is not None:
+            metrics.pages_dropped_out_of_layout += 1
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                RESTORE_DROP, page=str(pid), reason="out-of-layout",
+                kind=kind,
+            )
+        return False
+    if contains_poison(version.value):
+        # Quarantined: format the cell rather than install garbage.
+        stable.install_version(pid, PageVersion(initial_value, NULL_LSN))
+        return False
+    stable.install_version(pid, version)
+    return True
+
+
+def run_media_recovery(
+    stable: StableDatabase,
+    backup: BackupDatabase,
+    log: LogManager,
+    to_lsn: Optional[LSN] = None,
+    oracle: Optional[Mapping[PageId, Any]] = None,
+    initial_value: Any = None,
+    tracer=None,
+    fallback: Sequence[BackupDatabase] = (),
+    metrics=None,
+) -> RecoveryOutcome:
+    """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``.
+
+    ``fallback`` lists older completed backup generations, newest first;
+    they are consulted (whole-image, longer redo span) when ``backup``
+    fails its integrity check.  ``metrics`` (optional) receives
+    fallback-rejection and dropped-page counts.
+    """
+    tracer = NULL_TRACER if tracer is None else tracer
+    target = resolve_media_target(backup, log, to_lsn)
 
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="begin",
                     backup_id=backup.backup_id, target_lsn=target)
 
     # Integrity gate: pick the newest generation whose image is intact.
-    chosen = backup
-    quarantine_seed: List[PageId] = []
-    damaged = backup.damaged_pages()
-    if damaged:
-        if tracer.enabled:
-            tracer.emit(
-                CORRUPTION_DETECTED, site="backup",
-                backup_id=backup.backup_id,
-                pages=[str(p) for p in damaged],
-            )
-        chosen = None
-        for older in fallback:
-            if _usable_fallback(older, target, log, tracer):
-                chosen = older
-                if tracer.enabled:
-                    tracer.emit(
-                        CHAIN_FALLBACK, action="older-generation",
-                        from_backup=backup.backup_id,
-                        to_backup=older.backup_id,
-                        scan_start_lsn=older.media_scan_start_lsn,
-                    )
-                break
-        if chosen is None:
-            # No intact generation anywhere: degrade, don't crash.  The
-            # newest image is used minus its damaged pages, which replay
-            # either heals (blind rewrite) or proves lost.
-            chosen = backup
-            quarantine_seed = damaged
-            if tracer.enabled:
-                tracer.emit(
-                    CHAIN_FALLBACK, action="quarantine",
-                    backup_id=backup.backup_id, pages=len(damaged),
-                )
+    chosen, quarantine_seed = select_generation(
+        backup, target, log, fallback, tracer, metrics
+    )
 
-    # (1) Off-line restore: re-format S from the chosen backup image.
-    restore_pages = chosen.pages()
-    for pid in quarantine_seed:
-        restore_pages.pop(pid, None)
+    # (1) Off-line restore, streamed: one pass over the chosen image
+    # feeds both the stable re-format and the replay state — the backup
+    # is never materialized as a second full dict.
+    state: Dict[PageId, PageVersion] = {}
+    seeds = set(quarantine_seed)
+
+    def _stream():
+        for pid, ver in chosen.iter_pages():
+            if pid in seeds:
+                continue
+            state[pid] = ver
+            yield pid, ver
+
     with tracer.span("recovery.media.restore"):
-        stable.restore_from(restore_pages, initial_value=initial_value)
+        stable.restore_from(_stream(), initial_value=initial_value)
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="restore",
                     backup_id=chosen.backup_id,
                     scan_start_lsn=chosen.media_scan_start_lsn)
 
-    # (2) Roll forward with the media recovery log.
-    state: Dict[PageId, PageVersion] = {
-        pid: ver for pid, ver in stable.iter_pages()
-    }
+    # (2) Roll forward with the media recovery log.  Pages absent from
+    # ``state`` (never copied, or formatted to the initial value) are
+    # materialized lazily by the replayer, exactly as the formatted cell
+    # would read.
     for pid in quarantine_seed:
         # Content lost; POISON propagates honestly through replay unless
         # a later blind record rewrites the page.
@@ -199,13 +315,9 @@ def run_media_recovery(
                         diffs=len(diffs), poisoned=len(poisoned),
                         quarantined=len(quarantined))
     for pid, ver in state.items():
-        if not stable.layout.contains(pid):
-            continue
-        if contains_poison(ver.value):
-            # Quarantined: format the cell rather than install garbage.
-            stable.install_version(pid, PageVersion(initial_value, NULL_LSN))
-            continue
-        stable.install_version(pid, ver)
+        install_recovered_page(
+            stable, pid, ver, initial_value, tracer, metrics, kind="media"
+        )
     if tracer.enabled:
         tracer.emit(RECOVERY_PHASE, kind="media", phase="complete",
                     ok=not poisoned and not diffs,

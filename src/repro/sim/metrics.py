@@ -145,6 +145,19 @@ class Metrics:
     pages_quarantined: int = 0
     log_tail_truncated: int = 0
 
+    # Media recovery / instant restore: fallback generations rejected by
+    # the selection gate (with trace events carrying why), replayed pages
+    # dropped because they fell outside the stable layout, and the
+    # instant-restore split between on-demand (lazy, access-triggered)
+    # and eager background page restores.  ``time_to_first_query_ms`` is
+    # stamped by the RestoreManager when the first on-demand access is
+    # served (0.0 until then).
+    fallback_rejections: int = 0
+    pages_dropped_out_of_layout: int = 0
+    pages_restored_on_demand: int = 0
+    pages_restored_background: int = 0
+    time_to_first_query_ms: float = 0.0
+
     # Per-phase timing histograms, fed by tracer spans (repro.obs).
     phase_timings: Dict[str, PhaseTiming] = field(default_factory=dict)
 

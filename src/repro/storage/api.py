@@ -94,7 +94,9 @@ class PageStore(Protocol):
     def fail_partition(self, partition: int) -> None: ...
 
     def restore_from(
-        self, versions: Dict[PageId, PageVersion], initial_value: Any = None
+        self,
+        versions: Iterable[Tuple[PageId, PageVersion]],
+        initial_value: Any = None,
     ) -> None: ...
 
     def restore_partition_from(
@@ -132,6 +134,12 @@ class BackupStore(Protocol):
     def read_page(self, page_id: PageId) -> PageVersion: ...
 
     def pages(self) -> Dict[PageId, PageVersion]: ...
+
+    def iter_pages(self) -> Iterable[Tuple[PageId, PageVersion]]: ...
+
+    def read_span(
+        self, partition: int, start: int, stop: int
+    ) -> List[Tuple[PageId, PageVersion]]: ...
 
     def verify_pages(self, page_ids: Iterable[PageId]) -> None: ...
 

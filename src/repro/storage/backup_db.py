@@ -271,6 +271,37 @@ class BackupDatabase:
     def pages(self) -> Dict[PageId, PageVersion]:
         return dict(self._versions)
 
+    def iter_pages(self) -> Iterable[Tuple[PageId, PageVersion]]:
+        """Stream ``(page_id, version)`` pairs without materializing a dict.
+
+        Media recovery restores from this at O(page) peak memory (the
+        in-memory image is shared, not copied; file-backed subclasses
+        read the same surface).  Like :meth:`pages`, versions are the raw
+        recorded cells — callers that need damage screening consult
+        :meth:`damaged_pages` first, exactly as the generation-selection
+        gate does.
+        """
+        return iter(list(self._versions.items()))
+
+    def read_span(
+        self, partition: int, start: int, stop: int
+    ) -> List[Tuple[PageId, PageVersion]]:
+        """Recorded pages of one partition with ``start <= slot < stop``.
+
+        The per-span read surface for background instant restore: worker
+        tasks pull whole partitions (or step-sized slices) in one call,
+        mirroring the sweep's span reads on the stable side.  Pages the
+        backup never recorded are simply absent from the result.
+        """
+        versions = self._versions
+        out = []
+        for slot in range(start, stop):
+            pid = PageId(partition, slot)
+            version = versions.get(pid)
+            if version is not None:
+                out.append((pid, version))
+        return out
+
     def copy_order(self) -> List[PageId]:
         return list(self._copy_order)
 

@@ -59,6 +59,7 @@ __all__ = [
     "FileBackupDatabase",
     "FileLogDevice",
     "read_span_file",
+    "read_backup_span_file",
 ]
 
 _LEN = struct.Struct(">I")
@@ -115,6 +116,48 @@ def read_span_file(path: str, entries):
                 body = json.loads(raw)
             except ValueError:
                 out.append((slot, CORRUPT, None, 0))
+                continue
+            if "opaque" in body:
+                out.append((slot, IN_MEMORY, None, 0))
+                continue
+            try:
+                value = decode_value(body["value"])
+            except (CodecError, KeyError, TypeError):
+                out.append((slot, CORRUPT, None, 0))
+                continue
+            lsn = body.get("lsn", 0)
+            if page_checksum(value, lsn) != body.get("crc"):
+                out.append((slot, CORRUPT, None, 0))
+                continue
+            out.append((slot, OK, value, lsn))
+    return out
+
+
+def read_backup_span_file(path: str, partition: int, start: int, stop: int):
+    """Read one backup span from a sealed backup JSONL (process worker).
+
+    Scans the backup file's page records and returns
+    ``[(slot, status, value, lsn), ...]`` for recorded pages of
+    ``partition`` with ``start <= slot < stop`` — the same picklable row
+    shape as :func:`read_span_file`, resolved by the coordinator with
+    the in-memory image as the fallback surface (``mem`` rows cover
+    opaque/non-codec values; ``corrupt`` rows cover on-disk damage).
+    Instant restore's process executor ships these calls to pool
+    workers so eager background restore never pickles live stores.
+    """
+    out = []
+    with open(path, "rb") as handle:
+        for line in handle:
+            try:
+                body = json.loads(line)
+            except ValueError:
+                continue
+            slot = body.get("slot")
+            if (
+                slot is None
+                or body.get("partition") != partition
+                or not (start <= slot < stop)
+            ):
                 continue
             if "opaque" in body:
                 out.append((slot, IN_MEMORY, None, 0))

@@ -408,12 +408,16 @@ class StableDatabase:
             self._store_version(pid, ver)
 
     def restore_from(
-        self, versions: Mapping[PageId, PageVersion], initial_value: Any = None
+        self, versions, initial_value: Any = None
     ) -> None:
         """Re-format the store from backup content (off-line restore, §1).
 
-        Pages absent from ``versions`` (never copied because never written)
-        are formatted to the initial value.
+        ``versions`` is a mapping of ``PageId`` to ``PageVersion``, or —
+        for the streamed restore path — any iterable of ``(page_id,
+        version)`` pairs (e.g. ``BackupDatabase.iter_pages()``), so the
+        backup image never has to be materialized as a second full dict.
+        Pages absent from ``versions`` (never copied because never
+        written) are formatted to the initial value.
         """
         self._failed = False
         self._failed_partitions.clear()
@@ -423,7 +427,8 @@ class StableDatabase:
             for pid in self.layout.all_pages()
         }
         self._stamps = {pid: page.version for pid, page in self._pages.items()}
-        for pid, ver in versions.items():
+        items = versions.items() if hasattr(versions, "items") else versions
+        for pid, ver in items:
             self._page(pid)  # validates the id
             self._store_version(pid, ver)
 

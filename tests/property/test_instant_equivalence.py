@@ -1,0 +1,147 @@
+"""Property: instant restore is byte-identical to offline media recovery.
+
+Twin databases driven by the same seed produce the same log and the same
+sealed backup; one recovers offline (``media_recover``), the other
+through the lazy/eager instant-restore path with a shuffled mid-restore
+read schedule racing the background pool.  The final stable snapshots,
+the recovery-outcome state, the replay counters, and the quarantine sets
+must all match — across workloads, fault (bitrot) schedules, and storage
+backends.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import BackupConfig
+from repro.db import Database
+from repro.storage.page import PageVersion, rot_value
+from repro.workloads import mixed_logical_workload
+
+
+def _rot(backup, page_id):
+    old = backup._versions[page_id]
+    backup._versions[page_id] = PageVersion(
+        rot_value(old.value), old.page_lsn
+    )
+
+
+def _build(seed, rot_sites, backend="memory", data_dir=None):
+    """Deterministic workload + interleaved backup; optional backup rot.
+
+    ``rot_sites`` is a tuple of copy-order indices to rot in the sealed
+    image (empty = clean run).
+    """
+    db = Database(pages_per_partition=[12, 12, 12, 12], policy="general",
+                  backend=backend, data_dir=data_dir)
+    rng = random.Random(seed)
+    source = mixed_logical_workload(db.layout, seed=seed, count=90)
+    db.start_backup(BackupConfig(steps=4, batched=True))
+    exhausted = False
+    while db.backup_in_progress() or not exhausted:
+        if db.backup_in_progress():
+            db.backup_step(16)
+        exhausted = True
+        for _ in range(2):
+            op = next(source, None)
+            if op is None:
+                break
+            db.execute(op)
+            exhausted = False
+        db.install_some(2, rng)
+    backup = db.latest_backup()
+    order = backup.copy_order()
+    for index in rot_sites:
+        _rot(backup, order[index % len(order)])
+    return db
+
+
+def _key(state):
+    return {pid: (v.value, v.page_lsn) for pid, v in state.items()}
+
+
+def _assert_equivalent(seed, rot_sites, backend="memory",
+                       tmp_path=None, executor="thread"):
+    d1 = str(tmp_path / "offline") if tmp_path else None
+    d2 = str(tmp_path / "instant") if tmp_path else None
+    if d1:
+        import os
+
+        os.makedirs(d1, exist_ok=True)
+        os.makedirs(d2, exist_ok=True)
+
+    offline = _build(seed, rot_sites, backend, d1)
+    offline.media_failure()
+    expected_outcome = offline.media_recover()
+    expected_snapshot = offline.stable.snapshot()
+
+    instant = _build(seed, rot_sites, backend, d2)
+    oracle = instant.oracle.state()
+    initial = instant.initial_value
+    instant.media_failure()
+    instant.begin_instant_restore(workers=3, executor=executor)
+    pages = [
+        pid
+        for p in range(instant.layout.num_partitions)
+        for pid in instant.layout.pages_in_partition(p)
+    ]
+    order = list(pages)
+    random.Random(seed + 99).shuffle(order)
+    observed = {pid: instant.read(pid) for pid in order[::2]}
+    outcome = instant.finish_instant_restore()
+
+    assert instant.stable.snapshot() == expected_snapshot
+    assert _key(outcome.state) == _key(expected_outcome.state)
+    assert outcome.replayed == expected_outcome.replayed
+    assert outcome.skipped == expected_outcome.skipped
+    assert outcome.poisoned == expected_outcome.poisoned
+    assert outcome.quarantined == expected_outcome.quarantined
+    assert outcome.ok == expected_outcome.ok
+    # Every mid-restore read saw exactly the recovered value.
+    quarantined = set(outcome.quarantined)
+    for pid, value in observed.items():
+        want = initial if pid in quarantined else oracle.get(pid, initial)
+        assert value == want, f"mid-restore read of {pid} saw {value!r}"
+    offline.close()
+    instant.close()
+
+
+class TestInstantEquivalence:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_clean_runs_equivalent(self, seed):
+        _assert_equivalent(seed, ())
+
+    @given(
+        st.integers(0, 10_000),
+        st.tuples(st.integers(0, 47)) | st.tuples(
+            st.integers(0, 47), st.integers(0, 47)
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rotted_backup_runs_equivalent(self, seed, rot_sites):
+        """Quarantine-degrade path: same honest loss on both paths."""
+        _assert_equivalent(seed, rot_sites)
+
+
+class TestInstantEquivalenceFileBackend:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_file_backend_equivalent(self, seed):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            _assert_equivalent(seed, (), backend="file",
+                               tmp_path=Path(tmp))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=3, deadline=None)
+    def test_file_backend_process_pool_equivalent(self, seed):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            _assert_equivalent(seed, (), backend="file",
+                               tmp_path=Path(tmp), executor="process")
