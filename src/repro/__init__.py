@@ -25,6 +25,15 @@ Public API highlights:
   events (flush decisions, Iw/oF writes, backup steps, fault injections,
   redo decisions, recovery phases) and per-phase timing histograms; the
   default :data:`~repro.obs.NULL_TRACER` keeps hot paths at no-op cost.
+* The archive tier (see ``docs/ARCHIVE.md``) —
+  :class:`~repro.archive.manager.ArchiveManager`
+  (``db.attach_archive(...)``) keeps backups as generations of an
+  incremental chain under a checksummed, atomically-replaced manifest:
+  scheduled incremental sweeps, journal-then-swap compaction, a
+  page-level healing ladder for bitrot-damaged generations, and
+  point-in-time restore via ``db.restore_to_lsn``.  Retiring a
+  generation that retained backups still chain through raises
+  :class:`~repro.errors.ChainPinnedError`.
 * Corruption robustness (see ``docs/ROBUSTNESS.md``) — every page image
   and log record carries a checksum envelope; damage surfaces as
   :class:`~repro.errors.CorruptPageError` /
@@ -43,13 +52,16 @@ doctest in the test suite):
 True
 """
 
+from repro.archive import ArchiveManager, ChainHealReport
 from repro.core.backup_engine import ParallelBackupEngine
 from repro.core.config import BackupConfig
 from repro.db import Database
 from repro.errors import (
+    ChainPinnedError,
     CorruptLogRecordError,
     CorruptPageError,
     FaultInjectionError,
+    ManifestError,
     ReproError,
     SimulatedCrash,
     TornWriteError,
@@ -112,6 +124,9 @@ __all__ = [
     "CrashPlan",
     "IOFaultPlan",
     "FailureInjector",
+    # Archive tier
+    "ArchiveManager",
+    "ChainHealReport",
     # Observability
     "Tracer",
     "NullTracer",
@@ -126,5 +141,7 @@ __all__ = [
     "SimulatedCrash",
     "CorruptPageError",
     "CorruptLogRecordError",
+    "ChainPinnedError",
+    "ManifestError",
     "__version__",
 ]

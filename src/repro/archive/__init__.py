@@ -1,0 +1,32 @@
+"""The log-structured archive tier (docs/ARCHIVE.md).
+
+Sealed backups become generations of an incremental chain: an
+:class:`ArchiveManager` schedules incremental sweeps over the pages
+dirtied since the previous generation, records the chain in a
+checksummed atomically-replaced manifest, compacts with journal-then-
+swap crash atomicity, heals bitrot-damaged generations page-by-page
+from neighbors, and serves point-in-time restore
+(``Database.restore_to_lsn``).
+"""
+
+from repro.archive.manager import (
+    ArchiveManager,
+    ChainHealReport,
+    select_chain_prefix,
+)
+from repro.archive.manifest import (
+    ChainManifest,
+    FileManifestStore,
+    GenerationRecord,
+    MemoryManifestStore,
+)
+
+__all__ = [
+    "ArchiveManager",
+    "ChainHealReport",
+    "ChainManifest",
+    "FileManifestStore",
+    "GenerationRecord",
+    "MemoryManifestStore",
+    "select_chain_prefix",
+]

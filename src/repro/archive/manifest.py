@@ -1,0 +1,238 @@
+"""The archive chain manifest: which generations form the current chain.
+
+The manifest is the archive tier's root of trust.  It is a small,
+checksummed document listing the chain's generations in overlay order
+(base full first, then incrementals); every structural change —
+sealing a generation, swapping in a compacted one — replaces the whole
+manifest **atomically**, so a reader either sees the old chain or the
+new one, never a half-edited hybrid.
+
+Two stores implement the same three-slot surface:
+
+* :class:`MemoryManifestStore` — a single reference assignment, atomic
+  by construction (the memory backend);
+* :class:`FileManifestStore` — write-to-temp + ``fsync`` +
+  ``os.replace``, the standard atomic-publish idiom, plus a directory
+  fsync so the rename itself is durable (the file backend).
+
+The third slot is the **compaction journal**: a tiny intent record
+written *before* a compaction starts building its merged generation and
+cleared after the manifest swap commits.  On startup the journal
+disambiguates a crash window (see :meth:`ArchiveManager._recover` in
+:mod:`repro.archive.manager`): journal present + manifest already lists
+the merged generation → the swap committed, roll forward (clear the
+journal); journal present + manifest untouched → the crash hit before
+the swap, roll back (discard the journal; the old chain was never
+modified).
+
+Integrity: the manifest serializes to one JSON document whose ``crc``
+field is the CRC32 of the canonical payload encoding.  A blob failing
+the check raises :class:`~repro.errors.ManifestError` — a damaged
+manifest is reported, never silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ManifestError
+from repro.ids import LSN
+
+MANIFEST_FORMAT = 1
+
+#: Generation kinds recorded in the manifest.
+KIND_FULL = "full"
+KIND_INCREMENTAL = "incremental"
+KIND_COMPACTED = "compacted"
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """One chain generation as the manifest records it.
+
+    ``completion_lsn`` is the seal point (PITR targets at or after it
+    can restore through this generation); ``media_scan_start_lsn`` is
+    the generation's own redo-span start.  For the chain as a whole the
+    *base's* scan start is what pins the log (section 6.1).
+    """
+
+    backup_id: int
+    kind: str
+    base_backup_id: Optional[int]
+    media_scan_start_lsn: LSN
+    completion_lsn: LSN
+    pages: int
+
+    def to_dict(self) -> dict:
+        return {
+            "backup_id": self.backup_id,
+            "kind": self.kind,
+            "base_backup_id": self.base_backup_id,
+            "media_scan_start_lsn": self.media_scan_start_lsn,
+            "completion_lsn": self.completion_lsn,
+            "pages": self.pages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenerationRecord":
+        try:
+            return cls(
+                backup_id=data["backup_id"],
+                kind=data["kind"],
+                base_backup_id=data["base_backup_id"],
+                media_scan_start_lsn=data["media_scan_start_lsn"],
+                completion_lsn=data["completion_lsn"],
+                pages=data["pages"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ManifestError(
+                f"malformed generation record: {data!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class ChainManifest:
+    """The chain document: generations in overlay order, plus an epoch.
+
+    ``epoch`` increments on every publish, so traces (and tests probing
+    crash windows) can tell which version of the manifest a reader saw.
+    """
+
+    generations: tuple
+    epoch: int = 0
+
+    def with_generations(self, generations) -> "ChainManifest":
+        return ChainManifest(tuple(generations), epoch=self.epoch + 1)
+
+    def generation_ids(self) -> List[int]:
+        return [g.backup_id for g in self.generations]
+
+    def to_bytes(self) -> bytes:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "epoch": self.epoch,
+            "generations": [g.to_dict() for g in self.generations],
+        }
+        body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        return json.dumps(
+            {"crc": crc, "payload": payload},
+            separators=(",", ":"), sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ChainManifest":
+        try:
+            document = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ManifestError(f"unreadable chain manifest: {exc}") from exc
+        if not isinstance(document, dict) or "payload" not in document:
+            raise ManifestError("not a chain manifest document")
+        payload = document["payload"]
+        body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        if crc != document.get("crc"):
+            raise ManifestError(
+                "chain manifest failed its CRC32 envelope "
+                f"(stored {document.get('crc')!r}, computed {crc})"
+            )
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"unsupported manifest format {payload.get('format')!r}"
+            )
+        return cls(
+            generations=tuple(
+                GenerationRecord.from_dict(g)
+                for g in payload.get("generations", [])
+            ),
+            epoch=payload.get("epoch", 0),
+        )
+
+
+class MemoryManifestStore:
+    """Manifest + journal slots for the in-memory backend.
+
+    Publishing is a single reference assignment — atomic by
+    construction, mirroring what ``os.replace`` gives the file store.
+    """
+
+    def __init__(self):
+        self._manifest: Optional[bytes] = None
+        self._journal: Optional[bytes] = None
+
+    def load(self) -> Optional[bytes]:
+        return self._manifest
+
+    def save(self, blob: bytes) -> None:
+        self._manifest = bytes(blob)
+
+    def load_journal(self) -> Optional[bytes]:
+        return self._journal
+
+    def save_journal(self, blob: bytes) -> None:
+        self._journal = bytes(blob)
+
+    def clear_journal(self) -> None:
+        self._journal = None
+
+
+class FileManifestStore:
+    """Manifest + journal as real files with atomic replacement.
+
+    ``save`` writes ``CHAIN.manifest.tmp``, flushes and fsyncs it, then
+    ``os.replace``s it over ``CHAIN.manifest`` and fsyncs the directory:
+    a crash at any point leaves either the complete old manifest or the
+    complete new one.  A stale ``.tmp`` from a crashed publish is
+    ignored by ``load`` and overwritten by the next ``save``.
+    """
+
+    MANIFEST_NAME = "CHAIN.manifest"
+    JOURNAL_NAME = "CHAIN.journal"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, self.MANIFEST_NAME)
+        self.journal_path = os.path.join(directory, self.JOURNAL_NAME)
+
+    def _publish(self, path: str, blob: bytes) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        dir_fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def _read(self, path: str) -> Optional[bytes]:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def load(self) -> Optional[bytes]:
+        return self._read(self.path)
+
+    def save(self, blob: bytes) -> None:
+        self._publish(self.path, blob)
+
+    def load_journal(self) -> Optional[bytes]:
+        return self._read(self.journal_path)
+
+    def save_journal(self, blob: bytes) -> None:
+        self._publish(self.journal_path, blob)
+
+    def clear_journal(self) -> None:
+        try:
+            os.remove(self.journal_path)
+        except FileNotFoundError:
+            pass

@@ -21,8 +21,11 @@ Commands
               demo database with backups, inject seeded bit rot into
               stable, backup, and log stores, and verify the scrubber
               detects 100% of the damage.  With ``--archive FILE`` /
-              ``--log FILE``, audit shipped artifacts; exits nonzero on
-              fatal findings.
+              ``--log FILE``, audit shipped artifacts.  With ``--chain``,
+              a chain-aware self-check: build an archive generation
+              chain, verify manifest → generations → log ranges with
+              per-generation ``bytes_scanned``, rot a middle generation,
+              heal it, and re-verify.  Exits nonzero on fatal findings.
 """
 
 from __future__ import annotations
@@ -113,8 +116,92 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _print_chain_report(report) -> None:
+    for finding in report.findings:
+        print(f"  [{finding.severity}] {finding.site}: {finding.detail}")
+    if report.generations:
+        print(format_table(
+            ["generation", "kind", "pages", "bytes_scanned", "damaged"],
+            [
+                (g["backup_id"], g["kind"], g["pages"],
+                 g["bytes_scanned"], len(g["damaged"]))
+                for g in report.generations
+            ],
+        ))
+    print(report.summary())
+
+
+def cmd_scrub_chain(args) -> int:
+    """``scrub --chain`` self-check: build a generation chain, verify it
+    end-to-end (manifest → generations → log ranges), rot a middle
+    generation, require detection, heal, and require a clean re-scrub
+    plus a successful restore."""
+    import random
+
+    from repro import BackupConfig, Database, PhysicalWrite
+    from repro.core.scrub import scrub_chain
+    from repro.ids import PageId
+
+    rng = random.Random(args.seed)
+    db = Database(pages_per_partition=[32, 32], policy="general",
+                  backend=args.backend, data_dir=args.data_dir)
+
+    def burst(count):
+        for _ in range(count):
+            pid = PageId(rng.randrange(2), rng.randrange(32))
+            db.execute(PhysicalWrite(pid, ("v", rng.randrange(10**6))))
+
+    burst(48)
+    archive = db.attach_archive(BackupConfig(steps=4))
+    archive.run_full(tick=lambda: burst(2))
+    burst(24)
+    archive.run_incremental(tick=lambda: burst(2))
+    burst(24)
+    archive.run_incremental(tick=lambda: burst(2))
+
+    clean = scrub_chain(archive)
+    print("pre-injection chain scrub:")
+    _print_chain_report(clean)
+    if not clean.ok or clean.backups_scanned != 3:
+        print("chain scrub selftest FAIL: clean chain reported damage")
+        db.close()
+        return 1
+
+    middle = archive.chain()[1]
+    victims = middle.copy_order()
+    if not victims:
+        print("chain scrub selftest FAIL: middle generation is empty")
+        db.close()
+        return 1
+    victim = victims[rng.randrange(len(victims))]
+    middle._rot_cell(victim)
+    damaged = scrub_chain(archive)
+    print(f"\nafter rotting {victim} in generation {middle.backup_id}:")
+    _print_chain_report(damaged)
+    if damaged.ok:
+        print("chain scrub selftest FAIL: injected damage not detected")
+        db.close()
+        return 1
+
+    heal = archive.heal_chain()
+    print(f"\n{heal.summary()}")
+    healed = scrub_chain(archive)
+    _print_chain_report(healed)
+    db.media_failure()
+    outcome = db.media_recover_chain(archive.chain())
+    db.close()
+    if not healed.ok or not outcome.ok:
+        print("chain scrub selftest FAIL: chain not clean after healing")
+        return 1
+    print("chain scrub selftest PASS: damage detected, healed, restored")
+    return 0
+
+
 def cmd_scrub(args) -> int:
     from repro.core.scrub import scrub_archive, scrub_database, scrub_log_file
+
+    if args.chain:
+        return cmd_scrub_chain(args)
 
     if args.archive or args.log_file:
         ok = True
@@ -374,6 +461,11 @@ def main(argv=None) -> int:
     scrub.add_argument(
         "--log", dest="log_file", metavar="FILE", default=None,
         help="audit a serialized log file",
+    )
+    scrub.add_argument(
+        "--chain", action="store_true",
+        help="chain-aware self-check: verify manifest -> generations -> "
+        "log ranges end-to-end, rot a middle generation, heal, re-verify",
     )
     scrub.add_argument(
         "--backend", choices=["memory", "file"], default="memory",

@@ -664,6 +664,17 @@ class BackupEngine:
         self._next_id += 1
         return backup
 
+    def allocate_backup(self, scan_start, base_backup_id=None):
+        """Create an engine-numbered backup image outside a sweep.
+
+        The archive compactor's entry point: a merged generation is not
+        produced by a D/P sweep, but it must still come from the same id
+        space, the same storage backend, and the same fault plane as
+        swept images (so BACKUP_RECORD faults fire during compaction
+        writes too).  The caller records pages and seals it explicitly.
+        """
+        return self._create_backup(scan_start, base_backup_id)
+
     def start_backup(
         self,
         steps: int = 8,

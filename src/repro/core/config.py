@@ -9,7 +9,7 @@ legacy keyword signatures remain as deprecated aliases.
 
 >>> from repro.core.config import BackupConfig
 >>> BackupConfig(steps=4, batched=False)
-BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1, backend='memory', data_dir=None, executor='thread')
+BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1, backend='memory', data_dir=None, executor='thread', incremental_every=None, compact_threshold=None)
 """
 
 from __future__ import annotations
@@ -68,7 +68,15 @@ class BackupConfig:
     ``executor``       — sweep executor for ``workers > 1``:
                          ``"thread"`` (the PR 5 thread pool) or
                          ``"process"`` (a ``ProcessPoolExecutor`` over
-                         picklable file-span reads; file backend only).
+                         picklable file-span reads; file backend only);
+    ``incremental_every`` — archive-tier scheduling knob
+                         (``Database.attach_archive``): take the next
+                         incremental generation once this many LSNs
+                         accumulated since the last generation sealed
+                         (``None`` = no automatic incrementals);
+    ``compact_threshold`` — archive-tier scheduling knob: compact the
+                         chain once it carries this many incremental
+                         links (``None`` = never compact automatically).
     """
 
     steps: int = 8
@@ -82,6 +90,8 @@ class BackupConfig:
     backend: str = "memory"
     data_dir: Optional[str] = None
     executor: str = "thread"
+    incremental_every: Optional[int] = None
+    compact_threshold: Optional[int] = None
 
     def __post_init__(self):
         if self.steps < 1:
@@ -130,4 +140,12 @@ class BackupConfig:
                 "executor='process' requires backend='file': process "
                 "workers read picklable (path, offset) span tasks, which "
                 "only the file backend provides"
+            )
+        if self.incremental_every is not None and self.incremental_every < 1:
+            raise ReproError(
+                "BackupConfig.incremental_every must be >= 1 (or None)"
+            )
+        if self.compact_threshold is not None and self.compact_threshold < 1:
+            raise ReproError(
+                "BackupConfig.compact_threshold must be >= 1 (or None)"
             )

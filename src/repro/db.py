@@ -173,6 +173,9 @@ class Database:
         self.updated_since_backup: Set[PageId] = set()
         # Which engine the active backup belongs to ("engine"/"naive").
         self._backup_engine_kind = "engine"
+        # The log-structured archive tier, attached on demand
+        # (attach_archive); None until then.
+        self.archive = None
         self.faults: Optional[FaultPlane] = None
         self.tracer = NULL_TRACER
         if tracer is not None:
@@ -410,6 +413,96 @@ class Database:
         if self._backup_engine_kind == "naive":
             return self.naive.active is not None
         return self.engine.active is not None
+
+    # ------------------------------------------------------- archive tier
+
+    def attach_archive(
+        self,
+        config: Optional[BackupConfig] = None,
+        manifest_store=None,
+        adopt: bool = True,
+    ):
+        """Attach the log-structured archive tier (docs/ARCHIVE.md).
+
+        Returns the :class:`~repro.archive.manager.ArchiveManager`
+        managing this database's generation chain.  ``config`` supplies
+        both the sweep shape for the generations it takes and the
+        scheduling knobs (``incremental_every``, ``compact_threshold``);
+        the manifest lands in ``manifest_store`` (default: a file store
+        under the file backend's data directory, else in memory).  With
+        ``adopt=True`` an empty manifest adopts the engine's trailing
+        completed chain, so attaching to an already-backed-up database
+        keeps its history restorable.  Idempotent: a second call returns
+        the existing manager.
+        """
+        if self.archive is not None:
+            return self.archive
+        from repro.archive.manager import ArchiveManager
+
+        cfg = config or BackupConfig()
+        self.archive = ArchiveManager(
+            self,
+            incremental_every=cfg.incremental_every,
+            compact_threshold=cfg.compact_threshold,
+            manifest_store=manifest_store,
+            sweep_config=cfg,
+        )
+        if adopt:
+            self.archive.adopt_existing()
+        return self.archive
+
+    def restore_to_lsn(
+        self, to_lsn: LSN, verify: bool = False
+    ) -> RecoveryOutcome:
+        """Point-in-time restore: recover the state as of ``to_lsn``.
+
+        Overlays the longest archive-chain prefix sealed at-or-before
+        the target and replays the media-log suffix truncated at the
+        target — so an operator can restore to a pre-corruption LSN.
+        Requires an attached archive (:meth:`attach_archive` is called
+        implicitly, adopting the engine's chain if no manifest exists).
+
+        ``verify=True`` checks the result against the oracle — only
+        meaningful when ``to_lsn`` is the current log end (the oracle
+        tracks the latest state); earlier targets skip verification.
+
+        Afterwards the stable store reflects exactly the history up to
+        ``to_lsn``; the log suffix past the target is *kept*, so a
+        subsequent :meth:`recover` rolls forward to the present if the
+        operator decides the later history was good after all.
+        """
+        archive = self.archive or self.attach_archive()
+        from repro.archive.manager import select_chain_prefix
+
+        prefix = select_chain_prefix(archive.chain(), to_lsn)
+        damaged = {pid for b in prefix for pid in b.damaged_pages()}
+        if damaged:
+            self.metrics.corruption_detected += len(damaged)
+        with self._faults_suspended():
+            outcome = run_media_recovery_chain(
+                self.stable,
+                prefix,
+                self.log,
+                to_lsn=to_lsn,
+                oracle=(
+                    self.oracle.state()
+                    if verify and to_lsn == self.log.end_lsn
+                    else None
+                ),
+                initial_value=self.initial_value,
+                tracer=self.tracer,
+            )
+        if damaged:
+            self.metrics.pages_quarantined += len(outcome.quarantined)
+            self.metrics.corruption_healed += max(
+                0, len(damaged) - len(outcome.quarantined)
+            )
+        self.cm.reload_after_recovery()
+        # Stable now reflects history up to the target only; anything
+        # after it on the log is replayable (roll-forward) but not yet
+        # installed.
+        self.cm.stable_truncation_point = to_lsn + 1
+        return self._stamp_outcome(outcome)
 
     # -------------------------------------------------------------- lifecycle
 

@@ -179,6 +179,34 @@ class NoBackupError(BackupError):
     """Media recovery was requested but no completed backup exists."""
 
 
+class ChainPinnedError(BackupError):
+    """A mid-chain generation cannot be retired while later links need it.
+
+    Retiring a backup that some non-retired incremental's base chain
+    passes through would leave those dependents unrestorable (their
+    overlay would miss the retired generation's pages).  Compaction is
+    the supported way to release a mid-chain generation: merge it into a
+    successor first, then retire it.  ``dependents`` lists the backup
+    ids still chained through the rejected one.
+    """
+
+    def __init__(self, backup_id, dependents):
+        self.backup_id = backup_id
+        self.dependents = list(dependents)
+        super().__init__(
+            f"cannot retire backup {backup_id}: generations "
+            f"{self.dependents} are chained through it (compact first)"
+        )
+
+
+class ManifestError(BackupError):
+    """The archive chain manifest is unreadable or inconsistent.
+
+    Raised when the manifest blob fails its CRC32 envelope, parses to an
+    unknown format, or names generations the backup store does not hold.
+    """
+
+
 class OperationError(ReproError):
     """An operation was malformed or could not be applied."""
 

@@ -356,6 +356,64 @@ def _bench_instant_restore(mode: str) -> Callable[[], object]:
     return run_ttfq if mode == "ttfq" else run_full
 
 
+def _bench_incremental_sweep() -> Callable[[], object]:
+    """Incremental archive sweep at 10% churn on a 4096-page database.
+
+    The archive tier's scaling claim: an incremental generation costs
+    pages-dirtied, not database-size.  Setup seeds all 64x64 pages and
+    seals a base full backup; each round dirties ~10% of the pages
+    (409), runs an incremental sweep, and pins the copy set — every
+    dirtied page captured, and at least 5x fewer pages than the full
+    sweep would copy.  The chain is trimmed back to the base between
+    rounds so every round measures exactly one link.
+    """
+    import random
+
+    from repro.core.config import BackupConfig
+    from repro.db import Database
+    from repro.ids import PageId
+    from repro.ops.physical import PhysicalWrite
+
+    partitions, size = 64, 64
+    total = partitions * size
+    churn = total // 10
+    db = Database(pages_per_partition=[size] * partitions, policy="general")
+    for p in range(partitions):
+        for s in range(size):
+            db.execute(PhysicalWrite(PageId(p, s), (p, s)))
+    db.start_backup(BackupConfig(steps=4, pages_per_tick=1024))
+    db.run_backup(BackupConfig(pages_per_tick=1024))
+    rng = random.Random(99)
+    round_no = [0]
+
+    def run() -> object:
+        del db.engine.completed[1:]  # keep the base; measure one link
+        round_no[0] += 1
+        dirtied = set()
+        while len(dirtied) < churn:
+            dirtied.add(PageId(rng.randrange(partitions),
+                               rng.randrange(size)))
+        for pid in dirtied:
+            db.execute(PhysicalWrite(pid, ("churn", round_no[0])))
+        db.start_backup(BackupConfig(steps=4, pages_per_tick=1024,
+                                     incremental=True))
+        copied = db.run_backup(
+            BackupConfig(pages_per_tick=1024)
+        ).copied_count()
+        if copied < churn:
+            raise AssertionError(
+                f"incremental sweep missed dirtied pages: {copied}/{churn}"
+            )
+        if copied * 5 > total:
+            raise AssertionError(
+                f"incremental sweep copied {copied} of {total} pages; "
+                "expected at least 5x fewer than a full sweep"
+            )
+        return copied
+
+    return run
+
+
 BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "copy_chain_checkpoint": _bench_copy_chain_checkpoint,
     "backup_sweep": _bench_backup_sweep,
@@ -366,6 +424,7 @@ BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "partition_sweep_4w": lambda: _bench_partition_sweep(4),
     "instant_restore_ttfq": lambda: _bench_instant_restore("ttfq"),
     "instant_restore_full": lambda: _bench_instant_restore("full"),
+    "incremental_sweep": _bench_incremental_sweep,
     "log_append_force_single": lambda: _bench_log_append_force(1, False),
     "log_append_force_gc1": lambda: _bench_log_append_force(1, True),
     "log_append_force_4s": lambda: _bench_log_append_force(4, True),

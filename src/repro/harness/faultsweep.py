@@ -636,6 +636,192 @@ def _instant_scenarios(
     return result
 
 
+# ---------------------------------------------------------- archive scenarios
+
+
+def _archive_db(
+    seed: int, pages: int = 48,
+    backend: str = "memory", data_dir: Optional[str] = None,
+):
+    """A database carrying a three-generation archive chain.
+
+    Builds a base full plus two incremental generations with workload
+    interleaved through every sweep (the chain is fuzzy the same way
+    production chains are).  Returns ``(db, archive, source, rng)`` so a
+    scenario can keep driving the same workload stream afterwards.
+    """
+    db = _fresh_db(pages=pages, backend=backend, data_dir=data_dir)
+    rng = random.Random(seed)
+    source = mixed_logical_workload(db.layout, seed=seed, count=10**9)
+
+    def burst(count):
+        for _ in range(count):
+            db.execute(next(source))
+        db.install_some(2, rng)
+
+    def tick():
+        burst(2)
+
+    burst(30)
+    archive = db.attach_archive(BackupConfig(steps=4, batched=True))
+    archive.run_full(tick=tick)
+    burst(20)
+    archive.run_incremental(tick=tick)
+    burst(20)
+    archive.run_incremental(tick=tick)
+    return db, archive, source, rng
+
+
+def _archive_bitrot_scenario(
+    seed: int, backend: str = "memory", data_dir: Optional[str] = None,
+) -> ScenarioResult:
+    """Bitrot in the chain's *middle* generation: heal, then restore.
+
+    Rots pages of the middle incremental (the case where both healing
+    ladder rungs are reachable: a newer generation may shadow the page,
+    else it must be rebuilt from the base plus the log).  After
+    ``heal_chain`` the full chain restore must be honest — oracle-exact
+    outside an explicitly quarantined set.
+    """
+    name = "archive-chain-bitrot-middle"
+    if backend != "memory":
+        name += f"-{backend}"
+    result = ScenarioResult(name)
+    healed = quarantined = 0
+    for case in range(3):
+        db, archive, _, _ = _archive_db(seed + case, backend=backend,
+                                        data_dir=data_dir)
+        middle = archive.chain()[1]
+        order = middle.copy_order()
+        for i in range(min(2, len(order))):
+            middle._rot_cell(order[(case * 7 + i * 3) % len(order)])
+        report = archive.heal_chain()
+        db.media_failure()
+        outcome = db.media_recover_chain(archive.chain())
+        db.close()
+        result.total += 1
+        if outcome.ok:
+            result.recovered += 1
+        else:
+            result.record_failure(f"case={case}", [], seed + case, True,
+                                  backend=backend)
+        healed += len(report.healed)
+        quarantined += len(report.quarantined)
+    result.detail += f" healed={healed} quarantined={quarantined}"
+    return result
+
+
+def _archive_compaction_crash_scenario(
+    seed: int, backend: str = "memory", data_dir: Optional[str] = None,
+) -> ScenarioResult:
+    """Crash mid-compaction: the old chain must survive, the retry must
+    finish.
+
+    Arms a crash at the Nth bulk-record I/O of the merged build.  After
+    the crash the manifest must still name exactly the old generations,
+    the intent journal must be gone, crash recovery must succeed, the
+    old chain must still restore, and a retried compaction must collapse
+    the chain to one generation that also restores.
+    """
+    from repro.archive.manager import ArchiveManager
+
+    name = "archive-compaction-crash"
+    if backend != "memory":
+        name += f"-{backend}"
+    result = ScenarioResult(name)
+    # 160 pages -> the merged overlay spans 3 bulk-record batches, so
+    # the crash lands at the start, middle, and end of the build.
+    for at_io in (1, 2, 3):
+        db, archive, _, _ = _archive_db(seed, pages=160, backend=backend,
+                                        data_dir=data_dir)
+        before_ids = list(archive.manifest.generation_ids())
+        spec = FaultSpec(FaultKind.CRASH,
+                         point=IOPoint.BACKUP_BULK_RECORD, at_io=at_io)
+        db.attach_faults(FaultPlane([spec]))
+        crashed = False
+        try:
+            archive.compact()
+        except SimulatedCrash:
+            crashed = True
+        db.crash()
+        crash_ok = db.recover().ok
+        # Simulated process restart: a fresh manager over the same
+        # manifest store must come up on the old, untouched chain.
+        reborn = ArchiveManager(db, manifest_store=archive.store)
+        old_chain_intact = (
+            crashed
+            and archive.store.load_journal() is None
+            and list(reborn.manifest.generation_ids()) == before_ids
+        )
+        db.media_failure()
+        restore_ok = db.media_recover_chain(reborn.chain()).ok
+        reborn.compact()
+        retry_ok = len(reborn.chain()) == 1
+        db.media_failure()
+        retry_ok = retry_ok and db.media_recover_chain(reborn.chain()).ok
+        db.close()
+        result.total += 1
+        if crash_ok and old_chain_intact and restore_ok and retry_ok:
+            result.recovered += 1
+        else:
+            result.record_failure(f"at_io={at_io}", [spec], seed, True,
+                                  backend=backend)
+        result.faults_injected += db.faults.injected_total
+    return result
+
+
+def _archive_pitr_scenario(
+    seed: int, backend: str = "memory", data_dir: Optional[str] = None,
+) -> ScenarioResult:
+    """Point-in-time restore to a pre-corruption cut.
+
+    Records the middle generation's seal point, replays the retained log
+    to that cut for the expected state, then lets an "intruder" write
+    garbage and the workload continue past the cut.  After total media
+    failure, ``restore_to_lsn(cut)`` must reproduce the pre-corruption
+    state exactly — no garbage, no post-cut effects.
+    """
+    from repro.ids import PageId
+    from repro.ops.physical import PhysicalWrite
+    from repro.recovery.redo import RedoReplayer
+
+    name = "archive-pitr-precorruption"
+    if backend != "memory":
+        name += f"-{backend}"
+    result = ScenarioResult(name)
+    for case in range(2):
+        db, archive, source, rng = _archive_db(seed + case, backend=backend,
+                                               data_dir=data_dir)
+        cut = archive.chain()[1].completion_lsn
+        expected = {}
+        RedoReplayer(initial_value=db.initial_value).replay(
+            db.log.merge_scan(1, cut), expected
+        )
+        garbage = ("!!garbage!!", seed, case)
+        db.execute(PhysicalWrite(PageId(0, 0), garbage), source="intruder")
+        for _ in range(15):
+            db.execute(next(source))
+        db.install_some(4, rng)
+        db.media_failure()
+        outcome = db.restore_to_lsn(cut)
+        state = db.stable.snapshot()
+        mismatches = sum(
+            1 for pid, version in state.items()
+            if version.value != (expected[pid].value if pid in expected
+                                 else db.initial_value)
+        )
+        ok = (outcome.ok and mismatches == 0
+              and state[PageId(0, 0)].value != garbage)
+        db.close()
+        result.total += 1
+        if ok:
+            result.recovered += 1
+        else:
+            result.record_failure(f"case={case} mismatches={mismatches}",
+                                  [], seed + case, True, backend=backend)
+    return result
+
+
 # ------------------------------------------------------------------ the sweep
 
 
@@ -698,6 +884,12 @@ def run_faultsweep(
         emit(_instant_scenarios(seed, True, 4, backend=backend,
                                 data_dir=data_dir, executor="process"))
         emit(_torn_span_scenario(seed, backend=backend, data_dir=data_dir))
+        emit(_archive_bitrot_scenario(seed, backend=backend,
+                                      data_dir=data_dir))
+        emit(_archive_compaction_crash_scenario(seed, backend=backend,
+                                                data_dir=data_dir))
+        emit(_archive_pitr_scenario(seed, backend=backend,
+                                    data_dir=data_dir))
         return report
 
     if quick:
@@ -726,6 +918,11 @@ def run_faultsweep(
     emit(_crash_sweep_scenario(seed, True, stride, log_streams=4))
     emit(_seeded_mix_scenario(seed, True, rounds=2 if quick else 4,
                               log_streams=4))
+    # Archive tier: chain healing, compaction crash atomicity, and
+    # point-in-time restore to a pre-corruption cut (docs/ARCHIVE.md).
+    emit(_archive_bitrot_scenario(seed))
+    emit(_archive_compaction_crash_scenario(seed))
+    emit(_archive_pitr_scenario(seed))
     return report
 
 

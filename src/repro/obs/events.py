@@ -65,6 +65,15 @@ QUARANTINE = "quarantine"
 #: drain / complete (``page`` restores carry ``page`` and ``source``
 #: = on-demand / background).
 RESTORE_PROGRESS = "restore_progress"
+#: The archive tier sealed a chain generation (``kind`` is full /
+#: incremental / compacted) and recorded it in the chain manifest.
+GENERATION_SEALED = "generation_sealed"
+#: Compaction protocol step: ``phase`` is begin / swap / complete /
+#: rollback (journal-then-swap; see docs/ARCHIVE.md).
+COMPACTION = "compaction"
+#: The chain healer acted on a damaged generation page: ``action`` is
+#: newer-shadows / rebuild / quarantine.
+CHAIN_HEAL = "chain_heal"
 #: A replayed page was dropped instead of installed (e.g. outside the
 #: stable layout in the quarantine-degrade path).  Carries why.
 RESTORE_DROP = "restore_drop"
@@ -95,6 +104,9 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     CHAIN_FALLBACK: ("action",),
     QUARANTINE: ("page",),
     RESTORE_PROGRESS: ("phase",),
+    GENERATION_SEALED: ("backup_id", "kind"),
+    COMPACTION: ("phase",),
+    CHAIN_HEAL: ("action",),
     RESTORE_DROP: ("page", "reason"),
     SPAN_BEGIN: ("span",),
     SPAN_END: ("span", "ms"),

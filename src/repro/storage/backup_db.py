@@ -235,6 +235,54 @@ class BackupDatabase:
                 "backup.record_pages", landed=torn_keep, total=len(entries)
             )
 
+    # ---------------------------------------------------- post-seal repair
+
+    def heal_page(self, page_id: PageId, version: PageVersion) -> None:
+        """Replace a damaged recorded page with a reconstructed version.
+
+        The archive healer's install point (docs/ARCHIVE.md): the page
+        must already be recorded (healing never widens a copy set), and
+        the envelope is re-stamped so the healed cell verifies clean.
+        The in-memory image is the recovery read surface; file-backed
+        images keep their original on-disk record — its stale envelope
+        still fails verification if the file is read fresh, so damage is
+        never laundered into the durable artifact.
+        """
+        if self._status is not BackupStatus.COMPLETE:
+            raise BackupError(
+                f"backup {self.backup_id} is {self._status.value}; only "
+                "sealed images can be healed"
+            )
+        if page_id not in self._versions:
+            raise BackupError(
+                f"page {page_id!r} was never recorded in backup "
+                f"{self.backup_id}; healing cannot widen the copy set"
+            )
+        self._versions[page_id] = version
+        self._stamps[page_id] = version
+
+    def drop_page(self, page_id: PageId) -> None:
+        """Remove a damaged recorded page from a sealed image.
+
+        Used when a newer chain generation shadows the page: the overlay
+        never reads the dropped cell, and restores fall back to an
+        earlier copy plus the base-scan-start replay (cost-only, never
+        wrong — the same argument as skip-damaged-link-pages).
+        """
+        if self._status is not BackupStatus.COMPLETE:
+            raise BackupError(
+                f"backup {self.backup_id} is {self._status.value}; only "
+                "sealed images can drop pages"
+            )
+        if page_id not in self._versions:
+            raise BackupError(
+                f"page {page_id!r} was never recorded in backup "
+                f"{self.backup_id}"
+            )
+        del self._versions[page_id]
+        del self._stamps[page_id]
+        self._copy_order.remove(page_id)
+
     def complete(self, completion_lsn: LSN) -> None:
         if self._status is not BackupStatus.IN_PROGRESS:
             raise BackupError(f"backup {self.backup_id} already sealed")

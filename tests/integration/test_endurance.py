@@ -43,12 +43,15 @@ class TestEndurance:
                 assert db.recover().ok
 
             # Retention: keep the last full backup (and anything after).
+            # Obsolete generations retire newest-first: a base cannot be
+            # retired while retained incrementals still chain through it
+            # (ChainPinnedError).
             fulls = [
                 backup
                 for backup in db.engine.completed
                 if getattr(backup, "base_backup_id", None) is None
             ]
-            for backup in db.engine.completed:
+            for backup in reversed(db.engine.completed):
                 if backup.completion_lsn < fulls[-1].media_scan_start_lsn:
                     db.retire_backup(backup)
             db.checkpoint()

@@ -97,8 +97,10 @@ class TestOperatorDrill:
         assert result.analysis.directly_corrupt
         assert db.read(PageId(0, 1)) != "!!garbage!!"
 
-        # Stage 6: retire old backups and truncate the log.
-        for backup in (full, incremental, pre_fail_backup):
+        # Stage 6: retire old backups (newest-first: a base full cannot
+        # retire while a retained incremental chains through it) and
+        # truncate the log.
+        for backup in (pre_fail_backup, incremental, full):
             db.retire_backup(backup)
         db.start_backup(steps=4)
         final_backup = db.run_backup(pages_per_tick=8)
