@@ -26,16 +26,22 @@ operations keep the chain healthy:
   any point leaves the *old* chain fully usable; startup recovery uses
   the journal to roll the swap forward or discard the attempt.
 * :meth:`ArchiveManager.heal_chain` — the healing ladder for a
-  bitrot-damaged generation, page by page: (1) a newer generation holds
-  an intact copy → the damaged cell is *dropped* (shadowed in every
-  restore; the overlay falls back to an older copy plus the
-  base-scan-start replay, cost-only never wrong); (2) otherwise rebuild
-  the page from the older generations plus the logged operations up to
-  the damaged generation's seal point and install it with
-  ``heal_page``; (3) no donor anywhere → leave it for honest quarantine
-  at restore time.  A newer generation's value is **never** installed
-  into an older one — that would smuggle future state into
-  point-in-time restores targeting the older seal point.
+  bitrot-damaged generation, page by page: (1) the generation is a
+  *link* (not the base) and a newer generation holds an intact copy →
+  the damaged cell is *dropped* (shadowed in every restore that
+  includes the donor; a PITR cut before the donor's seal falls back to
+  an older copy plus the base-scan-start replay, cost-only never
+  wrong — an older copy exists precisely because the damaged
+  generation is not the base); (2) otherwise rebuild the page from the
+  older generations plus the logged operations up to the damaged
+  generation's seal point and install it with ``heal_page``; (3) no
+  donor anywhere → leave it for honest quarantine at restore time.
+  Damage in the **base** generation never takes rung 1: dropping the
+  base's cell would leave a PITR cut before the donor's seal with no
+  copy at all, silently restoring the initial value where an unhealed
+  chain would have quarantined.  A newer generation's value is
+  **never** installed into an older one — that would smuggle future
+  state into point-in-time restores targeting the older seal point.
 
 Point-in-time restore (:meth:`Database.restore_to_lsn`) picks the
 longest chain prefix sealed at-or-before the target, overlays it, and
@@ -62,6 +68,7 @@ from repro.core.config import BackupConfig
 from repro.core.incremental import validate_chain
 from repro.errors import (
     BackupError,
+    ChainPinnedError,
     ManifestError,
     NoBackupError,
     RecoveryError,
@@ -160,10 +167,12 @@ class ArchiveManager:
 
         Journal present and the manifest already lists the merged
         generation → the swap committed before the crash: roll forward
-        (finish by clearing the journal; source retirement is retried
-        lazily by the next compaction).  Journal present but the
-        manifest untouched → the crash hit while building or before the
-        swap: discard the attempt; the old chain was never modified.
+        by finishing the interrupted epilogue — retire the journal's
+        source generations (newest first, matching :meth:`compact`) so
+        their pin on the log is released, then clear the journal.
+        Journal present but the manifest untouched → the crash hit
+        while building or before the swap: discard the attempt; the old
+        chain was never modified.
         """
         blob = self.store.load()
         if blob is not None:
@@ -174,15 +183,39 @@ class ArchiveManager:
         try:
             journal = json.loads(journal_blob.decode("utf-8"))
             into = journal.get("into")
+            merge = journal.get("merge")
         except (ValueError, UnicodeDecodeError, AttributeError):
             into = None
+            merge = None
+        if not isinstance(merge, list):
+            merge = []
         tracer = self.db.tracer
         if into is not None and into in self.manifest.generation_ids():
-            # Swap committed: the new chain is authoritative.
+            # Swap committed: the new chain is authoritative.  The
+            # crash window between the swap and the journal clear left
+            # the sources unretired, still pinning the log at the old
+            # base's scan start — release them now, newest first so no
+            # remaining link chains through an already-retired base.
+            current = set(self.manifest.generation_ids())
+            by_id = {b.backup_id: b for b in self.db.engine.completed}
+            retired = []
+            for backup_id in reversed(merge):
+                backup = by_id.get(backup_id)
+                if (
+                    backup is None
+                    or backup_id in current
+                    or self.db.retention.is_retired(backup)
+                ):
+                    continue
+                try:
+                    self.db.retention.retire_backup(backup)
+                except ChainPinnedError:
+                    continue  # genuinely pinned by an outside chain
+                retired.append(backup_id)
             self.store.clear_journal()
             if tracer.enabled:
                 tracer.emit(ev.COMPACTION, phase="complete", into=into,
-                            rolled_forward=True)
+                            rolled_forward=True, retired=retired)
         else:
             self.store.clear_journal()
             if tracer.enabled:
@@ -443,11 +476,18 @@ class ArchiveManager:
     def heal_chain(self) -> ChainHealReport:
         """Heal every damaged page in every generation (the ladder).
 
-        Rung 1 — *newer shadows*: some later generation holds an intact
-        copy of the page, so no restore ever reads the damaged cell
-        through the overlay; drop it (restores that exclude the newer
-        generation — PITR to an earlier cut — fall back to an older copy
-        plus replay, which is sound by the base-scan-start argument).
+        Rung 1 — *newer shadows* (chain links only, never the base):
+        some later generation holds an intact copy of the page, so no
+        restore that includes it ever reads the damaged cell through
+        the overlay; drop it (restores that exclude the newer
+        generation — PITR to an earlier cut — fall back to an older
+        copy plus replay, which is sound by the base-scan-start
+        argument *because* every restorable prefix of a non-base
+        generation contains the full base's copy).  The base itself has
+        no older copy to fall back to: dropping its damaged cell would
+        make a PITR cut before the donor's seal silently restore the
+        initial value instead of quarantining, so base damage skips
+        straight to rung 2.
 
         Rung 2 — *rebuild*: overlay the chain prefix up to and including
         the damaged generation (skipping damaged cells), replay the
@@ -471,10 +511,11 @@ class ArchiveManager:
             for pid in sorted(damaged_by_gen[index]):
                 action = None
                 donor = None
-                for j in range(len(chain) - 1, index, -1):
-                    if pid in chain[j] and pid not in damaged_by_gen[j]:
-                        donor = chain[j]
-                        break
+                if index > 0:  # the base has no older copy to fall back to
+                    for j in range(len(chain) - 1, index, -1):
+                        if pid in chain[j] and pid not in damaged_by_gen[j]:
+                            donor = chain[j]
+                            break
                 if donor is not None:
                     backup.drop_page(pid)
                     action = "newer-shadows"

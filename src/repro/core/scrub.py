@@ -221,7 +221,9 @@ def scrub_chain(archive, tracer=None) -> ScrubReport:
     images = {
         b.backup_id: b for b in db.engine.completed if b.is_complete
     }
-    chain = []
+    # (image, record) pairs so the per-generation scan below stays
+    # aligned with the manifest even when an image is missing.
+    pairs = []
     for record in manifest.generations:
         image = images.get(record.backup_id)
         if image is None:
@@ -245,8 +247,9 @@ def scrub_chain(archive, tracer=None) -> ScrubReport:
                 f"{record.completion_lsn} != image "
                 f"{image.completion_lsn}", tracer,
             )
-        chain.append(image)
+        pairs.append((image, record))
 
+    chain = [image for image, _ in pairs]
     if chain:
         try:
             validate_chain(chain)
@@ -264,7 +267,7 @@ def scrub_chain(archive, tracer=None) -> ScrubReport:
                 f"{db.log.first_retained_lsn}", tracer,
             )
 
-    for image, record in zip(chain, manifest.generations):
+    for image, record in pairs:
         report.backups_scanned += 1
         report.pages_scanned += image.copied_count()
         damaged = image.damaged_pages()

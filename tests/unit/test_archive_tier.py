@@ -165,6 +165,35 @@ class TestJournalRecovery:
         assert reborn.store.load_journal() is None
         assert reborn.manifest.generation_ids() == before
 
+    def test_crash_before_journal_clear_retires_sources(self):
+        """Crash in the window after the manifest swap but before the
+        journal clear: startup roll-forward must finish compaction's
+        epilogue by retiring the merge sources (newest first), or the
+        orphaned sources pin the log at the old base's scan start
+        forever."""
+        db, archive = _chain_db()
+        sources = archive.chain()
+
+        def crash():
+            raise SimulatedCrash("crash before journal clear")
+
+        archive.store.clear_journal = crash
+        with pytest.raises(SimulatedCrash):
+            archive.compact()
+        del archive.store.clear_journal
+        # The crash window: swap committed, journal present, sources
+        # still retained.
+        assert archive.store.load_journal() is not None
+        assert not any(db.retention.is_retired(b) for b in sources)
+        reborn = ArchiveManager(db, manifest_store=archive.store)
+        assert reborn.store.load_journal() is None
+        for backup in sources:
+            assert db.retention.is_retired(backup)
+        # Only the merged generation still pins the log.
+        assert [
+            b.backup_id for b in db.retention.retained_backups()
+        ] == reborn.manifest.generation_ids()
+
 
 class TestCompaction:
     def test_compact_merges_chain_to_one_generation(self):
@@ -263,6 +292,33 @@ class TestHealingLadder:
         db.media_failure()
         outcome = db.media_recover_chain(archive.chain())
         assert pid in outcome.quarantined
+
+    def test_damaged_base_with_newer_donor_is_not_dropped(self):
+        """Slot 7 has intact copies in both incrementals, but the
+        damage is in the *base*: dropping the base's cell would make a
+        PITR cut at the base's seal silently restore the initial value.
+        The ladder must skip rung 1; with no logged history inside the
+        base's sweep window the page is quarantined honestly."""
+        db, archive = _chain_db()
+        base = archive.chain()[0]
+        pid = PageId(0, 7)
+        base._rot_cell(pid)
+        report = archive.heal_chain()
+        assert (base.backup_id, pid) in report.quarantined
+        assert not any(
+            b == base.backup_id and p == pid for b, p, _ in report.healed
+        )
+        assert pid in base.pages()  # left in place, still damaged
+        # PITR to the base's seal point: honest quarantine, not a
+        # silent fallback to the initial value.
+        db.media_failure()
+        outcome = db.restore_to_lsn(base.completion_lsn)
+        assert pid in outcome.quarantined
+        db.crash()
+        assert db.recover().ok
+        # The full chain still restores fine: inc2's copy shadows.
+        db.media_failure()
+        assert db.media_recover_chain(archive.chain()).ok
 
     def test_clean_chain_heals_nothing(self):
         _, archive = _chain_db()
@@ -404,6 +460,25 @@ class TestScrubChain:
         assert not report.ok
         assert any(f.site == "backup" for f in report.findings)
         assert report.generations[1]["damaged"]
+
+    def test_missing_image_keeps_rows_aligned(self):
+        """A missing middle image must not shift later generations onto
+        the wrong manifest records or drop the tail from the scan."""
+        db, archive = _chain_db()
+        from repro.core.scrub import scrub_chain
+
+        full, inc1, inc2 = archive.chain()
+        db.engine.completed.remove(inc1)
+        report = scrub_chain(archive)
+        assert not report.ok
+        assert any("no such image" in f.detail for f in report.findings)
+        assert [
+            (g["backup_id"], g["kind"]) for g in report.generations
+        ] == [
+            (full.backup_id, KIND_FULL),
+            (inc2.backup_id, KIND_INCREMENTAL),
+        ]
+        assert report.backups_scanned == 2
 
     def test_detects_corrupt_manifest(self):
         _, archive = _chain_db()
