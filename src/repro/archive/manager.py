@@ -75,7 +75,8 @@ from repro.errors import (
 )
 from repro.ids import LSN, PageId
 from repro.obs import events as ev
-from repro.recovery.redo import RedoReplayer, contains_poison
+from repro.recovery.parallel_redo import make_replayer
+from repro.recovery.redo import contains_poison
 from repro.storage.backup_db import BackupDatabase
 
 #: Pages per bulk record call while building a compacted generation —
@@ -570,7 +571,11 @@ class ArchiveManager:
         # using the initial value.
         for p in covered - set(state):
             state[p] = PageVersion(POISON, NULL_LSN)
-        replayer = RedoReplayer(initial_value=self.db.initial_value)
+        replayer = make_replayer(
+            initial_value=self.db.initial_value,
+            redo_workers=getattr(self.db, "redo_workers", 1),
+            metrics=self.db.metrics,
+        )
         replayer.replay(
             log.merge_scan(base_scan, chain[index].completion_lsn), state
         )

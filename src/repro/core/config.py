@@ -9,7 +9,7 @@ legacy keyword signatures remain as deprecated aliases.
 
 >>> from repro.core.config import BackupConfig
 >>> BackupConfig(steps=4, batched=False)
-BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1, backend='memory', data_dir=None, executor='thread', incremental_every=None, compact_threshold=None)
+BackupConfig(steps=4, pages_per_tick=8, incremental=False, dynamic_extend=True, batched=False, engine='engine', workers=1, log_streams=1, backend='memory', data_dir=None, executor='thread', incremental_every=None, compact_threshold=None, redo_workers=1)
 """
 
 from __future__ import annotations
@@ -76,7 +76,18 @@ class BackupConfig:
                          (``None`` = no automatic incrementals);
     ``compact_threshold`` — archive-tier scheduling knob: compact the
                          chain once it carries this many incremental
-                         links (``None`` = never compact automatically).
+                         links (``None`` = never compact automatically);
+    ``redo_workers``   — recovery replay thread count: 1 keeps the
+                         serial LSN-order
+                         :class:`~repro.recovery.redo.RedoReplayer`,
+                         >1 fans replay out to a dependency-aware
+                         worker pool
+                         (:class:`~repro.recovery.parallel_redo.ParallelRedoReplayer`)
+                         with byte-identical outcomes.  Like
+                         ``log_streams``, a harness knob — it shapes
+                         the ``Database`` the harnesses construct and
+                         reaches every recovery flavour (crash, media,
+                         chain, selective, instant restore, PITR).
     """
 
     steps: int = 8
@@ -92,6 +103,7 @@ class BackupConfig:
     executor: str = "thread"
     incremental_every: Optional[int] = None
     compact_threshold: Optional[int] = None
+    redo_workers: int = 1
 
     def __post_init__(self):
         if self.steps < 1:
@@ -149,3 +161,5 @@ class BackupConfig:
             raise ReproError(
                 "BackupConfig.compact_threshold must be >= 1 (or None)"
             )
+        if self.redo_workers < 1:
+            raise ReproError("BackupConfig.redo_workers must be >= 1")

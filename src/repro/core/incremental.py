@@ -29,9 +29,9 @@ from repro.obs.events import (
 )
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
+from repro.recovery.parallel_redo import make_replayer
 from repro.recovery.redo import (
     POISON,
-    RedoReplayer,
     contains_poison,
     surviving_poison,
 )
@@ -78,6 +78,8 @@ def run_media_recovery_chain(
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
     tracer=None,
+    redo_workers: int = 1,
+    metrics=None,
 ) -> RecoveryOutcome:
     """Restore from a full+incremental chain and roll forward.
 
@@ -147,7 +149,12 @@ def run_media_recovery_chain(
     }
     for pid in quarantine_seed:
         state[pid] = PageVersion(POISON, NULL_LSN)
-    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    replayer = make_replayer(
+        initial_value=initial_value,
+        tracer=tracer,
+        redo_workers=redo_workers,
+        metrics=metrics,
+    )
     with tracer.span("recovery.media_chain.redo"):
         stats = replayer.replay(
             log.merge_scan(chain[0].media_scan_start_lsn, target), state

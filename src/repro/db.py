@@ -109,6 +109,7 @@ class Database:
         backend: str = "memory",
         data_dir: Optional[str] = None,
         storage=None,
+        redo_workers: int = 1,
     ):
         """``log_streams=1`` (the default) keeps the plain single-stream
         :class:`~repro.wal.log_manager.LogManager`; ``log_streams > 1``
@@ -116,6 +117,13 @@ class Database:
         commit (:class:`~repro.wal.multi_log.MultiLogManager`) — the
         same LSN/recovery contract, concurrent appends without a shared
         hot counter.
+
+        ``redo_workers=1`` keeps recovery replay serial;
+        ``redo_workers > 1`` fans every recovery flavour's replay
+        (crash, media, chain, selective, instant restore, PITR) out to
+        the dependency-aware parallel replayer
+        (:mod:`repro.recovery.parallel_redo`) with byte-identical
+        outcomes.
 
         ``backend``/``data_dir`` select the storage backend (see
         :func:`repro.storage.api.open_backend`): ``"memory"`` keeps the
@@ -134,6 +142,9 @@ class Database:
                 ) from None
         self.layout = Layout(list(pages_per_partition))
         self.initial_value = initial_value
+        if redo_workers < 1:
+            raise ReproError("redo_workers must be >= 1")
+        self.redo_workers = redo_workers
         from repro.storage.api import open_backend
 
         self.storage = (
@@ -491,6 +502,8 @@ class Database:
                 ),
                 initial_value=self.initial_value,
                 tracer=self.tracer,
+                redo_workers=self.redo_workers,
+                metrics=self.metrics,
             )
         if damaged:
             self.metrics.pages_quarantined += len(outcome.quarantined)
@@ -610,6 +623,8 @@ class Database:
                     oracle=self.oracle.state() if verify else None,
                     initial_value=self.initial_value,
                     tracer=self.tracer,
+                    redo_workers=self.redo_workers,
+                    metrics=self.metrics,
                 )
             else:
                 outcome = run_crash_recovery(
@@ -619,6 +634,8 @@ class Database:
                     oracle=self.oracle.state() if verify else None,
                     initial_value=self.initial_value,
                     tracer=self.tracer,
+                    redo_workers=self.redo_workers,
+                    metrics=self.metrics,
                 )
         self.cm.reload_after_recovery()
         # After redo, S holds the current state: nothing is dirty.
@@ -663,6 +680,7 @@ class Database:
                 tracer=self.tracer,
                 fallback=older,
                 metrics=self.metrics,
+                redo_workers=self.redo_workers,
             )
         elif self.log.first_retained_lsn == 1:
             # (b) Full-history rebuild: the log still reaches LSN 1, so
@@ -682,6 +700,8 @@ class Database:
                 initial_value=self.initial_value,
                 tracer=self.tracer,
                 rebuild_from_log=True,
+                redo_workers=self.redo_workers,
+                metrics=self.metrics,
             )
         else:
             # (c) No healing source: quarantine what replay cannot fix.
@@ -693,6 +713,8 @@ class Database:
                 initial_value=self.initial_value,
                 tracer=self.tracer,
                 quarantine=problems,
+                redo_workers=self.redo_workers,
+                metrics=self.metrics,
             )
         self.metrics.pages_quarantined += len(outcome.quarantined)
         self.metrics.corruption_healed += max(
@@ -762,6 +784,7 @@ class Database:
                 tracer=self.tracer,
                 fallback=fallback,
                 metrics=self.metrics,
+                redo_workers=self.redo_workers,
             )
         if damaged:
             self.metrics.pages_quarantined += len(outcome.quarantined)
@@ -822,6 +845,7 @@ class Database:
             tracer=self.tracer,
             metrics=self.metrics,
             io_guard=self._faults_suspended,
+            redo_workers=self.redo_workers,
         )
         with self._faults_suspended():
             manager.begin()
@@ -882,6 +906,8 @@ class Database:
                 oracle=self.oracle.state() if verify else None,
                 initial_value=self.initial_value,
                 tracer=self.tracer,
+                redo_workers=self.redo_workers,
+                metrics=self.metrics,
             )
         if damaged:
             self.metrics.pages_quarantined += len(outcome.quarantined)
@@ -971,6 +997,8 @@ class Database:
                     else None
                 ),
                 tracer=self.tracer,
+                redo_workers=self.redo_workers,
+                metrics=self.metrics,
             )
         self.cm.reload_after_recovery()
         self.cm.stable_truncation_point = self.log.end_lsn + 1

@@ -324,8 +324,15 @@ def _bench_instant_restore(mode: str) -> Callable[[], object]:
     from repro.ops.physical import PhysicalWrite
 
     partitions, size = 64, 64
+    # ttfq runs with redo_workers=4: TTFQ must stay O(1 page) no matter
+    # how recovery replay is parallelised.  The full restore stays
+    # serial — its records are trivial pure-CPU physical writes, where
+    # fan-out is all coordination overhead and no overlap (the
+    # redo_replay_* triple measures the fan-out win on ops with real
+    # per-record cost).
     db = Database(
-        pages_per_partition=[size] * partitions, policy="general"
+        pages_per_partition=[size] * partitions, policy="general",
+        redo_workers=4 if mode == "ttfq" else 1,
     )
     for p in range(partitions):
         for s in range(size):
@@ -354,6 +361,63 @@ def _bench_instant_restore(mode: str) -> Callable[[], object]:
         return outcome.replayed
 
     return run_ttfq if mode == "ttfq" else run_full
+
+
+def _bench_redo_replay(workers: int) -> Callable[[], object]:
+    """Recovery replay fanned out to the parallel redo pool.
+
+    Builds a 640-record log whose transforms each cost one simulated
+    device/compute access (``time.sleep`` releases the GIL, standing in
+    for the page fetch + apply cost a real redo pays per record), spread
+    over 8 partitions so the conflict DAG is wide: pages repeat every
+    256 records, so dependency chains are short and almost every record
+    is single-partition (the lock-free fast path).  A sprinkle of
+    cross-partition logical ops keeps the coordinator lane honest.  The
+    serial/2-worker/4-worker triple documents the replay scaling curve
+    the same way ``partition_sweep_*`` does for the copy engine.
+    """
+    from repro.ids import PageId
+    from repro.ops.physiological import PhysiologicalWrite
+    from repro.ops.logical import GeneralLogicalOp
+    from repro.ops.registry import make_default_registry
+    from repro.recovery.parallel_redo import make_replayer
+    from repro.wal.records import LogRecord
+
+    count, partitions, slots, delay_s = 640, 8, 32, 0.0002
+    registry = make_default_registry()
+
+    def slow_stamp(value, tag):
+        time.sleep(delay_s)
+        return (tag, value)
+
+    registry.register("slow_stamp", slow_stamp)
+    records = []
+    for i in range(1, count + 1):
+        if i % 80 == 0:
+            # Cross-partition op: reads two partitions, writes one —
+            # applied on the coordinator's ordered lane.
+            op = GeneralLogicalOp(
+                reads=[PageId(i % partitions, 0),
+                       PageId((i + 1) % partitions, 1)],
+                writes=[PageId(i % partitions, 2)],
+                transform="concat_sorted",
+            )
+        else:
+            op = PhysiologicalWrite(
+                PageId(i % partitions, (i // partitions) % slots),
+                "slow_stamp", (i,), registry=registry,
+            )
+        records.append(LogRecord(i, op))
+    expected = count - count // 80
+
+    def run() -> object:
+        replayer = make_replayer(initial_value=0, redo_workers=workers)
+        stats = replayer.replay(records, {})
+        if stats.ops_replayed < expected:
+            raise AssertionError("replay missed records")
+        return stats.ops_replayed
+
+    return run
 
 
 def _bench_incremental_sweep() -> Callable[[], object]:
@@ -424,6 +488,9 @@ BENCHMARKS: Dict[str, Callable[[], Callable[[], object]]] = {
     "partition_sweep_4w": lambda: _bench_partition_sweep(4),
     "instant_restore_ttfq": lambda: _bench_instant_restore("ttfq"),
     "instant_restore_full": lambda: _bench_instant_restore("full"),
+    "redo_replay_serial": lambda: _bench_redo_replay(1),
+    "redo_replay_2w": lambda: _bench_redo_replay(2),
+    "redo_replay_4w": lambda: _bench_redo_replay(4),
     "incremental_sweep": _bench_incremental_sweep,
     "log_append_force_single": lambda: _bench_log_append_force(1, False),
     "log_append_force_gc1": lambda: _bench_log_append_force(1, True),

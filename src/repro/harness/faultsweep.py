@@ -26,7 +26,12 @@ class at every instrumented I/O boundary:
 
 Every scenario is run for the serial (page-at-a-time) and batched
 (bulk-span) copy engines, and again for the thread-parallel engine (a
-4-worker batched sweep over a four-partition layout).  All randomness
+4-worker batched sweep over a four-partition layout).  The
+``parallel-redo-*`` scenarios repeat the crash sweep and the
+log-tail-rot runs with ``redo_workers=4``, so every recovery in them
+replays through the dependency-aware parallel redo pool
+(:mod:`repro.recovery.parallel_redo`) and must still reach the exact
+serial-replay state.  All randomness
 derives from the single ``seed`` argument, so the serial and batched
 sweeps are exactly reproducible; in the parallel mode the *set* of
 I/O events is deterministic but their global order depends on thread
@@ -69,6 +74,7 @@ class FailureCase:
     workers: int = 1
     log_streams: int = 1
     backend: str = "memory"
+    redo_workers: int = 1
 
 
 @dataclass
@@ -90,12 +96,14 @@ class ScenarioResult:
     def record_failure(
         self, label: str, specs, seed: int, batched: bool,
         workers: int = 1, log_streams: int = 1, backend: str = "memory",
+        redo_workers: int = 1,
     ) -> None:
         self.detail += f" {label}:FAILED"
         self.failures.append(FailureCase(
             scenario=self.name, label=label, specs=tuple(specs),
             seed=seed, batched=batched, workers=workers,
             log_streams=log_streams, backend=backend,
+            redo_workers=redo_workers,
         ))
 
 
@@ -137,6 +145,7 @@ def _mode_name(batched: bool, workers: int = 1, log_streams: int = 1) -> str:
 def _fresh_db(
     pages: int = 48, workers: int = 1, log_streams: int = 1,
     backend: str = "memory", data_dir: Optional[str] = None,
+    redo_workers: int = 1,
 ) -> Database:
     """A fresh database for one sweep run.
 
@@ -144,21 +153,25 @@ def _fresh_db(
     mode spreads the same page count over four partitions so the
     4-worker sweep actually fans span reads out across latches.
     ``log_streams > 1`` stripes the WAL (the multistream smoke mode).
-    With ``backend="file"`` every run gets its own fresh directory (a
+    ``redo_workers > 1`` fans recovery replay out to the parallel redo
+    pool (and, like the parallel copy engine, spreads the pages over
+    four partitions so the fan-out has real width).  With
+    ``backend="file"`` every run gets its own fresh directory (a
     subdirectory of ``data_dir`` when given) so a crashed run's files
     stay inspectable and runs never collide.
     """
     run_dir = None
     if backend == "file":
         run_dir = tempfile.mkdtemp(prefix="sweep-", dir=data_dir)
-    if workers > 1:
+    if workers > 1 or redo_workers > 1:
         per_part = max(1, pages // 4)
         return Database(pages_per_partition=[per_part] * 4,
                         policy="general", log_streams=log_streams,
-                        backend=backend, data_dir=run_dir)
+                        backend=backend, data_dir=run_dir,
+                        redo_workers=redo_workers)
     return Database(pages_per_partition=[pages], policy="general",
                     log_streams=log_streams, backend=backend,
-                    data_dir=run_dir)
+                    data_dir=run_dir, redo_workers=redo_workers)
 
 
 def _drive(
@@ -210,10 +223,11 @@ def _drive(
 def _run_one(
     specs: List[FaultSpec], seed: int, batched: bool, workers: int = 1,
     log_streams: int = 1, backend: str = "memory",
-    data_dir: Optional[str] = None,
+    data_dir: Optional[str] = None, redo_workers: int = 1,
 ) -> Tuple[bool, Database]:
     db = _fresh_db(workers=workers, log_streams=log_streams,
-                   backend=backend, data_dir=data_dir)
+                   backend=backend, data_dir=data_dir,
+                   redo_workers=redo_workers)
     db.attach_faults(FaultPlane(specs))
     ok, _ = _drive(db, seed, batched, workers=workers)
     # Release file descriptors (file backend); in-memory state —
@@ -225,6 +239,7 @@ def _run_one(
 def _measure_io_budget(
     seed: int, batched: bool, workers: int = 1, log_streams: int = 1,
     backend: str = "memory", data_dir: Optional[str] = None,
+    redo_workers: int = 1,
 ) -> Tuple[int, dict]:
     """One fault-free run with a bare plane, counting every I/O event.
 
@@ -234,7 +249,8 @@ def _measure_io_budget(
     events but never change the set.
     """
     db = _fresh_db(workers=workers, log_streams=log_streams,
-                   backend=backend, data_dir=data_dir)
+                   backend=backend, data_dir=data_dir,
+                   redo_workers=redo_workers)
     plane = db.attach_faults(FaultPlane())
     ok, _ = _drive(db, seed, batched, workers=workers)
     db.close()
@@ -334,25 +350,37 @@ def _crash_sweep_scenario(
     seed: int, batched: bool, stride: int, workers: int = 1,
     log_streams: int = 1,
     backend: str = "memory", data_dir: Optional[str] = None,
+    redo_workers: int = 1,
 ) -> ScenarioResult:
-    """Crash at every Nth I/O point of the deterministic baseline run."""
+    """Crash at every Nth I/O point of the deterministic baseline run.
+
+    With ``redo_workers > 1`` every crash recovery in the sweep replays
+    through the parallel redo pool — the scenario then checks that the
+    byte-identical-outcome contract holds under every crash point, not
+    just on clean logs.
+    """
     name = f"crash-sweep-{_mode_name(batched, workers, log_streams)}"
+    if redo_workers > 1:
+        name = f"parallel-redo-{name}"
     if backend != "memory":
         name += f"-{backend}"
     budget, _ = _measure_io_budget(seed, batched, workers, log_streams,
-                                   backend=backend, data_dir=data_dir)
+                                   backend=backend, data_dir=data_dir,
+                                   redo_workers=redo_workers)
     result = ScenarioResult(name, detail=f" io_budget={budget}")
     for plan in crash_sweep_plans(budget, stride=stride):
         specs = [plan.to_spec()]
         ok, db = _run_one(specs, seed, batched, workers, log_streams,
-                          backend=backend, data_dir=data_dir)
+                          backend=backend, data_dir=data_dir,
+                          redo_workers=redo_workers)
         result.total += 1
         if ok:
             result.recovered += 1
         else:
             result.record_failure(f"at_io={plan.at_io}", specs, seed,
                                   batched, workers, log_streams,
-                                  backend=backend)
+                                  backend=backend,
+                                  redo_workers=redo_workers)
         result.faults_injected += db.faults.injected_total
     return result
 
@@ -396,7 +424,7 @@ def _seeded_mix_scenario(
 def _run_bitrot_one(
     spec: FaultSpec, seed: int, batched: bool, finish: str, tracer=None,
     workers: int = 1, backend: str = "memory",
-    data_dir: Optional[str] = None,
+    data_dir: Optional[str] = None, redo_workers: int = 1,
 ):
     """One bitrot run: drive the workload, then force a recovery check.
 
@@ -407,7 +435,8 @@ def _run_bitrot_one(
     detected *mid-run* — a checksummed read tripping over the rot —
     downgrades to a crash + recover check on the spot.
     """
-    db = _fresh_db(workers=workers, backend=backend, data_dir=data_dir)
+    db = _fresh_db(workers=workers, backend=backend, data_dir=data_dir,
+                   redo_workers=redo_workers)
     if tracer is not None:
         db.attach_tracer(tracer)
     db.attach_faults(FaultPlane([spec]))
@@ -456,6 +485,7 @@ def _bitrot_at_ios(budget: int, samples: int) -> List[int]:
 def _bitrot_scenarios(
     seed: int, batched: bool, samples: int = 3, workers: int = 1,
     backend: str = "memory", data_dir: Optional[str] = None,
+    redo_workers: int = 1, only: Optional[Tuple[str, ...]] = None,
 ) -> List[ScenarioResult]:
     """Seeded bit flips per store; every run must heal or quarantine.
 
@@ -466,12 +496,16 @@ def _bitrot_scenarios(
     ``recovered`` counts runs whose recovery outcome is *honest*: the
     state matches the oracle everywhere outside an explicitly reported
     quarantine set.  A silently-wrong restore counts as a failure.
+    ``only`` restricts the rot sites (the parallel-redo smoke pins just
+    the logtail site: a truncated/healed tail feeds the parallel
+    replayer a log slice that was damaged mid-record).
     """
     mode = _mode_name(batched, workers)
     if backend != "memory":
         mode += f"-{backend}"
     _, per_point = _measure_io_budget(seed, batched, workers,
-                                      backend=backend, data_dir=data_dir)
+                                      backend=backend, data_dir=data_dir,
+                                      redo_workers=redo_workers)
     targets = (
         ("stable", IOPoint.STABLE_MULTI_WRITE, "crash"),
         ("backup",
@@ -479,25 +513,30 @@ def _bitrot_scenarios(
          "media"),
         ("logtail", IOPoint.LOG_APPEND, "crash"),
     )
+    if only is not None:
+        targets = tuple(t for t in targets if t[0] in only)
     results = []
     for target, point, finish in targets:
         budget = per_point.get(point, 0)
-        result = ScenarioResult(
-            f"bitrot-{target}-{mode}", detail=f" point_budget={budget}"
-        )
+        name = f"bitrot-{target}-{mode}"
+        if redo_workers > 1:
+            name = f"parallel-redo-{name}"
+        result = ScenarioResult(name, detail=f" point_budget={budget}")
         quarantined = 0
         for at_io in _bitrot_at_ios(budget, samples):
             spec = FaultSpec(FaultKind.BITROT, point=point, at_io=at_io,
                              seed=seed)
             outcome, db = _run_bitrot_one(spec, seed, batched, finish,
                                           workers=workers, backend=backend,
-                                          data_dir=data_dir)
+                                          data_dir=data_dir,
+                                          redo_workers=redo_workers)
             result.total += 1
             if outcome.ok:
                 result.recovered += 1
             else:
                 result.record_failure(f"at_io={at_io}", [spec], seed,
-                                      batched, workers, backend=backend)
+                                      batched, workers, backend=backend,
+                                      redo_workers=redo_workers)
             result.faults_injected += db.faults.injected_total
             result.io_retries += db.metrics.io_retries
             quarantined += len(getattr(outcome, "quarantined", []))
@@ -883,6 +922,15 @@ def run_faultsweep(
                                     backend=backend, data_dir=data_dir))
         emit(_instant_scenarios(seed, True, 4, backend=backend,
                                 data_dir=data_dir, executor="process"))
+        # Parallel redo smoke: every crash recovery of the sweep (and
+        # the healed-logtail rot runs) replays through the 4-worker
+        # pool; outcomes must stay byte-identical to serial replay.
+        emit(_crash_sweep_scenario(seed, True, stride, backend=backend,
+                                   data_dir=data_dir, redo_workers=4))
+        for result in _bitrot_scenarios(seed, True, samples=2,
+                                        backend=backend, data_dir=data_dir,
+                                        redo_workers=4, only=("logtail",)):
+            emit(result)
         emit(_torn_span_scenario(seed, backend=backend, data_dir=data_dir))
         emit(_archive_bitrot_scenario(seed, backend=backend,
                                       data_dir=data_dir))
@@ -918,6 +966,14 @@ def run_faultsweep(
     emit(_crash_sweep_scenario(seed, True, stride, log_streams=4))
     emit(_seeded_mix_scenario(seed, True, rounds=2 if quick else 4,
                               log_streams=4))
+    # Parallel redo smoke: the crash sweep and the logtail-rot runs
+    # again with recovery replay fanned out to a 4-worker pool — every
+    # crash point and every healed (truncated) tail must recover to the
+    # same state serial replay reaches.
+    emit(_crash_sweep_scenario(seed, True, stride, redo_workers=4))
+    for result in _bitrot_scenarios(seed, True, samples=2 if quick else 3,
+                                    redo_workers=4, only=("logtail",)):
+        emit(result)
     # Archive tier: chain healing, compaction crash atomicity, and
     # point-in-time restore to a pre-corruption cut (docs/ARCHIVE.md).
     emit(_archive_bitrot_scenario(seed))
@@ -951,6 +1007,7 @@ def capture_failure_trace(case: FailureCase):
         workers=case.workers,
         log_streams=case.log_streams,
         backend=case.backend,
+        redo_workers=case.redo_workers,
         specs=[
             dict(kind=s.kind, point=s.point, at_io=s.at_io,
                  times=s.times, keep=s.keep, seed=s.seed)
@@ -965,11 +1022,13 @@ def capture_failure_trace(case: FailureCase):
             ) else "crash")
             _run_bitrot_one(spec, case.seed, case.batched, finish,
                             tracer=tracer, workers=case.workers,
-                            backend=case.backend)
+                            backend=case.backend,
+                            redo_workers=case.redo_workers)
         else:
             db = _fresh_db(workers=case.workers,
                            log_streams=case.log_streams,
-                           backend=case.backend)
+                           backend=case.backend,
+                           redo_workers=case.redo_workers)
             db.attach_tracer(tracer)
             db.attach_faults(FaultPlane(list(case.specs)))
             _drive(db, case.seed, case.batched, workers=case.workers)

@@ -39,7 +39,9 @@ BACKUP_ABORT = "backup_abort"
 LATCH_ACQUIRE = "latch_acquire"
 #: The fault plane fired an armed fault at an I/O boundary.
 FAULT_INJECTED = "fault_injected"
-#: One log record considered by a redo pass.
+#: One log record considered by a redo pass.  Parallel redo
+#: (recovery/parallel_redo.py) additionally stamps ``worker``: 0 for
+#: the coordinator's cross-partition lane, 1..N for pool threads.
 REDO_OP = "redo_op"
 #: A recovery algorithm entered/finished one of its phases.
 RECOVERY_PHASE = "recovery_phase"

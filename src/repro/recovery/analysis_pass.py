@@ -100,6 +100,8 @@ def run_analyzed_crash_recovery(
     oracle: Optional[Mapping[PageId, Any]] = None,
     initial_value: Any = None,
     tracer=None,
+    redo_workers: int = 1,
+    metrics=None,
 ) -> RecoveryOutcome:
     """Analysis pass + redo pass, self-contained from S and the log."""
     tracer = tracer or NULL_TRACER
@@ -121,4 +123,6 @@ def run_analyzed_crash_recovery(
         oracle=oracle,
         initial_value=initial_value,
         tracer=tracer,
+        redo_workers=redo_workers,
+        metrics=metrics,
     )

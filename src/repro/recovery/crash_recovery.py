@@ -1,9 +1,11 @@
 """Crash (system-failure) recovery: redo over the stable database.
 
 After a crash the volatile cache is gone; S plus the durable log prefix
-must reconstruct the current state.  Recovery loads S's pages, replays the
-durable log from the scan-start (truncation) point with the LSN redo test,
-and — when an oracle is supplied — verifies the result.
+must reconstruct the current state.  Recovery loads S's pages, replays
+the durable log from the scan-start (truncation) point with the LSN redo
+test — serially in LSN order, or in dependency order on a worker pool
+when ``redo_workers > 1``, with a serial-equivalent outcome either way —
+and, when an oracle is supplied, verifies the result.
 
 Corruption handling: pages the caller has identified as damaged (stable
 checksum failures with no backup to heal from) are passed as
@@ -24,9 +26,9 @@ from repro.ids import LSN, NULL_LSN, PageId
 from repro.obs.events import QUARANTINE, RECOVERY_PHASE
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
+from repro.recovery.parallel_redo import make_replayer
 from repro.recovery.redo import (
     POISON,
-    RedoReplayer,
     contains_poison,
     surviving_poison,
 )
@@ -45,12 +47,15 @@ def run_crash_recovery(
     tracer=None,
     quarantine: Sequence[PageId] = (),
     rebuild_from_log: bool = False,
+    redo_workers: int = 1,
+    metrics=None,
 ) -> RecoveryOutcome:
     """Recover the current state from S and the durable log.
 
     When ``apply_to_stable`` is True the recovered page versions are
     written back into S (as a real system's redo pass would), making S
-    equal to the recovered current state.
+    equal to the recovered current state.  ``redo_workers > 1`` fans
+    the replay out to the dependency-aware parallel replayer.
     """
     tracer = tracer or NULL_TRACER
     if tracer.enabled:
@@ -71,7 +76,12 @@ def run_crash_recovery(
         state = {pid: ver for pid, ver in stable.iter_pages()}
     for pid in quarantine:
         state[pid] = PageVersion(POISON, NULL_LSN)
-    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    replayer = make_replayer(
+        initial_value=initial_value,
+        tracer=tracer,
+        redo_workers=redo_workers,
+        metrics=metrics,
+    )
     with tracer.span("recovery.crash.redo"):
         stats = replayer.replay(log.durable_merge_scan(scan_start_lsn), state)
     if tracer.enabled:

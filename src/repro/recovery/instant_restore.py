@@ -379,6 +379,7 @@ class RestoreManager:
         tracer=None,
         metrics=None,
         io_guard=None,
+        redo_workers: int = 1,
     ):
         self.stable = stable
         self.backup = backup
@@ -389,6 +390,11 @@ class RestoreManager:
         self.initial_value = initial_value
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        # redo_workers > 1: the background sweep additionally *primes*
+        # the evaluator's memo table with the dependency-aware parallel
+        # replayer (see _prime_effects), composed with the same pool.
+        self.redo_workers = redo_workers
+        self._primed = False
         # Context-manager factory wrapped around restore-driven stable
         # I/O (Database passes ``_faults_suspended``: recovery I/O is
         # driven by the recovery algorithm, not the workload under test).
@@ -547,6 +553,12 @@ class RestoreManager:
             self._pool.submit(self._restore_partition, partition)
             for partition in range(layout.num_partitions)
         ]
+        if self.redo_workers > 1:
+            # Prime alongside the partition sweep: the heavy replay runs
+            # off the manager lock, so on-demand traffic is never
+            # blocked, and every subsequent per-page restore becomes a
+            # memo lookup.  drain() joins this future with the others.
+            self._futures.append(self._pool.submit(self._prime_effects))
 
     @staticmethod
     def _make_process_pool(workers: int):
@@ -622,6 +634,64 @@ class RestoreManager:
             if pid not in self._seeds
         ]
 
+    # ------------------------------------------------------------- parallel
+
+    def _prime_effects(self) -> None:
+        """Batch-compute every record effect on the parallel replayer.
+
+        With ``redo_workers > 1`` the whole media-log slice is replayed
+        once by :class:`~repro.recovery.parallel_redo.ParallelRedoReplayer`
+        against a private snapshot of the full backup base, off the
+        manager lock; the per-record effects (identical to what
+        ``_compute_effect`` would memoize, record by record — both
+        mirror the serial replayer) are then installed into the
+        evaluator under the lock, alongside the wholesale slice
+        counters.  Effects a demand path already memoized are kept;
+        they are equal by determinism.  Idempotent and safe to race
+        with on-demand restores.
+        """
+        if self.redo_workers <= 1:
+            return
+        with self._lock:
+            if self._primed or self._evaluator is None:
+                return
+            self._primed = True
+            evaluator = self._evaluator
+        from repro.recovery.parallel_redo import ParallelRedoReplayer
+
+        base: Dict[PageId, PageVersion] = {}
+        for pid in self.quarantine_seed:
+            base[pid] = PageVersion(POISON, NULL_LSN)
+        for pid, version in self.chosen.iter_pages():
+            if pid not in base and pid not in self._seeds:
+                base[pid] = version
+        # Per-worker Metrics shards are absorbed into this carrier on
+        # the prime thread (which owns it), then merged into the shared
+        # instance under the manager lock.
+        carrier = self.metrics.shard() if self.metrics is not None else None
+        # No tracer: the demand-driven evaluator emits no REDO_OP
+        # events, and priming must not change the instant path's
+        # event stream.
+        replayer = ParallelRedoReplayer(
+            initial_value=self.initial_value,
+            workers=self.redo_workers,
+            metrics=carrier,
+        )
+        stats, computed = replayer.replay_with_effects(
+            evaluator._records, base
+        )
+        with self._lock:
+            effects = evaluator._effects
+            for index, effect in enumerate(computed):
+                if index not in effects:
+                    effects[index] = effect
+            evaluator.ops_replayed = stats.ops_replayed
+            evaluator.ops_skipped = stats.ops_skipped
+            evaluator.partial_replays = stats.partial_replays
+            evaluator.poisoned = list(stats.poisoned)
+            if carrier is not None:
+                self.metrics.absorb(carrier)
+
     # ---------------------------------------------------------------- drain
 
     def drain(self) -> RecoveryOutcome:
@@ -645,6 +715,10 @@ class RestoreManager:
         if getattr(self, "_span_pool", None) is not None:
             self._span_pool.shutdown(wait=True)
             self._span_pool = None
+        # No eager sweep ran (or it never primed): parallelize the bulk
+        # of the remaining evaluation here instead of walking it
+        # serially through evaluate_all below.
+        self._prime_effects()
         layout = self.stable.layout
         with self._lock:
             for partition in range(layout.num_partitions):

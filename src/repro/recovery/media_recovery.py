@@ -50,9 +50,9 @@ from repro.obs.events import (
 )
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
+from repro.recovery.parallel_redo import make_replayer
 from repro.recovery.redo import (
     POISON,
-    RedoReplayer,
     contains_poison,
     surviving_poison,
 )
@@ -236,13 +236,16 @@ def run_media_recovery(
     tracer=None,
     fallback: Sequence[BackupDatabase] = (),
     metrics=None,
+    redo_workers: int = 1,
 ) -> RecoveryOutcome:
     """Restore ``stable`` from ``backup`` and roll forward to ``to_lsn``.
 
     ``fallback`` lists older completed backup generations, newest first;
     they are consulted (whole-image, longer redo span) when ``backup``
     fails its integrity check.  ``metrics`` (optional) receives
-    fallback-rejection and dropped-page counts.
+    fallback-rejection and dropped-page counts.  ``redo_workers > 1``
+    fans the roll-forward replay out to the dependency-aware parallel
+    replayer; the streamed single-pass restore is unaffected.
     """
     tracer = NULL_TRACER if tracer is None else tracer
     target = resolve_media_target(backup, log, to_lsn)
@@ -284,7 +287,12 @@ def run_media_recovery(
         # Content lost; POISON propagates honestly through replay unless
         # a later blind record rewrites the page.
         state[pid] = PageVersion(POISON, NULL_LSN)
-    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    replayer = make_replayer(
+        initial_value=initial_value,
+        tracer=tracer,
+        redo_workers=redo_workers,
+        metrics=metrics,
+    )
     with tracer.span("recovery.media.redo"):
         stats = replayer.replay(
             log.merge_scan(chosen.media_scan_start_lsn, target), state

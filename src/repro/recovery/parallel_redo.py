@@ -1,0 +1,409 @@
+"""Dependency-aware parallel redo: fan replay out to a worker pool.
+
+Serial :class:`~repro.recovery.redo.RedoReplayer` walks the log slice in
+LSN order — one record at a time, even when consecutive records touch
+disjoint pages.  This module replays the same slice *conflict-serially*
+instead: a record depends on an earlier record iff the two share a page
+and at least one of them writes it (WW, RW and WR conflicts; RR pairs
+commute).  Records whose dependencies have all been applied are *ready*
+and may run concurrently; the dependency DAG guarantees every per-page
+read and write happens in exactly the order the serial replay would
+have produced, so the final ``{PageId: PageVersion}`` state, the
+:class:`~repro.recovery.redo.ReplayStats` counters, and the poison
+classification are byte-identical to the serial replayer's (pinned by
+``tests/property/test_parallel_redo.py``).
+
+Scheduling mirrors the incremental ready-queue machinery of
+:class:`~repro.recovery.refined_write_graph.DynamicWriteGraph`: an
+indegree count plus successor list per record, with completions
+releasing successors into the ready queue.  Two execution lanes:
+
+* **single-partition fast path** — a record whose readset ∪ writeset
+  lives inside one layout partition is handed to the thread pool and
+  applied lock-free: the DAG already serialises every conflicting
+  access, and CPython dict reads/writes are GIL-atomic, so no
+  per-partition latch is needed;
+* **coordinator-ordered cross-partition lane** — records spanning
+  partitions are applied on the coordinating thread, lowest LSN first
+  among the ready ones, so multi-partition effects install in log
+  order relative to each other.
+
+Stats are assembled from per-record outcome slots *in record order*
+after the fan-out completes, which keeps ``poisoned`` page order and
+every counter identical to the serial loop regardless of completion
+order.  ``REDO_OP`` trace events gain a ``worker`` field (0 = the
+coordinator, 1..N = pool threads); per-worker :class:`Metrics` shards
+are merged deterministically via ``shard()``/``absorb()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from itertools import islice
+from typing import Any, Dict, Iterable, List, MutableMapping, Optional, Tuple
+
+from repro.ids import NULL_LSN, PageId
+from repro.obs.events import REDO_OP
+from repro.obs.tracer import NULL_TRACER
+from repro.recovery.redo import (
+    POISON,
+    REPLAY_CHUNK,
+    RedoReplayer,
+    ReplayStats,
+)
+from repro.storage.page import PageVersion
+from repro.wal.records import LogRecord
+
+#: Outcome slot for a record the LSN test skipped.
+_SKIPPED = object()
+
+
+def make_replayer(
+    initial_value: Any = None,
+    tracer=None,
+    redo_workers: int = 1,
+    metrics=None,
+):
+    """Serial replayer at 1 worker, parallel fan-out above.
+
+    Every log consumer (crash / media / selective / chain recovery)
+    builds its replayer here so the ``redo_workers`` knob reaches all
+    of them through one seam; both returned classes expose the same
+    ``replay(records, state) -> ReplayStats`` contract.
+    """
+    if redo_workers <= 1:
+        return RedoReplayer(initial_value=initial_value, tracer=tracer)
+    return ParallelRedoReplayer(
+        initial_value=initial_value,
+        tracer=tracer,
+        workers=redo_workers,
+        metrics=metrics,
+    )
+
+
+class ParallelRedoReplayer:
+    """Replays a log slice on a worker pool, serial-equivalent outcome.
+
+    Drop-in for :class:`RedoReplayer`: same constructor defaults, same
+    ``replay`` signature, byte-identical state/stats/poison results.
+    ``workers`` is the thread-pool width; the calling thread acts as
+    the coordinator (graph bookkeeping + cross-partition applies).
+    """
+
+    def __init__(
+        self,
+        initial_value: Any = None,
+        tracer=None,
+        workers: int = 2,
+        metrics=None,
+    ):
+        if workers < 2:
+            raise ValueError(
+                "ParallelRedoReplayer needs workers >= 2; use "
+                "RedoReplayer (or make_replayer) for the serial path"
+            )
+        self._initial_value = initial_value
+        self.tracer = tracer or NULL_TRACER
+        self.workers = workers
+        self.metrics = metrics
+
+    # -- state access (identical semantics to RedoReplayer._version) ----
+
+    def _version(
+        self, state: MutableMapping[PageId, PageVersion], page: PageId
+    ) -> PageVersion:
+        version = state.get(page)
+        if version is None:
+            # Benign race: two readers of a never-written page may both
+            # materialize PageVersion(initial, NULL_LSN); the values are
+            # equal and dict stores are GIL-atomic, so either install
+            # yields the same state.  Conflicting (written) pages are
+            # serialised by the dependency DAG and cannot race here.
+            version = PageVersion(self._initial_value, NULL_LSN)
+            state[page] = version
+        return version
+
+    # -- public API -----------------------------------------------------
+
+    def replay(
+        self,
+        records: Iterable[LogRecord],
+        state: MutableMapping[PageId, PageVersion],
+    ) -> ReplayStats:
+        stats, _ = self._execute(records, state, capture_effects=False)
+        return stats
+
+    def replay_with_effects(
+        self,
+        records: Iterable[LogRecord],
+        state: MutableMapping[PageId, PageVersion],
+    ) -> Tuple[ReplayStats, List[Optional[Dict[PageId, PageVersion]]]]:
+        """Replay and also return one effect slot per record.
+
+        A slot is ``None`` for a skipped record, else the ``{page:
+        installed PageVersion}`` mapping for its stale pages — exactly
+        what the instant-restore slice evaluator memoizes, letting its
+        background sweep prime the whole memo table in parallel.
+        """
+        return self._execute(records, state, capture_effects=True)
+
+    # -- graph construction --------------------------------------------
+
+    @staticmethod
+    def _build_graph(records: List[LogRecord]):
+        """Conflict DAG over record indices (WW, RW and WR edges).
+
+        One LSN-order sweep with a per-page last-writer index plus the
+        readers seen since that write: record ``j`` depends on the last
+        writer of every page it touches, and a write additionally waits
+        for the reads of the previous version it would clobber.
+        """
+        n = len(records)
+        indegree = [0] * n
+        successors: List[List[int]] = [[] for _ in range(n)]
+        single_partition = [False] * n
+        last_writer: Dict[PageId, int] = {}
+        readers: Dict[PageId, List[int]] = {}
+        for i, record in enumerate(records):
+            op = record.op
+            deps = set()
+            partitions = set()
+            for page in op.writeset:
+                partitions.add(page.partition)
+                writer = last_writer.get(page)
+                if writer is not None:
+                    deps.add(writer)
+                deps.update(readers.get(page, ()))
+            for page in op.readset:
+                partitions.add(page.partition)
+                writer = last_writer.get(page)
+                if writer is not None:
+                    deps.add(writer)
+            deps.discard(i)
+            for page in op.writeset:
+                last_writer[page] = i
+                readers[page] = []
+            for page in op.readset:
+                if last_writer.get(page) != i:
+                    readers.setdefault(page, []).append(i)
+            for dep in deps:
+                successors[dep].append(i)
+            indegree[i] = len(deps)
+            single_partition[i] = len(partitions) <= 1
+        return indegree, successors, single_partition
+
+    # -- one replay iteration (statement-for-statement serial clone) ----
+
+    def _apply_record(
+        self,
+        index: int,
+        record: LogRecord,
+        state: MutableMapping[PageId, PageVersion],
+        outcomes: list,
+        effects,
+        worker_id: int,
+        shard,
+    ) -> None:
+        tracer = self.tracer
+        trace = tracer.enabled
+        op = record.op
+        stale = [
+            page
+            for page in op.writeset
+            if self._version(state, page).page_lsn < record.lsn
+        ]
+        if not stale:
+            outcomes[index] = _SKIPPED
+            if trace:
+                tracer.emit(
+                    REDO_OP, lsn=record.lsn, action="skip", worker=worker_id
+                )
+            return
+        partial = len(stale) < len(op.writeset)
+        reads: Dict[PageId, Any] = {
+            page: self._version(state, page).value for page in op.readset
+        }
+        poisoned_here = False
+        try:
+            result = op.apply(reads)
+        except Exception:
+            result = {page: POISON for page in stale}
+            poisoned_here = True
+        if trace:
+            tracer.emit(
+                REDO_OP,
+                lsn=record.lsn,
+                action="replay",
+                stale=len(stale),
+                writeset=len(op.writeset),
+                poisoned=poisoned_here,
+                worker=worker_id,
+            )
+        installed: Dict[PageId, PageVersion] = {}
+        for page in stale:
+            version = PageVersion.__new__(PageVersion)
+            # Bypass value checking: POISON and arbitrary replay results
+            # are stored as-is so the final verification sees them.
+            object.__setattr__(version, "value", result[page])
+            object.__setattr__(version, "page_lsn", record.lsn)
+            state[page] = version
+            installed[page] = version
+        outcomes[index] = (partial, stale if poisoned_here else None)
+        if effects is not None:
+            effects[index] = installed
+        if shard is not None:
+            if worker_id == 0:
+                shard.redo_ops_coordinated += 1
+            else:
+                shard.redo_ops_fast_path += 1
+
+    # -- scheduling -----------------------------------------------------
+
+    def _execute(
+        self,
+        records: Iterable[LogRecord],
+        state: MutableMapping[PageId, PageVersion],
+        capture_effects: bool,
+    ):
+        # Chunked materialization: pull the (possibly heapq.merge-backed)
+        # scan in blocks rather than one next() per record.
+        record_list: List[LogRecord] = []
+        source = iter(records)
+        while True:
+            block = list(islice(source, REPLAY_CHUNK))
+            if not block:
+                break
+            record_list.extend(block)
+        n = len(record_list)
+        effects: Optional[list] = [None] * n if capture_effects else None
+        if n == 0:
+            return ReplayStats(), effects
+
+        indegree, successors, single_partition = self._build_graph(
+            record_list
+        )
+        outcomes: list = [None] * n
+        metrics = self.metrics
+        shards: Dict[int, Any] = {}
+        worker_ids: Dict[int, int] = {threading.get_ident(): 0}
+
+        cond = threading.Condition()
+        ready_single: deque = deque()
+        ready_cross: List[int] = []
+        done = [0]
+        errors: List[BaseException] = []
+        pool_box: List[Any] = [None]
+
+        def worker_context():
+            ident = threading.get_ident()
+            with cond:
+                worker_id = worker_ids.setdefault(ident, len(worker_ids))
+                shard = None
+                if metrics is not None:
+                    shard = shards.get(worker_id)
+                    if shard is None:
+                        shard = shards[worker_id] = metrics.shard()
+            return worker_id, shard
+
+        def run_one(index: int, worker_id: int, shard) -> None:
+            try:
+                self._apply_record(
+                    index,
+                    record_list[index],
+                    state,
+                    outcomes,
+                    effects,
+                    worker_id,
+                    shard,
+                )
+            except BaseException as exc:  # op.apply errors are handled
+                with cond:  # inside; anything else aborts the replay.
+                    errors.append(exc)
+                    cond.notify_all()
+                return
+            newly_single = 0
+            with cond:
+                done[0] += 1
+                if not errors:
+                    for succ in successors[index]:
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            if single_partition[succ]:
+                                ready_single.append(succ)
+                                newly_single += 1
+                            else:
+                                heapq.heappush(ready_cross, succ)
+                cond.notify_all()
+            # One pool task per single record that just became ready: a
+            # task pops exactly one queue entry, so submissions and
+            # queue appends stay matched and nobody has to poll.
+            for _ in range(newly_single):
+                submit_single()
+
+        def pool_task() -> None:
+            with cond:
+                if errors or not ready_single:
+                    return
+                index = ready_single.popleft()
+            worker_id, shard = worker_context()
+            run_one(index, worker_id, shard)
+
+        def submit_single() -> None:
+            try:
+                pool_box[0].submit(pool_task)
+            except RuntimeError:
+                # Pool already shutting down: an error aborted the
+                # replay and the coordinator is tearing down.
+                pass
+
+        seed_single = 0
+        for i in range(n):
+            if indegree[i] == 0:
+                if single_partition[i]:
+                    ready_single.append(i)
+                    seed_single += 1
+                else:
+                    heapq.heappush(ready_cross, i)
+
+        coordinator_shard = None
+        if metrics is not None:
+            coordinator_shard = shards[0] = metrics.shard()
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="redo"
+        ) as pool:
+            pool_box[0] = pool
+            for _ in range(seed_single):
+                submit_single()
+            while True:
+                with cond:
+                    while not errors and done[0] < n and not ready_cross:
+                        cond.wait()
+                    if errors or not ready_cross:
+                        break
+                    index = heapq.heappop(ready_cross)
+                run_one(index, 0, coordinator_shard)
+
+        if errors:
+            raise errors[0]
+
+        if metrics is not None:
+            for worker_id in sorted(shards):
+                metrics.absorb(shards[worker_id])
+
+        stats = ReplayStats()
+        stats.records_seen = n
+        for outcome in outcomes:
+            if outcome is _SKIPPED:
+                stats.ops_skipped += 1
+                continue
+            partial, poisoned_pages = outcome
+            stats.ops_replayed += 1
+            if partial:
+                stats.partial_replays += 1
+            if poisoned_pages:
+                stats.poisoned.extend(poisoned_pages)
+        return stats, effects

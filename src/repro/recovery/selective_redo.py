@@ -40,7 +40,8 @@ from repro.ids import LSN, PageId
 from repro.obs.events import RECOVERY_PHASE
 from repro.obs.tracer import NULL_TRACER
 from repro.recovery.explain import RecoveryOutcome, diff_states
-from repro.recovery.redo import RedoReplayer, surviving_poison
+from repro.recovery.parallel_redo import make_replayer
+from repro.recovery.redo import surviving_poison
 from repro.storage.backup_db import BackupDatabase
 from repro.storage.page import PageVersion
 from repro.wal.log_manager import LogManager
@@ -139,6 +140,8 @@ def run_selective_redo(
     verify: bool = True,
     group_of: Optional[Callable[[LogRecord], Optional[str]]] = None,
     tracer=None,
+    redo_workers: int = 1,
+    metrics=None,
 ) -> SelectiveRedoResult:
     """Restore from ``backup`` and roll forward excluding the taint.
 
@@ -195,7 +198,12 @@ def run_selective_redo(
         pid: ver for pid, ver in stable.iter_pages()
     }
     excluded = analysis.excluded
-    replayer = RedoReplayer(initial_value=initial_value, tracer=tracer)
+    replayer = make_replayer(
+        initial_value=initial_value,
+        tracer=tracer,
+        redo_workers=redo_workers,
+        metrics=metrics,
+    )
     kept = (record for record in records if record.lsn not in excluded)
     with tracer.span("recovery.selective.redo"):
         stats = replayer.replay(kept, state)

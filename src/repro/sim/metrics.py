@@ -158,6 +158,13 @@ class Metrics:
     pages_restored_background: int = 0
     time_to_first_query_ms: float = 0.0
 
+    # Parallel redo (recovery/parallel_redo.py): replayed ops split
+    # between the lock-free single-partition fast path (pool threads)
+    # and the coordinator-ordered cross-partition lane.  Each worker
+    # counts into its own shard; absorbed after the replay joins.
+    redo_ops_fast_path: int = 0
+    redo_ops_coordinated: int = 0
+
     # Per-phase timing histograms, fed by tracer spans (repro.obs).
     phase_timings: Dict[str, PhaseTiming] = field(default_factory=dict)
 
